@@ -1,0 +1,13 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures in full
+(`fast=False` sweeps) and prints the same rows/series the paper
+reports. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a whole-experiment function with a single execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

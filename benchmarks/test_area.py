@@ -1,0 +1,19 @@
+"""Section 6.1 / Figure 11: CAMP physical design (area, peak power)."""
+
+from conftest import run_once
+
+import pytest
+
+from repro.experiments import exp_area
+
+
+def test_area_and_peak_power(benchmark):
+    rows = run_once(benchmark, exp_area.run)
+    print()
+    print(exp_area.format_results(rows))
+    by_platform = {r.platform: r for r in rows}
+    assert by_platform["a64fx"].area_mm2 == pytest.approx(0.027263, rel=0.03)
+    assert by_platform["a64fx"].overhead == pytest.approx(0.01, rel=0.05)
+    assert by_platform["sargantana"].area_mm2 == pytest.approx(0.0782, rel=0.03)
+    assert by_platform["sargantana"].overhead == pytest.approx(0.04, rel=0.05)
+    assert exp_area.peak_power_increase() == pytest.approx(0.006, rel=0.2)

@@ -1,0 +1,21 @@
+"""Figure 12: edge RISC-V SMM speedup & instruction reduction."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig12_riscv_smm
+
+
+def test_fig12_riscv_smm(benchmark):
+    rows = run_once(benchmark, exp_fig12_riscv_smm.run, fast=False)
+    print()
+    print(exp_fig12_riscv_smm.format_results(rows))
+    largest = rows[-1]
+    # paper tops out around 20-25x; require double digits at the top
+    assert largest.speedup_8bit > 8
+    assert largest.speedup_4bit > 16
+    for row in rows:
+        # linear 4-bit/8-bit relationship (no pack/unpack overhead)
+        assert 1.5 < row.speedup_4bit / row.speedup_8bit < 2.5
+        assert row.inst_reduction_4bit > row.inst_reduction_8bit
+    # speedup does not degrade as matrices grow
+    assert rows[-1].speedup_8bit >= rows[0].speedup_8bit * 0.9

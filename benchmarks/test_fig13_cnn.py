@@ -1,0 +1,25 @@
+"""Figure 13: per-layer CNN speedups and instruction counts (A64FX)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig13_cnn
+
+
+def test_fig13_cnn(benchmark):
+    rows = run_once(benchmark, exp_fig13_cnn.run, fast=False)
+    print()
+    print(exp_fig13_cnn.format_results(rows))
+    averages = exp_fig13_cnn.average_speedups(rows)
+    print("\nper-network geometric means (camp4):",
+          {k: round(v["camp4"], 1) for k, v in averages.items()})
+    # paper: CAMP-4bit up to 16x/11x/16x/17x per network
+    for network, methods in averages.items():
+        assert methods["camp4"] > 6, network
+        assert methods["camp4"] > methods["camp8"] > methods["handv-int8"]
+        assert methods["handv-int8"] > methods["gemmlowp"] * 0.9
+    peak = max(r.results["camp4"]["speedup"] for r in rows)
+    assert 10 < peak < 35
+    # instruction counts cut at least in half for CAMP
+    for row in rows:
+        assert row.results["camp8"]["ic_ratio"] < 0.5
+        assert row.results["camp4"]["ic_ratio"] < row.results["camp8"]["ic_ratio"]

@@ -1,0 +1,18 @@
+"""Figure 14: LLM feed-forward / self-attention speedups (A64FX)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig14_llm
+
+
+def test_fig14_llm(benchmark):
+    rows = run_once(benchmark, exp_fig14_llm.run, fast=False)
+    print()
+    print(exp_fig14_llm.format_results(rows))
+    # paper: up to 15x over OpenBLAS across layers
+    peak = max(r.results["camp4"]["speedup"] for r in rows)
+    assert 8 < peak < 30
+    for row in rows:
+        assert row.results["camp4"]["speedup"] > 5
+        assert row.results["camp8"]["speedup"] > 3
+        assert row.results["camp8"]["ic_ratio"] < 0.5

@@ -1,0 +1,18 @@
+"""Figure 15: CAMP busy rate and the FU/read/write stall taxonomy."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig15_stalls
+
+
+def test_fig15_stalls(benchmark):
+    rows = run_once(benchmark, exp_fig15_stalls.run, fast=False)
+    print()
+    print(exp_fig15_stalls.format_results(rows))
+    for row in rows:
+        # paper: busy rate 0.07-0.22 (vs >0.9 before CAMP)
+        assert 0.03 < row.busy_rate < 0.30, row.label
+        # compute stalls become negligible; store path dominates
+        assert row.stall_fu < 0.3
+        assert row.stall_write > 0.2
+        assert abs(row.stall_fu + row.stall_read + row.stall_write - 1.0) < 1e-6

@@ -1,0 +1,18 @@
+"""Figure 16: CAMP energy relative to the A64FX baseline (<= ~30%)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig16_energy
+
+
+def test_fig16_energy(benchmark):
+    rows = run_once(benchmark, exp_fig16_energy.run, fast=False)
+    print()
+    print(exp_fig16_energy.format_results(rows))
+    for row in rows:
+        # the paper's ">80% reduction" headline, with Figure 16's bars
+        # spanning roughly 10-30%
+        assert row.camp8_fraction < 0.35, row.benchmark
+        assert row.camp4_fraction < row.camp8_fraction
+    mean8 = sum(r.camp8_fraction for r in rows) / len(rows)
+    assert mean8 < 0.30

@@ -1,0 +1,17 @@
+"""Figure 1: cache miss rate of naive vs ulmBLAS-blocked GEMM."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig1_cache_miss
+
+
+def test_fig1_cache_miss(benchmark):
+    rows = run_once(benchmark, exp_fig1_cache_miss.run, fast=False)
+    print()
+    print(exp_fig1_cache_miss.format_results(rows))
+    # paper shape: naive 23-36%, blocked < 5%
+    for row in rows:
+        assert row.naive_miss_rate > 0.15, row.label
+    steady = [r for r in rows if not r.label.startswith("S-128")]
+    assert all(r.blocked_miss_rate < 0.10 for r in steady)
+    assert sum(r.blocked_miss_rate for r in rows) / len(rows) < 0.08

@@ -1,0 +1,15 @@
+"""Figure 7: accuracy vs quantization bit-width (knee at 4 bits)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig7_accuracy
+
+
+def test_fig7_accuracy(benchmark):
+    surface = run_once(benchmark, exp_fig7_accuracy.run, fast=False)
+    print()
+    print(exp_fig7_accuracy.format_results(surface))
+    assert surface.knee_holds()
+    # monotone-ish degradation along the diagonal
+    assert surface.at(8, 8) >= surface.at(4, 4) - 0.02
+    assert surface.at(4, 4) > surface.at(2, 2)

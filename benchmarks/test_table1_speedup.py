@@ -1,0 +1,22 @@
+"""Table 1: Int8/Int4 speedup over FP32 (512x512) on both platforms."""
+
+from conftest import run_once
+
+from repro.experiments import exp_table1
+
+
+def test_table1_speedup(benchmark):
+    rows = run_once(benchmark, exp_table1.run, fast=False)
+    print()
+    print(exp_table1.format_results(rows))
+    by_arch = {r.architecture: r for r in rows}
+    sve = by_arch["ARMv8+SVE/CAMP"]
+    riscv = by_arch["RISC-V/CAMP"]
+    # paper: 7.4x / 12.4x (SVE) and 14.1x / 25.1x (RISC-V); require the
+    # same ordering and rough magnitudes
+    assert 4 < sve.int8_speedup < 15
+    assert 8 < sve.int4_speedup < 28
+    assert 7 < riscv.int8_speedup < 28
+    assert 14 < riscv.int4_speedup < 50
+    assert sve.int4_speedup > sve.int8_speedup
+    assert riscv.int4_speedup > riscv.int8_speedup

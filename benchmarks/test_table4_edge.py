@@ -1,0 +1,21 @@
+"""Table 4 + Section 6.2: edge throughput/efficiency comparison."""
+
+from conftest import run_once
+
+from repro.experiments import exp_table4
+
+
+def test_table4_edge(benchmark):
+    rows = run_once(benchmark, exp_table4.run, fast=False)
+    print()
+    print(exp_table4.format_results(rows))
+    by_workload = {r.workload: r for r in rows}
+    conv = by_workload["conv"]
+    smm = by_workload["smm"]
+    # paper: 12.6-21.7 GOPS (conv), 16/28 GOPS (SMM), 270/405 GOPS/W
+    assert 8 < conv.gops_8bit < 30
+    assert 15 < conv.gops_4bit < 50
+    assert 8 < smm.gops_8bit < 30
+    assert 135 < conv.gops_w_8bit < 540
+    assert conv.gops_w_4bit > conv.gops_w_8bit
+    assert abs(conv.area_mm2 - 0.0782) / 0.0782 < 0.05

@@ -1,0 +1,65 @@
+"""Edge RISC-V deployment study (Table 4 / Section 6.2).
+
+Evaluates CAMP on the Sargantana-like in-order SoC: the reference
+convolution workload (16x16x32 input, 64x3x3x32 filters) and square
+matrix multiplication, reporting throughput (GOPS), efficiency
+(GOPS/W), the int4 packing path, and the 22nm area report.
+
+Usage:  python examples/edge_riscv.py
+"""
+
+import numpy as np
+
+from repro.experiments.runner import analyze_cached
+from repro.gemm.api import gemm
+from repro.isa.dtypes import DType
+from repro.physical.area import camp_area_report
+from repro.physical.energy import EnergyModel
+from repro.physical.technology import GF22FDX
+from repro.quant.packing import pack_int4, unpack_int4
+from repro.workloads.shapes import GemmShape, edge_conv_shape
+
+
+def throughput_study():
+    model = EnergyModel(GF22FDX)
+    conv = edge_conv_shape()
+    smm = GemmShape(256, 256, 256, label="smm-256")
+    print("== edge RISC-V (1 GHz, GF 22nm FDX, 128-bit SIMD) ==")
+    print("%-10s %-8s %-10s %-12s" % ("workload", "mode", "GOPS", "GOPS/W"))
+    for shape in (conv, smm):
+        for method, dtype in (("camp8", DType.INT8), ("camp4", DType.INT4)):
+            execution = analyze_cached(shape, method, "sargantana")
+            print("%-10s %-8s %-10.1f %-12.0f" % (
+                shape.label, method, execution.gops,
+                model.gops_per_watt(execution, dtype),
+            ))
+
+
+def int4_pipeline_demo():
+    """Nibble-packed int4 data going through the camp4 kernel."""
+    rng = np.random.default_rng(3)
+    a = rng.integers(-8, 8, size=(16, 64)).astype(np.int8)
+    b = rng.integers(-8, 8, size=(64, 8)).astype(np.int8)
+    # the memory image really is nibble-packed: demonstrate round trip
+    packed = pack_int4(a.reshape(-1))
+    assert packed.nbytes == a.size // 2
+    assert np.array_equal(unpack_int4(packed).reshape(a.shape), a)
+    result = gemm(a, b, method="camp4", machine="sargantana")
+    assert np.array_equal(result.c, a.astype(np.int64) @ b.astype(np.int64))
+    print("\nint4 path: %d values stored in %d bytes; GEMM exact: OK"
+          % (a.size, packed.nbytes))
+
+
+def area_report():
+    report = camp_area_report("sargantana")
+    print("\n== physical design (GF 22nm FDX) ==")
+    print("gate count   : %d NAND2-equivalents" % report.gates)
+    print("area         : %.4f mm^2" % report.area_mm2)
+    print("SoC overhead : %.1f%% of the %s" % (
+        100 * report.overhead_fraction, report.host_name))
+
+
+if __name__ == "__main__":
+    throughput_study()
+    int4_pipeline_demo()
+    area_report()

@@ -1,0 +1,50 @@
+"""Kernel engineering with the trace-analysis tools.
+
+For every micro-kernel, compares the pipeline-simulated cycles against
+the static lower bounds (dataflow critical path, functional-unit
+occupancy, issue width) and names the binding constraint — the
+analysis loop you would use to design a new CAMP-style kernel.
+
+Usage:  python examples/kernel_analysis.py
+"""
+
+from repro.gemm.microkernel import get_kernel, kernel_names
+from repro.simulator.config import a64fx_config
+from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.trace_tools import analyze_trace, efficiency_report
+
+
+def main():
+    config = a64fx_config(camp_enabled=True)
+    kc = 128
+    print("== micro-kernel analysis (A64FX+CAMP, kc=%d) ==" % kc)
+    print("%-15s %6s %7s %7s %7s %7s  %-16s %s" % (
+        "kernel", "instr", "simcyc", "bound", "effic", "MAC/B", "constraint",
+        "MACs/cyc"))
+    for name in kernel_names():
+        kernel = get_kernel(name, vector_length_bits=512)
+        kc_eff = kc + (-kc) % kernel.k_step
+        program = kernel.build_call(kc_eff)
+        stats = PipelineSimulator(config).run(
+            program, warm_addresses=kernel.warm_addresses(kc_eff)
+        )
+        analysis = analyze_trace(program, config)
+        report = efficiency_report(program, config, stats.cycles)
+        macs = kernel.macs_per_call(kc_eff)
+        print("%-15s %6d %7d %7d %6.0f%% %7.1f  %-16s %.1f" % (
+            name,
+            analysis.instructions,
+            stats.cycles,
+            report["lower_bound_cycles"],
+            100 * report["efficiency"],
+            analysis.arithmetic_intensity(macs),
+            report["binding_constraint"],
+            macs / stats.cycles,
+        ))
+    print("\nReading: camp kernels sit near their bounds with high")
+    print("arithmetic intensity; the dup+MLA baselines are issue- or")
+    print("FU-bound at an order of magnitude fewer MACs per cycle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: multiply two int8 matrices through the CAMP pipeline.
+
+Runs the same 512x512 comparison as Table 1 of the paper (scaled down
+by default so it finishes in seconds) and prints numeric verification
+plus the performance analysis the simulator produces.
+
+Usage:  python examples/quickstart.py [size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import gemm
+from repro.gemm.api import analyze
+
+
+def main(size=128):
+    rng = np.random.default_rng(0)
+    a = rng.integers(-128, 128, size=(size, size)).astype(np.int8)
+    b = rng.integers(-128, 128, size=(size, size)).astype(np.int8)
+
+    print("== CAMP quickstart: %dx%d int8 GEMM on the A64FX-like core ==" % (size, size))
+    result = gemm(a, b, method="camp8", machine="a64fx")
+
+    expected = a.astype(np.int64) @ b.astype(np.int64)
+    assert np.array_equal(result.c, expected), "numeric mismatch!"
+    print("numeric check vs numpy: OK (int32 exact)")
+
+    execution = result.execution
+    print("cycles            : %.3g" % execution.cycles)
+    print("instructions      : %d" % execution.total_instructions)
+    print("cycles per MAC    : %.4f" % execution.cycles_per_mac)
+    print("throughput        : %.1f GOPS @ %.1f GHz"
+          % (execution.gops, execution.frequency_ghz))
+
+    print("\n== versus the FP32 OpenBLAS baseline ==")
+    baseline = analyze(size, size, size, method="openblas-fp32", machine="a64fx")
+    camp4 = analyze(size, size, size, method="camp4", machine="a64fx")
+    print("openblas-fp32     : %.3g cycles (1.00x)" % baseline.cycles)
+    print("camp8             : %.3g cycles (%.1fx)"
+          % (execution.cycles, baseline.cycles / execution.cycles))
+    print("camp4             : %.3g cycles (%.1fx)"
+          % (camp4.cycles, baseline.cycles / camp4.cycles))
+    print("instruction count : camp8 uses %.0f%% of the baseline's instructions"
+          % (100 * execution.total_instructions / baseline.total_instructions))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

@@ -1,0 +1,5 @@
+"""Setuptools shim enabling legacy editable installs (no wheel module)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — reproduction of the CAMP architecture (MICRO 2025).
+
+CAMP (Cartesian Accumulative Matrix Pipeline) augments vector
+architectures with an outer-product matrix-multiply instruction backed
+by a hybrid (divide-and-conquer) integer multiplier, accelerating
+quantized (int8/int4) GEMM.
+
+The package is organised as:
+
+- :mod:`repro.core` — the paper's contribution: hybrid multiplier,
+  ``camp`` instruction semantics, lane/accumulator models.
+- :mod:`repro.isa` — vector instruction set, registers, programs.
+- :mod:`repro.simulator` — cycle-approximate pipeline simulator.
+- :mod:`repro.memory` — cache hierarchy with stride prefetcher.
+- :mod:`repro.gemm` — GotoBLAS-style blocked GEMM and micro-kernels.
+- :mod:`repro.quant` — quantization schemes and accuracy studies.
+- :mod:`repro.workloads` — CNN/LLM layer shapes from the paper.
+- :mod:`repro.physical` — area / power / energy models.
+- :mod:`repro.experiments` — one module per paper table / figure.
+"""
+
+from repro.core.camp import camp_reference, CampMode
+from repro.core.hybrid_multiplier import HybridMultiplier
+from repro.gemm.api import gemm, GemmResult
+from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "camp_reference",
+    "CampMode",
+    "HybridMultiplier",
+    "gemm",
+    "GemmResult",
+    "MachineConfig",
+    "a64fx_config",
+    "sargantana_config",
+    "__version__",
+]

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli list                      # kernels + experiments
+    python -m repro.cli gemm 512 512 512 --method camp8
+    python -m repro.cli experiment table1 [--fast]
+    python -m repro.cli experiment all --fast
+    python -m repro.cli ablation vector-length
+    python -m repro.cli area
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list(_args):
+    from repro.experiments import ABLATIONS, ALL_EXPERIMENTS
+    from repro.gemm.microkernel import kernel_names
+
+    print("kernels     :", ", ".join(kernel_names()))
+    print("machines    : a64fx, sargantana")
+    print("experiments :", ", ".join(sorted(ALL_EXPERIMENTS)))
+    print("ablations   :", ", ".join(sorted(ABLATIONS)))
+    return 0
+
+
+def _cmd_gemm(args):
+    from repro.gemm.api import analyze, gemm
+
+    if args.verify:
+        rng = np.random.default_rng(args.seed)
+        bits = 4 if args.method == "camp4" else 8
+        lo, hi = -(1 << (bits - 1)), 1 << (bits - 1)
+        if args.method == "openblas-fp32":
+            a = rng.normal(size=(args.m, args.k)).astype(np.float32)
+            b = rng.normal(size=(args.k, args.n)).astype(np.float32)
+        else:
+            a = rng.integers(lo, hi, size=(args.m, args.k)).astype(np.int8)
+            b = rng.integers(lo, hi, size=(args.k, args.n)).astype(np.int8)
+        result = gemm(a, b, method=args.method, machine=args.machine)
+        execution = result.execution
+        print("numeric verification: computed %dx%d result" % result.c.shape)
+    else:
+        execution = analyze(args.m, args.n, args.k, method=args.method,
+                            machine=args.machine)
+    print("method        : %s on %s" % (execution.kernel_name, execution.machine_name))
+    print("cycles        : %.4g" % execution.cycles)
+    print("instructions  : %d (kernel %d + packing %d)" % (
+        execution.total_instructions, execution.kernel_instructions,
+        execution.packing_instructions))
+    print("cycles/MAC    : %.4f" % execution.cycles_per_mac)
+    print("throughput    : %.1f GOPS @ %.1f GHz" % (
+        execution.gops, execution.frequency_ghz))
+    print("blocking      : mc=%d kc=%d nc=%d (m_r=%d n_r=%d)" % (
+        execution.blocking.mc, execution.blocking.kc, execution.blocking.nc,
+        execution.blocking.m_r, execution.blocking.n_r))
+    return 0
+
+
+def _run_experiment_table(table, name, fast):
+    module = table[name]
+    results = module.run(fast=fast)
+    print(module.format_results(results))
+    print()
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.name == "all":
+        for name in ALL_EXPERIMENTS:
+            _run_experiment_table(ALL_EXPERIMENTS, name, args.fast)
+        return 0
+    if args.name not in ALL_EXPERIMENTS:
+        print("unknown experiment %r; try: %s"
+              % (args.name, ", ".join(sorted(ALL_EXPERIMENTS)) + ", all"),
+              file=sys.stderr)
+        return 2
+    return _run_experiment_table(ALL_EXPERIMENTS, args.name, args.fast)
+
+
+def _cmd_ablation(args):
+    from repro.experiments import ABLATIONS
+
+    if args.name == "all":
+        for name in ABLATIONS:
+            _run_experiment_table(ABLATIONS, name, args.fast)
+        return 0
+    if args.name not in ABLATIONS:
+        print("unknown ablation %r; try: %s"
+              % (args.name, ", ".join(sorted(ABLATIONS)) + ", all"),
+              file=sys.stderr)
+        return 2
+    return _run_experiment_table(ABLATIONS, args.name, args.fast)
+
+
+def _cmd_area(_args):
+    from repro.experiments import exp_area
+
+    print(exp_area.format_results(exp_area.run()))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-camp",
+        description="CAMP (MICRO 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list kernels, machines and experiments")
+
+    gemm_parser = sub.add_parser("gemm", help="analyze (or run) one GEMM")
+    gemm_parser.add_argument("m", type=int)
+    gemm_parser.add_argument("n", type=int)
+    gemm_parser.add_argument("k", type=int)
+    gemm_parser.add_argument("--method", default="camp8")
+    gemm_parser.add_argument("--machine", default="a64fx")
+    gemm_parser.add_argument("--verify", action="store_true",
+                             help="also compute numerically on random data")
+    gemm_parser.add_argument("--seed", type=int, default=0)
+
+    exp_parser = sub.add_parser("experiment", help="run a paper experiment")
+    exp_parser.add_argument("name")
+    exp_parser.add_argument("--fast", action="store_true")
+
+    abl_parser = sub.add_parser("ablation", help="run a design-choice study")
+    abl_parser.add_argument("name")
+    abl_parser.add_argument("--fast", action="store_true")
+
+    sub.add_parser("area", help="print the physical-design report")
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "gemm": _cmd_gemm,
+    "experiment": _cmd_experiment,
+    "ablation": _cmd_ablation,
+    "area": _cmd_area,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the CAMP matrix pipeline.
+
+- :mod:`repro.core.hybrid_multiplier` — divide-and-conquer integer
+  multiplier built from 4-bit blocks (Section 3 of the paper).
+- :mod:`repro.core.camp` — architectural semantics of the ``camp``
+  instruction (Section 4.1).
+- :mod:`repro.core.accumulator` — intra-lane adders and the shared
+  inter-lane accumulator (Section 4.2 / Figure 8).
+- :mod:`repro.core.lane` — one vector lane with its hybrid-multiplier
+  array.
+- :mod:`repro.core.unit` — the full CAMP functional unit assembled from
+  lanes; bit-accurate and resource-counting.
+"""
+
+from repro.core.camp import CampMode, camp_reference
+from repro.core.hybrid_multiplier import HybridMultiplier
+from repro.core.accumulator import InterLaneAccumulator, IntraLaneAdderBank, wrap_int32
+from repro.core.lane import CampLane
+from repro.core.unit import CampUnit
+
+__all__ = [
+    "CampMode",
+    "camp_reference",
+    "HybridMultiplier",
+    "InterLaneAccumulator",
+    "IntraLaneAdderBank",
+    "wrap_int32",
+    "CampLane",
+    "CampUnit",
+]

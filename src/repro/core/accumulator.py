@@ -1,0 +1,84 @@
+"""Accumulation datapath of the CAMP unit (Figure 8 / Section 4.2).
+
+Within each lane, 16 *intra-lane adders* sum the outer-product results
+that share an output index; a shared bank of 16 *inter-lane
+accumulators* (one per element of the 4x4 output tile) then reduces
+across the 8 lanes and folds into the auxiliary register.
+"""
+
+import numpy as np
+
+_INT32_MIN = -(1 << 31)
+_INT32_SPAN = 1 << 32
+
+
+def wrap_int32(values):
+    """Two's-complement int32 wraparound, matching hardware adders."""
+    arr = np.asarray(values, dtype=np.int64)
+    wrapped = (arr - _INT32_MIN) % _INT32_SPAN + _INT32_MIN
+    return wrapped.astype(np.int32)
+
+
+class IntraLaneAdderBank:
+    """The 16 per-lane adders reducing same-index outer products.
+
+    For int8 mode a lane computes two 4x4 outer products (one per
+    column/row pair of its 64-bit slice); each of the 16 adders sums
+    the two products that land on its output index. For int4 mode each
+    adder reduces four products. Addition counts are recorded for the
+    energy model.
+    """
+
+    TILE_ELEMENTS = 16
+
+    def __init__(self):
+        self.add_ops = 0
+
+    def reduce(self, product_tiles):
+        """Sum a sequence of 4x4 product tiles into one tile."""
+        tiles = [np.asarray(t, dtype=np.int64) for t in product_tiles]
+        if not tiles:
+            raise ValueError("at least one product tile is required")
+        for tile in tiles:
+            if tile.shape != (4, 4):
+                raise ValueError("product tiles must be 4x4, got %s" % (tile.shape,))
+        self.add_ops += self.TILE_ELEMENTS * (len(tiles) - 1)
+        total = tiles[0].copy()
+        for tile in tiles[1:]:
+            total += tile
+        return wrap_int32(total)
+
+
+class InterLaneAccumulator:
+    """The 16 shared accumulators reducing across lanes (one per index).
+
+    ``accumulate(lane_tiles, acc)`` returns ``acc + sum(lane_tiles)``
+    with int32 wraparound, recording one addition per element per lane
+    plus the fold into the auxiliary register.
+    """
+
+    TILE_ELEMENTS = 16
+
+    def __init__(self, n_lanes=8):
+        if n_lanes <= 0:
+            raise ValueError("n_lanes must be positive")
+        self.n_lanes = n_lanes
+        self.add_ops = 0
+
+    def accumulate(self, lane_tiles, acc):
+        lane_tiles = list(lane_tiles)
+        if len(lane_tiles) != self.n_lanes:
+            raise ValueError(
+                "expected %d lane tiles, got %d" % (self.n_lanes, len(lane_tiles))
+            )
+        total = np.asarray(acc, dtype=np.int64)
+        if total.shape != (4, 4):
+            raise ValueError("accumulator must be 4x4, got %s" % (total.shape,))
+        total = total.copy()
+        for tile in lane_tiles:
+            tile = np.asarray(tile, dtype=np.int64)
+            if tile.shape != (4, 4):
+                raise ValueError("lane tiles must be 4x4, got %s" % (tile.shape,))
+            total += tile
+        self.add_ops += self.TILE_ELEMENTS * len(lane_tiles)
+        return wrap_int32(total)

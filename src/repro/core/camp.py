@@ -1,0 +1,154 @@
+"""Architectural semantics of the ``camp`` instruction (Section 4.1).
+
+``camp(VR0, VR1, VR2, mode)`` multiplies a sub-panel of A held in
+``VR1`` by a sub-panel of B held in ``VR2`` and accumulates the 4x4
+int32 result tile into the auxiliary accumulator ``VR0``:
+
+- mode ``INT8``:  A is 4x16 column-major, B is 16x4 row-major, both
+  int8, filling one 512-bit register each (64 elements).
+- mode ``INT4``:  A is 4x32 column-major, B is 32x4 row-major, both
+  int4 (128 nibbles per register).
+
+Accumulation is int32 two's-complement (wraparound), which is safe in
+practice: 16 (or 32) products of 8-bit (4-bit) operands cannot
+overflow 32 bits within one instruction, and GotoBLAS ``kc`` blocking
+bounds the accumulation chain length.
+"""
+
+import enum
+
+import numpy as np
+
+from repro.core.accumulator import wrap_int32
+from repro.isa.dtypes import DType
+
+
+class CampMode(enum.Enum):
+    """Operand width mode of the ``camp`` instruction."""
+
+    INT8 = "int8"
+    INT4 = "int4"
+
+    @property
+    def dtype(self):
+        return DType.INT8 if self is CampMode.INT8 else DType.INT4
+
+    @property
+    def element_bits(self):
+        return 8 if self is CampMode.INT8 else 4
+
+    @property
+    def k_depth(self):
+        """Reduction depth for the paper's 512-bit registers."""
+        return self.k_depth_for(512)
+
+    def k_depth_for(self, vector_length_bits):
+        """Reduction depth of one ``camp`` on a given register width.
+
+        The instruction is vector-length agnostic (like SVE): a 4 x K
+        panel fills the register, so ``K = VL / (4 * element_bits)`` —
+        16 for int8 / 32 for int4 at 512 bits, 4 / 8 at 128 bits.
+        """
+        k = vector_length_bits // (4 * self.element_bits)
+        if k < 1 or vector_length_bits % (4 * self.element_bits):
+            raise ValueError(
+                "vector length %d cannot hold a 4xK %s panel"
+                % (vector_length_bits, self.dtype.value)
+            )
+        return k
+
+    @property
+    def tile_m(self):
+        return 4
+
+    @property
+    def tile_n(self):
+        return 4
+
+    @classmethod
+    def from_dtype(cls, dtype):
+        if dtype is DType.INT8:
+            return cls.INT8
+        if dtype is DType.INT4:
+            return cls.INT4
+        raise ValueError("camp supports int8/int4, not %s" % (dtype,))
+
+
+def _validate_operand(values, mode, name, k_depth):
+    values = np.asarray(values, dtype=np.int64).ravel()
+    expected = mode.tile_m * k_depth
+    if values.size != expected:
+        raise ValueError(
+            "%s operand must have %d %s elements (K=%d), got %d"
+            % (name, expected, mode.dtype.value, k_depth, values.size)
+        )
+    lo = -(1 << (mode.element_bits - 1))
+    hi = (1 << (mode.element_bits - 1)) - 1
+    if values.min() < lo or values.max() > hi:
+        raise ValueError(
+            "%s operand contains values outside the %s range [%d, %d]"
+            % (name, mode.dtype.value, lo, hi)
+        )
+    return values
+
+
+def camp_reference(acc, a_panel, b_panel, mode, vector_length_bits=512):
+    """Golden-model semantics of one ``camp`` execution.
+
+    Parameters
+    ----------
+    acc:
+        4x4 int32 accumulator tile (the auxiliary register content).
+    a_panel:
+        Flat vector-register image of A's sub-panel, column-major:
+        element ``i + 4*k`` is ``A[i, k]``.
+    b_panel:
+        Flat vector-register image of B's sub-panel, row-major:
+        element ``j + 4*k`` is ``B[k, j]``.
+    mode:
+        :class:`CampMode` selecting int8 or int4 operands.
+    vector_length_bits:
+        Register width; fixes the K-slice depth (16/32 at 512 bits).
+
+    Returns
+    -------
+    numpy.ndarray
+        New 4x4 int32 accumulator: ``acc + A @ B`` with int32
+        wraparound semantics.
+    """
+    mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+    k_depth = mode.k_depth_for(vector_length_bits)
+    a_flat = _validate_operand(a_panel, mode, "A", k_depth)
+    b_flat = _validate_operand(b_panel, mode, "B", k_depth)
+    acc = np.asarray(acc, dtype=np.int64)
+    if acc.shape != (4, 4):
+        raise ValueError("accumulator must be a 4x4 tile, got %s" % (acc.shape,))
+    a_mat = a_flat.reshape(k_depth, 4).T      # column-major 4 x K
+    b_mat = b_flat.reshape(k_depth, 4)        # row-major K x 4
+    return wrap_int32(acc + a_mat @ b_mat)
+
+
+def pack_a_panel(a_block, mode, vector_length_bits=512):
+    """Pack a 4xK block of A into the column-major register image."""
+    mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+    k_depth = mode.k_depth_for(vector_length_bits)
+    a_block = np.asarray(a_block)
+    if a_block.shape != (4, k_depth):
+        raise ValueError(
+            "A block must be 4x%d for %s, got %s"
+            % (k_depth, mode.dtype.value, a_block.shape)
+        )
+    return a_block.T.reshape(-1).astype(np.int8)
+
+
+def pack_b_panel(b_block, mode, vector_length_bits=512):
+    """Pack a Kx4 block of B into the row-major register image."""
+    mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+    k_depth = mode.k_depth_for(vector_length_bits)
+    b_block = np.asarray(b_block)
+    if b_block.shape != (k_depth, 4):
+        raise ValueError(
+            "B block must be %dx4 for %s, got %s"
+            % (k_depth, mode.dtype.value, b_block.shape)
+        )
+    return b_block.reshape(-1).astype(np.int8)

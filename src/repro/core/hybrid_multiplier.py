@@ -1,0 +1,163 @@
+"""Hybrid (divide-and-conquer) integer multiplier.
+
+Section 3 of the paper: a ``2n``-bit multiplication is decomposed into
+four ``n``-bit multiplications plus shifted additions::
+
+    A = a1 * 2^n + a0          B = b1 * 2^n + b0
+    P = (a1*b1) << 2n  +  (a1*b0 + a0*b1) << n  +  a0*b0
+
+Applied recursively down to a configurable *building block* width
+(4 bits in the paper), the same silicon serves as
+
+- one w-bit multiplier, or
+- ``(w / block)^2`` independent block-width multipliers,
+
+which is exactly the resource scaling an outer product needs when the
+element width is halved (elements double, pairwise products quadruple).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MultiplierStats:
+    """Dynamic resource usage accumulated across multiplications."""
+
+    base_multiplies: int = 0
+    adder_ops: int = 0
+    shift_ops: int = 0
+
+    def merge(self, other):
+        self.base_multiplies += other.base_multiplies
+        self.adder_ops += other.adder_ops
+        self.shift_ops += other.shift_ops
+
+
+@dataclass
+class HybridMultiplier:
+    """A hybrid multiplier for signed integers up to ``width_bits``.
+
+    Parameters
+    ----------
+    width_bits:
+        Top-level operand width (8 in the paper's CAMP lanes).
+    block_bits:
+        Building-block multiplier width (4 in the paper; Figure 7's
+        accuracy survey justifies 4 bits as the useful minimum).
+    """
+
+    width_bits: int = 8
+    block_bits: int = 4
+    stats: MultiplierStats = field(default_factory=MultiplierStats)
+
+    def __post_init__(self):
+        if self.block_bits <= 0 or self.width_bits <= 0:
+            raise ValueError("widths must be positive")
+        width = self.width_bits
+        while width > self.block_bits:
+            if width % 2:
+                raise ValueError(
+                    "width %d cannot be halved down to block width %d"
+                    % (self.width_bits, self.block_bits)
+                )
+            width //= 2
+        if width != self.block_bits:
+            raise ValueError(
+                "block width %d does not divide evenly into operand width %d "
+                "by successive halving" % (self.block_bits, self.width_bits)
+            )
+
+    # -- structural properties -------------------------------------------
+
+    @property
+    def base_blocks(self):
+        """Number of block-width multipliers composing one full multiplier."""
+        return (self.width_bits // self.block_bits) ** 2
+
+    def sub_multipliers(self, operand_bits):
+        """How many independent ``operand_bits`` multipliers this unit offers.
+
+        One ``width_bits`` hybrid multiplier re-partitions into
+        ``(width/operand)^2`` narrower multipliers — e.g. an 8-bit unit
+        built from 4-bit blocks offers four 4-bit multipliers.
+        """
+        if operand_bits > self.width_bits:
+            raise ValueError(
+                "operand width %d exceeds multiplier width %d"
+                % (operand_bits, self.width_bits)
+            )
+        if operand_bits < self.block_bits:
+            raise ValueError(
+                "operand width %d below building-block width %d"
+                % (operand_bits, self.block_bits)
+            )
+        return (self.width_bits // operand_bits) ** 2
+
+    def recursion_depth(self):
+        """Levels of divide-and-conquer between top width and block width."""
+        depth = 0
+        width = self.width_bits
+        while width > self.block_bits:
+            width //= 2
+            depth += 1
+        return depth
+
+    # -- functional model ---------------------------------------------------
+
+    def multiply(self, a, b, operand_bits=None):
+        """Signed multiply of ``a * b`` through the recursive datapath.
+
+        Values must fit in ``operand_bits`` (default: full width) as
+        signed two's-complement integers. The product is returned
+        exactly (it fits in ``2 * operand_bits`` bits by construction).
+        """
+        width = self.width_bits if operand_bits is None else operand_bits
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        for name, value in (("a", a), ("b", b)):
+            if not lo <= value <= hi:
+                raise ValueError(
+                    "%s=%d does not fit in %d signed bits" % (name, value, width)
+                )
+        sign = -1 if (a < 0) != (b < 0) else 1
+        product = sign * self._unsigned_multiply(abs(a), abs(b), max(width, self.block_bits))
+        return product
+
+    def _unsigned_multiply(self, a, b, width):
+        if width <= self.block_bits:
+            self.stats.base_multiplies += 1
+            return a * b
+        half = width // 2
+        mask = (1 << half) - 1
+        a1, a0 = a >> half, a & mask
+        b1, b0 = b >> half, b & mask
+        hh = self._unsigned_multiply(a1, b1, half)
+        hl = self._unsigned_multiply(a1, b0, half)
+        lh = self._unsigned_multiply(a0, b1, half)
+        ll = self._unsigned_multiply(a0, b0, half)
+        self.stats.adder_ops += 3
+        self.stats.shift_ops += 2
+        return (hh << width) + ((hl + lh) << half) + ll
+
+    def reset_stats(self):
+        self.stats = MultiplierStats()
+
+    # -- hardware cost model ---------------------------------------------
+
+    def gate_estimate(self):
+        """Rough NAND2-equivalent gate count of the multiplier tree.
+
+        A ``b``-bit array multiplier block costs about ``6 * b^2`` gate
+        equivalents (AND array + carry-save adders); each recursion
+        level adds recombination adders of ~9 gates per bit of the
+        partial sums. Used by :mod:`repro.physical.area` to scale the
+        CAMP block against published core areas.
+        """
+        block_gates = 6 * self.block_bits ** 2
+        total = self.base_blocks * block_gates
+        width = self.width_bits
+        while width > self.block_bits:
+            recombine_bits = 2 * width
+            multipliers_at_level = (self.width_bits // width) ** 2
+            total += multipliers_at_level * 3 * recombine_bits * 9
+            width //= 2
+        return total

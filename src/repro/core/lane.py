@@ -1,0 +1,79 @@
+"""One CAMP vector lane (Figure 8).
+
+A lane receives a 64-bit slice of each operand register. In int8 mode
+that is 8 elements per operand — two columns of A and two rows of B —
+on which it computes two 4x4 outer products using its 32 8-bit hybrid
+multipliers. In int4 mode the slice holds 16 nibbles per operand (four
+columns/rows) and the same silicon re-partitions into 128 4-bit
+multipliers.
+
+The lane's intra-lane adder bank reduces the per-k outer products into
+a single 4x4 tile, which the inter-lane accumulator then combines with
+the other lanes' tiles.
+"""
+
+import numpy as np
+
+from repro.core.accumulator import IntraLaneAdderBank
+from repro.core.camp import CampMode
+from repro.core.hybrid_multiplier import HybridMultiplier
+
+
+class CampLane:
+    """Functional + resource model of one lane's CAMP datapath."""
+
+    LANE_BITS = 64
+    MULTIPLIERS_INT8 = 32
+
+    def __init__(self, index=0, block_bits=4):
+        self.index = index
+        # One physical array of 32 8-bit hybrid multipliers; a single
+        # HybridMultiplier instance models the shared datapath and
+        # aggregates usage statistics across all 32.
+        self.multiplier = HybridMultiplier(width_bits=8, block_bits=block_bits)
+        self.adders = IntraLaneAdderBank()
+        self.outer_products = 0
+
+    def multipliers_for(self, mode):
+        """Physical multipliers available in ``mode``'s element width."""
+        per_unit = self.multiplier.sub_multipliers(mode.element_bits)
+        return self.MULTIPLIERS_INT8 * per_unit // self.multiplier.sub_multipliers(8)
+
+    def elements_per_operand(self, mode):
+        """Elements of one operand register landing in this lane."""
+        return self.LANE_BITS // mode.element_bits
+
+    def columns_per_operand(self, mode):
+        """K-slices (columns of A / rows of B) this lane covers."""
+        return self.elements_per_operand(mode) // 4
+
+    def compute(self, a_slice, b_slice, mode):
+        """Compute this lane's partial 4x4 tile.
+
+        ``a_slice`` holds ``columns_per_operand`` consecutive columns of
+        A (4 elements each, column-major); ``b_slice`` the matching rows
+        of B (row-major). Every element product is pushed through the
+        hybrid-multiplier model so resource statistics are bit-accurate.
+        """
+        mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+        n = self.elements_per_operand(mode)
+        a_slice = np.asarray(a_slice, dtype=np.int64).ravel()
+        b_slice = np.asarray(b_slice, dtype=np.int64).ravel()
+        if a_slice.size != n or b_slice.size != n:
+            raise ValueError(
+                "lane %d expects %d elements per operand in %s mode, got %d/%d"
+                % (self.index, n, mode.dtype.value, a_slice.size, b_slice.size)
+            )
+        tiles = []
+        for k in range(self.columns_per_operand(mode)):
+            col = a_slice[4 * k : 4 * k + 4]
+            row = b_slice[4 * k : 4 * k + 4]
+            tile = np.empty((4, 4), dtype=np.int64)
+            for i in range(4):
+                for j in range(4):
+                    tile[i, j] = self.multiplier.multiply(
+                        int(col[i]), int(row[j]), operand_bits=mode.element_bits
+                    )
+            tiles.append(tile)
+            self.outer_products += 1
+        return self.adders.reduce(tiles)

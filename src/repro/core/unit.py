@@ -1,0 +1,67 @@
+"""The assembled CAMP functional unit (Section 4.2, Figure 10).
+
+Glues 8 lanes and the shared inter-lane accumulator into the unit the
+pipeline simulator schedules as one ``MATRIX``-class functional unit.
+``execute`` is bit-accurate: its result must (and, in the tests, does)
+match :func:`repro.core.camp.camp_reference` exactly, while also
+tallying multiplier/adder activity for the energy model.
+"""
+
+import numpy as np
+
+from repro.core.accumulator import InterLaneAccumulator
+from repro.core.camp import CampMode
+from repro.core.lane import CampLane
+
+
+class CampUnit:
+    """A vector-register-wide CAMP execution unit."""
+
+    def __init__(self, vector_length_bits=512, block_bits=4):
+        if vector_length_bits % CampLane.LANE_BITS:
+            raise ValueError("vector length must be a multiple of 64 bits")
+        self.vector_length_bits = vector_length_bits
+        self.n_lanes = vector_length_bits // CampLane.LANE_BITS
+        self.lanes = [CampLane(i, block_bits=block_bits) for i in range(self.n_lanes)]
+        self.inter_lane = InterLaneAccumulator(self.n_lanes)
+        self.instructions_executed = 0
+
+    def execute(self, acc, a_panel, b_panel, mode):
+        """Execute one ``camp`` instruction through the lane datapaths."""
+        mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+        per_lane = self.lanes[0].elements_per_operand(mode)
+        a_panel = np.asarray(a_panel, dtype=np.int64).ravel()
+        b_panel = np.asarray(b_panel, dtype=np.int64).ravel()
+        expected = per_lane * self.n_lanes
+        if a_panel.size != expected or b_panel.size != expected:
+            raise ValueError(
+                "camp operands must carry %d %s elements, got %d/%d"
+                % (expected, mode.dtype.value, a_panel.size, b_panel.size)
+            )
+        lane_tiles = []
+        for lane in self.lanes:
+            lo = lane.index * per_lane
+            hi = lo + per_lane
+            lane_tiles.append(lane.compute(a_panel[lo:hi], b_panel[lo:hi], mode))
+        self.instructions_executed += 1
+        return self.inter_lane.accumulate(lane_tiles, acc)
+
+    # -- resource summaries ------------------------------------------------
+
+    def total_base_multiplies(self):
+        return sum(lane.multiplier.stats.base_multiplies for lane in self.lanes)
+
+    def total_intra_lane_adds(self):
+        return sum(lane.adders.add_ops for lane in self.lanes)
+
+    def total_inter_lane_adds(self):
+        return self.inter_lane.add_ops
+
+    def multipliers_per_lane(self, mode):
+        mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+        return self.lanes[0].multipliers_for(mode)
+
+    def macs_per_instruction(self, mode):
+        """Multiply-accumulates performed by one ``camp`` (64 or 128)."""
+        mode = CampMode(mode) if not isinstance(mode, CampMode) else mode
+        return mode.tile_m * mode.tile_n * mode.k_depth

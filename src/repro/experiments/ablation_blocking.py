@@ -1,0 +1,67 @@
+"""Ablation: GotoBLAS blocking-parameter sensitivity.
+
+DESIGN.md calls out the cache-derived blocking constants as a design
+choice; this ablation sweeps ``kc`` (the reduction block that sizes
+the L1-resident panels) and shows the cost of mis-sizing it for both
+the CAMP kernel and the FP32 baseline.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.gemm.api import resolve_machine
+from repro.gemm.blocking import BlockingParams, default_blocking
+from repro.gemm.goto import GotoBlasDriver
+from repro.gemm.microkernel import get_kernel
+
+
+@dataclass
+class BlockingPoint:
+    method: str
+    kc: int
+    cycles: float
+    relative: float  # vs the default blocking
+
+
+def run(fast=False, size=None, methods=("camp8", "openblas-fp32")):
+    if size is None:
+        size = 128 if fast else 512
+    kc_values = (64, 256) if fast else (32, 64, 128, 256, 512)
+    rows = []
+    for method in methods:
+        config = resolve_machine("a64fx", method)
+        kernel = get_kernel(method, vector_length_bits=config.vector_length_bits)
+        base_blocking = default_blocking(
+            config, kernel.dtype, kernel.m_r, kernel.n_r, kernel.k_step
+        )
+        baseline_cycles = GotoBlasDriver(kernel, config, base_blocking).analyze(
+            size, size, size
+        ).cycles
+        for kc in kc_values:
+            kc_eff = max(kernel.k_step, kc - kc % kernel.k_step)
+            blocking = BlockingParams(
+                m_r=base_blocking.m_r,
+                n_r=base_blocking.n_r,
+                mc=base_blocking.mc,
+                kc=kc_eff,
+                nc=base_blocking.nc,
+            )
+            driver = GotoBlasDriver(kernel, config, blocking)
+            cycles = driver.analyze(size, size, size).cycles
+            rows.append(
+                BlockingPoint(
+                    method=method,
+                    kc=kc_eff,
+                    cycles=cycles,
+                    relative=cycles / baseline_cycles,
+                )
+            )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Method", "kc", "Cycles", "vs default"],
+        [(r.method, r.kc, "%.3g" % r.cycles, "%.2fx" % r.relative) for r in rows],
+        title="Ablation: kc blocking sweep (square GEMM, A64FX)",
+    )

@@ -1,0 +1,63 @@
+"""Ablation: hybrid-multiplier building-block width.
+
+Section 3: "depending on design requirements ... the bit-width of the
+building block can be adjusted". The block width trades recombination
+adders (smaller blocks: more levels) against sub-byte flexibility
+(a b-bit block caps the narrowest supported operand at b bits). We
+sweep block widths and report gates, area on both nodes, and the
+per-lane multiplier counts each operand width would get.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.hybrid_multiplier import HybridMultiplier
+from repro.experiments.report import format_table
+from repro.physical.area import camp_unit_gates
+from repro.physical.technology import GF22FDX, TSMC7
+
+
+@dataclass
+class BlockPoint:
+    block_bits: int
+    gates_per_multiplier: int
+    unit_gates_512: int
+    area_7nm_mm2: float
+    area_22nm_mm2: float
+    min_operand_bits: int
+    sub_multipliers_4bit: int  # 4-bit multipliers per 8-bit unit
+
+
+def run(fast=False):
+    block_widths = (4,) if fast else (2, 4, 8)
+    rows = []
+    for block_bits in block_widths:
+        multiplier = HybridMultiplier(width_bits=8, block_bits=block_bits)
+        gates_512 = camp_unit_gates(512, block_bits=block_bits)
+        gates_128 = camp_unit_gates(128, block_bits=block_bits)
+        sub4 = multiplier.sub_multipliers(4) if block_bits <= 4 else 0
+        rows.append(
+            BlockPoint(
+                block_bits=block_bits,
+                gates_per_multiplier=multiplier.gate_estimate(),
+                unit_gates_512=gates_512,
+                area_7nm_mm2=gates_512 / TSMC7.gate_density_mm2,
+                area_22nm_mm2=gates_128 / GF22FDX.gate_density_mm2,
+                min_operand_bits=block_bits,
+                sub_multipliers_4bit=sub4,
+            )
+        )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Block bits", "Gates/mult", "Unit gates", "7nm mm2", "22nm mm2",
+         "Min width", "4b mults/unit"],
+        [
+            (r.block_bits, r.gates_per_multiplier, r.unit_gates_512,
+             "%.4f" % r.area_7nm_mm2, "%.4f" % r.area_22nm_mm2,
+             r.min_operand_bits, r.sub_multipliers_4bit)
+            for r in rows
+        ],
+        title="Ablation: hybrid-multiplier building-block width",
+    )

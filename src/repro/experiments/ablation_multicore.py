@@ -1,0 +1,54 @@
+"""Ablation: multi-core scaling (the A64FX platform has 16 cores).
+
+CAMP turns GEMM from compute-bound to memory-bound; scaling it across
+cores therefore saturates shared DRAM much earlier than the FP32
+baseline does. This study quantifies where each method's scaling
+bends — context for the single-core speedups of Figures 13/14.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import driver_for
+from repro.gemm.multicore import scaling_curve
+
+
+@dataclass
+class ScalingRow:
+    method: str
+    cores: int
+    speedup: float
+    efficiency: float
+    dram_limited: bool
+
+
+def run(fast=False, size=None, methods=("camp8", "openblas-fp32")):
+    if size is None:
+        size = 256 if fast else 1024
+    core_counts = (1, 4, 16) if fast else (1, 2, 4, 8, 16)
+    rows = []
+    for method in methods:
+        driver = driver_for(method, "a64fx")
+        for point in scaling_curve(driver, size, size, size, core_counts):
+            rows.append(
+                ScalingRow(
+                    method=method,
+                    cores=point.cores,
+                    speedup=point.speedup,
+                    efficiency=point.efficiency,
+                    dram_limited=point.dram_limited,
+                )
+            )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Method", "Cores", "Speedup", "Efficiency", "DRAM-limited"],
+        [
+            (r.method, r.cores, "%.1fx" % r.speedup, "%.2f" % r.efficiency,
+             "yes" if r.dram_limited else "no")
+            for r in rows
+        ],
+        title="Ablation: multi-core scaling (N-panel partitioning)",
+    )

@@ -1,0 +1,60 @@
+"""Ablation: vector length scaling of the camp instruction.
+
+The instruction is vector-length agnostic (K-slice = VL / 32 for int8)
+and the hybrid-multiplier array grows linearly with lanes. This sweep
+shows throughput scaling across register widths — the "future vector
+extensions" direction of the paper's conclusion.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.experiments.report import format_table
+from repro.gemm.goto import GotoBlasDriver
+from repro.gemm.microkernel import get_kernel
+from repro.physical.area import camp_unit_gates
+from repro.simulator.config import a64fx_config
+
+
+@dataclass
+class VlPoint:
+    vector_length_bits: int
+    method: str
+    macs_per_instruction: int
+    gops: float
+    gates: int
+
+
+def run(fast=False, size=None, methods=("camp8", "camp4")):
+    if size is None:
+        size = 128 if fast else 256
+    widths = (128, 512) if fast else (128, 256, 512, 1024)
+    rows = []
+    for vl in widths:
+        config = replace(a64fx_config(camp_enabled=True),
+                         name="a64fx-vl%d" % vl, vector_length_bits=vl)
+        for method in methods:
+            kernel = get_kernel(method, vector_length_bits=vl)
+            driver = GotoBlasDriver(kernel, config)
+            execution = driver.analyze(size, size, size)
+            rows.append(
+                VlPoint(
+                    vector_length_bits=vl,
+                    method=method,
+                    macs_per_instruction=kernel.m_r * kernel.n_r * kernel.k_step,
+                    gops=execution.gops,
+                    gates=camp_unit_gates(vl),
+                )
+            )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["VL bits", "Method", "MACs/camp", "GOPS", "Unit gates"],
+        [
+            (r.vector_length_bits, r.method, r.macs_per_instruction,
+             "%.0f" % r.gops, r.gates)
+            for r in rows
+        ],
+        title="Ablation: vector-length scaling of CAMP",
+    )

@@ -1,0 +1,68 @@
+"""Section 6.1 / Figure 11: physical design of the CAMP block.
+
+Paper values: 0.027263 mm^2 at TSMC 7nm = 1% of an A64FX core;
+0.0782 mm^2 at GF 22nm FDX = 4% of the Sargantana SoC. Also the
+peak-power statement: +0.6% of chip power at full MAC rate.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.physical.area import camp_area_report
+from repro.physical.energy import EnergyModel
+from repro.physical.technology import A64FX_CHIP_PEAK_W, TSMC7
+
+PAPER = {
+    "a64fx": {"area_mm2": 0.027263, "overhead": 0.01},
+    "sargantana": {"area_mm2": 0.0782, "overhead": 0.04},
+    "peak_power_increase": 0.006,
+}
+
+
+@dataclass
+class AreaRow:
+    platform: str
+    gates: int
+    area_mm2: float
+    overhead: float
+    paper_area_mm2: float
+    paper_overhead: float
+
+
+def run(fast=False):
+    rows = []
+    for platform in ("a64fx", "sargantana"):
+        report = camp_area_report(platform)
+        rows.append(
+            AreaRow(
+                platform=platform,
+                gates=report.gates,
+                area_mm2=report.area_mm2,
+                overhead=report.overhead_fraction,
+                paper_area_mm2=PAPER[platform]["area_mm2"],
+                paper_overhead=PAPER[platform]["overhead"],
+            )
+        )
+    return rows
+
+
+def peak_power_increase():
+    """CAMP peak power relative to the A64FX chip envelope."""
+    model = EnergyModel(TSMC7)
+    return model.camp_peak_power_w(512) / A64FX_CHIP_PEAK_W
+
+
+def format_results(rows):
+    body = [
+        (r.platform, r.gates, "%.5f" % r.area_mm2, "%.2f%%" % (100 * r.overhead),
+         "%.5f" % r.paper_area_mm2, "%.0f%%" % (100 * r.paper_overhead))
+        for r in rows
+    ]
+    table = format_table(
+        ["Platform", "Gates", "Area mm2", "Overhead", "Paper mm2", "Paper %"],
+        body,
+        title="Section 6.1: CAMP physical design",
+    )
+    return table + "\npeak power increase: %.2f%% (paper: 0.6%%)" % (
+        100 * peak_power_increase()
+    )

@@ -1,0 +1,56 @@
+"""Figure 12: RISC-V SMM speedup and instruction reduction vs BLIS-int32.
+
+Paper shape: speedup grows with matrix size to roughly 20-25x, 4-bit
+and 8-bit tracking each other linearly (no pack/unpack overhead);
+instruction reduction reaches ~15x (8-bit) / ~30x (4-bit) and the
+overall cycle win is ~24x at the top end.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import RISCV_BASELINE, analyze_cached
+from repro.workloads.shapes import GemmShape
+
+PAPER_MAX_SPEEDUP = (20.0, 26.0)  # 8-bit, 4-bit ballpark at size ~500
+
+
+@dataclass
+class RiscvSmmRow:
+    size: int
+    speedup_8bit: float
+    speedup_4bit: float
+    inst_reduction_8bit: float
+    inst_reduction_4bit: float
+
+
+def run(fast=False):
+    sizes = (64, 256) if fast else (96, 160, 256, 384, 512)
+    rows = []
+    for size in sizes:
+        shape = GemmShape(size, size, size, label="smm-%d" % size)
+        base = analyze_cached(shape, RISCV_BASELINE, "sargantana")
+        camp8 = analyze_cached(shape, "camp8", "sargantana")
+        camp4 = analyze_cached(shape, "camp4", "sargantana")
+        rows.append(
+            RiscvSmmRow(
+                size=size,
+                speedup_8bit=base.cycles / camp8.cycles,
+                speedup_4bit=base.cycles / camp4.cycles,
+                inst_reduction_8bit=base.total_instructions / camp8.total_instructions,
+                inst_reduction_4bit=base.total_instructions / camp4.total_instructions,
+            )
+        )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Size", "Speedup 8b", "Speedup 4b", "Inst-reduc 8b", "Inst-reduc 4b"],
+        [
+            (r.size, "%.1fx" % r.speedup_8bit, "%.1fx" % r.speedup_4bit,
+             "%.1fx" % r.inst_reduction_8bit, "%.1fx" % r.inst_reduction_4bit)
+            for r in rows
+        ],
+        title="Figure 12: edge RISC-V SMM vs BLIS-int32 baseline",
+    )

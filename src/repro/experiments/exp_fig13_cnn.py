@@ -1,0 +1,80 @@
+"""Figure 13: per-layer CNN speedup and instruction count on A64FX.
+
+Paper shape: CAMP-4bit up to 16x/11x/16x/17x on AlexNet / MobileNet /
+ResNet / VGG vs OpenBLAS (and 8x/5x/10x/11x vs gemmlowp); handv-int8
+averages ~2.5x; normalized instruction counts drop ~2x for CAMP.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    A64FX_BASELINE,
+    A64FX_METHODS,
+    geometric_mean,
+    speedup_rows,
+)
+from repro.workloads.shapes import CNN_LAYERS
+
+PAPER_CAMP4_MAX = {"alexnet": 16, "mobilenet": 11, "resnet": 16, "vgg": 17}
+
+
+@dataclass
+class CnnRow:
+    network: str
+    layer: int
+    results: Dict[str, dict]  # method -> {speedup, ic_ratio, execution}
+
+
+def run(fast=False, networks=None):
+    if networks is None:
+        networks = ("alexnet",) if fast else tuple(CNN_LAYERS)
+    methods = [m for m in A64FX_METHODS]
+    rows = []
+    for network in networks:
+        layers = CNN_LAYERS[network][:2] if fast else CNN_LAYERS[network]
+        for index, data in enumerate(
+            speedup_rows(layers, methods, "a64fx", A64FX_BASELINE), start=1
+        ):
+            rows.append(CnnRow(network=network, layer=index, results=data))
+    return rows
+
+
+def average_speedups(rows):
+    """Per-network, per-method geometric-mean speedups (the Avg bars)."""
+    averages = {}
+    networks = sorted({r.network for r in rows})
+    for network in networks:
+        averages[network] = {}
+        for method in A64FX_METHODS:
+            averages[network][method] = geometric_mean(
+                r.results[method]["speedup"] for r in rows if r.network == network
+            )
+    return averages
+
+
+def format_results(rows):
+    body = []
+    for row in rows:
+        body.append(
+            [row.network, row.layer]
+            + ["%.2fx" % row.results[m]["speedup"] for m in A64FX_METHODS]
+        )
+    table = format_table(
+        ["Network", "Layer"] + list(A64FX_METHODS),
+        body,
+        title="Figure 13: CNN layer speedup vs OpenBLAS (A64FX)",
+    )
+    ic_body = []
+    for row in rows:
+        ic_body.append(
+            [row.network, row.layer]
+            + ["%.2f" % row.results[m]["ic_ratio"] for m in A64FX_METHODS]
+        )
+    ic_table = format_table(
+        ["Network", "Layer"] + list(A64FX_METHODS),
+        ic_body,
+        title="Figure 13 (lower): normalized instruction count",
+    )
+    return table + "\n\n" + ic_table

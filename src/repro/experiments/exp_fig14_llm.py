@@ -1,0 +1,63 @@
+"""Figure 14: LLM feed-forward / self-attention GEMMs on A64FX.
+
+Paper shape: CAMP-4bit reaches up to 15x over OpenBLAS across BERT
+base/large, GPT-2 large and GPT-3 small layers, with instruction
+counts cut roughly in half.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    A64FX_BASELINE,
+    A64FX_METHODS,
+    speedup_rows,
+)
+from repro.workloads.shapes import LLM_LAYERS
+
+PAPER_CAMP4_MAX = 15.0
+
+
+@dataclass
+class LlmRow:
+    model: str
+    layer: str  # "ff" or "sa"
+    results: Dict[str, dict]
+
+
+def run(fast=False, models=None):
+    if models is None:
+        models = ("bert-base",) if fast else tuple(LLM_LAYERS)
+    rows = []
+    for model in models:
+        for kind in ("ff", "sa"):
+            shape = LLM_LAYERS[model][kind]
+            data = speedup_rows([shape], A64FX_METHODS, "a64fx", A64FX_BASELINE)[0]
+            rows.append(LlmRow(model=model, layer=kind, results=data))
+    return rows
+
+
+def format_results(rows):
+    body = []
+    for row in rows:
+        body.append(
+            [row.model, row.layer.upper()]
+            + ["%.2fx" % row.results[m]["speedup"] for m in A64FX_METHODS]
+        )
+    table = format_table(
+        ["Model", "Layer"] + list(A64FX_METHODS),
+        body,
+        title="Figure 14: LLM layer speedup vs OpenBLAS (A64FX)",
+    )
+    ic_body = []
+    for row in rows:
+        ic_body.append(
+            [row.model, row.layer.upper()]
+            + ["%.2f" % row.results[m]["ic_ratio"] for m in A64FX_METHODS]
+        )
+    return table + "\n\n" + format_table(
+        ["Model", "Layer"] + list(A64FX_METHODS),
+        ic_body,
+        title="Figure 14 (lower): normalized instruction count",
+    )

@@ -1,0 +1,67 @@
+"""Figure 16: normalized energy of CAMP vs the A64FX baseline.
+
+Paper shape: CAMP implementations consume 10-30% of the baseline
+energy (>80% reduction claimed in the text; the figure's bars sit
+between roughly 10% and 30%, with 4-bit below 8-bit).
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import analyze_cached
+from repro.isa.dtypes import DType
+from repro.physical.energy import EnergyModel
+from repro.physical.technology import TSMC7
+from repro.workloads.shapes import CNN_LAYERS, LLM_LAYERS, GemmShape
+
+PAPER_RANGE = (0.05, 0.35)
+
+_BENCHMARKS = {
+    "smm": GemmShape(512, 512, 512, label="smm-512"),
+    "alexnet": CNN_LAYERS["alexnet"][1],
+    "mobilenet": CNN_LAYERS["mobilenet"][3],
+    "resnet": CNN_LAYERS["resnet"][2],
+    "vgg": CNN_LAYERS["vgg"][3],
+    "bert-b": LLM_LAYERS["bert-base"]["ff"],
+    "bert-l": LLM_LAYERS["bert-large"]["ff"],
+    "gpt2-l": LLM_LAYERS["gpt2-large"]["sa"],
+    "gpt3-s": LLM_LAYERS["gpt3-small"]["sa"],
+}
+
+
+@dataclass
+class EnergyRow:
+    benchmark: str
+    camp8_fraction: float
+    camp4_fraction: float
+
+
+def run(fast=False):
+    names = ("smm", "alexnet") if fast else tuple(_BENCHMARKS)
+    model = EnergyModel(TSMC7)
+    rows = []
+    for name in names:
+        shape = _BENCHMARKS[name]
+        baseline = analyze_cached(shape, "openblas-fp32", "a64fx")
+        base_j = model.execution_energy(baseline, DType.FP32).total_j
+        camp8 = analyze_cached(shape, "camp8", "a64fx")
+        camp4 = analyze_cached(shape, "camp4", "a64fx")
+        rows.append(
+            EnergyRow(
+                benchmark=name,
+                camp8_fraction=model.execution_energy(camp8, DType.INT8).total_j / base_j,
+                camp4_fraction=model.execution_energy(camp4, DType.INT4).total_j / base_j,
+            )
+        )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Benchmark", "8-bit CAMP energy %", "4-bit CAMP energy %"],
+        [
+            (r.benchmark, 100 * r.camp8_fraction, 100 * r.camp4_fraction)
+            for r in rows
+        ],
+        title="Figure 16: energy relative to A64FX baseline (100%)",
+    )

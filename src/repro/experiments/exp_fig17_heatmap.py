@@ -1,0 +1,78 @@
+"""Figure 17: CAMP's vector instruction usage vs handv-int8 / gemmlowp.
+
+Paper shape: CAMP needs a small fraction of the baselines' vector
+instructions — reads ~27-48% of handv-int8's, writes ~20-47%, ALU ops
+~18-36%; vs gemmlowp everything sits lower still (9-32%). Lower is
+better throughout.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import analyze_cached
+from repro.workloads.shapes import CNN_LAYERS, LLM_LAYERS, GemmShape
+
+_BENCHMARKS = {
+    "alexnet": CNN_LAYERS["alexnet"][1],
+    "smm": GemmShape(512, 512, 512, label="smm-512"),
+    "mobilenet": CNN_LAYERS["mobilenet"][3],
+    "resnet": CNN_LAYERS["resnet"][2],
+    "vgg": CNN_LAYERS["vgg"][3],
+    "bert-b-ff": LLM_LAYERS["bert-base"]["ff"],
+    "bert-b-sa": LLM_LAYERS["bert-base"]["sa"],
+    "bert-l-ff": LLM_LAYERS["bert-large"]["ff"],
+    "bert-l-sa": LLM_LAYERS["bert-large"]["sa"],
+    "gpt2-l-ff": LLM_LAYERS["gpt2-large"]["ff"],
+    "gpt2-l-sa": LLM_LAYERS["gpt2-large"]["sa"],
+    "gpt3-s-ff": LLM_LAYERS["gpt3-small"]["ff"],
+    "gpt3-s-sa": LLM_LAYERS["gpt3-small"]["sa"],
+}
+
+BASELINES = ("handv-int8", "gemmlowp")
+CATEGORIES = ("read", "write", "alu")
+
+
+@dataclass
+class HeatmapRow:
+    benchmark: str
+    #: {(baseline, category): camp_count / baseline_count}
+    fractions: Dict[tuple, float]
+
+
+def run(fast=False, camp_method="camp8"):
+    names = ("smm", "alexnet") if fast else tuple(_BENCHMARKS)
+    rows = []
+    for name in names:
+        shape = _BENCHMARKS[name]
+        camp_mix = analyze_cached(shape, camp_method, "a64fx").vector_mix
+        fractions = {}
+        for baseline in BASELINES:
+            base_mix = analyze_cached(shape, baseline, "a64fx").vector_mix
+            for category in CATEGORIES:
+                denom = base_mix.get(category, 0)
+                fractions[(baseline, category)] = (
+                    camp_mix.get(category, 0) / denom if denom else float("inf")
+                )
+        rows.append(HeatmapRow(benchmark=name, fractions=fractions))
+    return rows
+
+
+def format_results(rows):
+    headers = ["Benchmark"] + [
+        "%s-%s" % (cat[0].upper(), base.replace("handv-", "hndv"))
+        for base in BASELINES
+        for cat in CATEGORIES
+    ]
+    body = []
+    for row in rows:
+        cells = [row.benchmark]
+        for base in BASELINES:
+            for cat in CATEGORIES:
+                cells.append("%.1f%%" % (100 * row.fractions[(base, cat)]))
+        body.append(cells)
+    return format_table(
+        headers,
+        body,
+        title="Figure 17: CAMP vector instructions as % of baseline (lower is better)",
+    )

@@ -1,0 +1,85 @@
+"""Figure 1: L1 cache miss rate, naive MATMUL vs ulmBLAS blocking.
+
+Paper shape: naive 23-36% across square sizes 128-1024 and ResNet
+layers; blocked (ulmBLAS) under 5%. We replay element-granular address
+streams of both algorithms through the A64FX-like L1 (64KB, 8-way,
+256B lines). Elements are 8 bytes: ulmBLAS, like reference BLAS, runs
+double-precision GEMM, and the 8-byte working set is what pushes even
+the 128x128 problem past L1. Large problems are sampled by stream
+prefix — the miss rate is steady-state (validated against full runs
+on small sizes in the tests).
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.gemm.blocking import BlockingParams
+from repro.gemm.naive import naive_address_stream
+from repro.gemm.traces import blocked_address_stream, miss_rate_of
+from repro.isa.dtypes import DType
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.shapes import CNN_LAYERS, GemmShape
+
+PAPER_NAIVE_RANGE = (0.20, 0.40)
+PAPER_BLOCKED_MAX = 0.05
+
+SMM_SIZES = (128, 256, 512, 1024)
+RESNET_LAYERS = 7  # the paper plots Res-L1 .. Res-L7
+
+_BLOCKING = BlockingParams(m_r=4, n_r=16, mc=128, kc=256, nc=1024)
+
+
+def _hierarchy():
+    # L1-only replay: Figure 1 reports the L1 miss rate
+    return MemoryHierarchy.from_configs(
+        [CacheConfig("l1", 64 * 1024, 256, 8, load_to_use=4)],
+        Dram(),
+        prefetch=False,
+    )
+
+
+@dataclass
+class CacheMissRow:
+    label: str
+    naive_miss_rate: float
+    blocked_miss_rate: float
+
+
+def _shapes(fast):
+    shapes = [GemmShape(s, s, s, label="S-%d" % s) for s in SMM_SIZES]
+    shapes += CNN_LAYERS["resnet"][:RESNET_LAYERS]
+    if fast:
+        shapes = shapes[:2] + shapes[4:6]
+    return shapes
+
+
+def run(fast=False, max_accesses=None):
+    if max_accesses is None:
+        max_accesses = 120_000 if fast else 400_000
+    rows = []
+    for shape in _shapes(fast):
+        naive = miss_rate_of(
+            naive_address_stream(
+                shape.m, shape.n, shape.k, DType.INT64, max_accesses=max_accesses
+            ),
+            _hierarchy(),
+        )
+        blocked = miss_rate_of(
+            blocked_address_stream(
+                shape.m, shape.n, shape.k, _BLOCKING, DType.INT64,
+                max_accesses=max_accesses,
+            ),
+            _hierarchy(),
+        )
+        rows.append(CacheMissRow(shape.label, naive, blocked))
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Workload", "Naive CMR %", "ulmBLAS CMR %"],
+        [(r.label, 100 * r.naive_miss_rate, 100 * r.blocked_miss_rate) for r in rows],
+        title="Figure 1: L1 cache miss rate, naive vs blocked GEMM",
+    )

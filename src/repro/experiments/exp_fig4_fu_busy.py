@@ -1,0 +1,52 @@
+"""Figure 4: functional-unit busy rate of baseline int8 GEMM libraries.
+
+Paper shape: running gemmlowp / ulmBLAS quantized GEMM on the A64FX
+keeps the vector arithmetic units >90% busy across operation counts —
+the "inadequate number of functional units" motivation. We sweep
+workloads of growing MAC count and report the arithmetic busy rate of
+the baseline (no-CAMP) machine.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import analyze_cached, driver_for
+from repro.workloads.shapes import GemmShape, smm_shapes
+
+PAPER_MIN_BUSY = 0.9
+
+METHODS = ("gemmlowp", "handv-int32")
+
+
+@dataclass
+class BusyRow:
+    shape: GemmShape
+    method: str
+    busy_rate: float
+    macs: int
+
+
+def run(fast=False):
+    sizes = (64, 128) if fast else (64, 128, 256, 512, 1024)
+    rows = []
+    for shape in smm_shapes(sizes):
+        for method in METHODS:
+            execution = analyze_cached(shape, method, "a64fx")
+            config = driver_for(method, "a64fx").config
+            rows.append(
+                BusyRow(
+                    shape=shape,
+                    method=method,
+                    busy_rate=execution.stats.arithmetic_busy_rate(config),
+                    macs=shape.macs,
+                )
+            )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Workload", "Method", "MACs", "FU busy rate"],
+        [(r.shape.label, r.method, r.macs, r.busy_rate) for r in rows],
+        title="Figure 4: baseline functional-unit busy rate (A64FX, no CAMP)",
+    )

@@ -1,0 +1,34 @@
+"""Figure 7: accuracy vs weight/input bit-width.
+
+Paper shape (from the survey the paper cites): accuracy is flat down
+to 4-bit weights/inputs and collapses below — the justification for
+the 4-bit hybrid-multiplier building block. Reproduced with a
+numpy-trained MLP on a synthetic classification task, post-training
+quantized at every (weight bits, input bits) pair.
+"""
+
+from repro.experiments.report import format_table
+from repro.quant.accuracy import sweep_accuracy
+
+
+def run(fast=False, seed=7):
+    bit_widths = (2, 4, 8) if fast else (2, 3, 4, 5, 6, 7, 8)
+    n_samples = 1200 if fast else 2400
+    return sweep_accuracy(bit_widths=bit_widths, seed=seed, n_samples=n_samples)
+
+
+def format_results(surface):
+    bit_widths = sorted({w for w, _ in surface.grid})
+    rows = []
+    for weight_bits in bit_widths:
+        rows.append(
+            ["w=%d" % weight_bits]
+            + ["%.3f" % surface.grid[(weight_bits, i)] for i in bit_widths]
+        )
+    table = format_table(
+        ["weight \\ input"] + ["i=%d" % i for i in bit_widths],
+        rows,
+        title="Figure 7: top-1 accuracy vs quantization bit-widths "
+        "(float acc %.3f)" % surface.float_accuracy,
+    )
+    return table

@@ -1,0 +1,71 @@
+"""Table 1: Int8/Int4 speedup over FP32 for 512x512 matrices.
+
+Paper values: ARMv8+SVE/CAMP — 7.4x (int8), 12.4x (int4);
+RISC-V/CAMP — 14.1x (int8), 25.1x (int4). The first three rows of the
+paper's table (plain SVE, SME on Apple M4, AVX+IFMA on Sapphire
+Rapids) are published measurements of other people's silicon; we carry
+them as context constants.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import analyze_cached
+from repro.workloads.shapes import GemmShape
+
+#: context rows from the paper (hardware we do not model)
+PAPER_CONTEXT = (
+    ("ARMv8+SVE", None, None),
+    ("ARMv9+SME", 2.0, None),
+    ("IntelAVX+IFMA", 4.5, None),
+)
+
+PAPER_CAMP = {
+    ("a64fx", "int8"): 7.4,
+    ("a64fx", "int4"): 12.4,
+    ("sargantana", "int8"): 14.1,
+    ("sargantana", "int4"): 25.1,
+}
+
+SIZE = 512
+
+
+@dataclass
+class Table1Row:
+    architecture: str
+    int8_speedup: float
+    int4_speedup: float
+    paper_int8: float
+    paper_int4: float
+
+
+def run(fast=False):
+    size = 128 if fast else SIZE
+    shape = GemmShape(size, size, size, label="smm-%d" % size)
+    rows = []
+    for machine, label in (("a64fx", "ARMv8+SVE/CAMP"), ("sargantana", "RISC-V/CAMP")):
+        baseline = analyze_cached(shape, "openblas-fp32", machine)
+        camp8 = analyze_cached(shape, "camp8", machine)
+        camp4 = analyze_cached(shape, "camp4", machine)
+        rows.append(
+            Table1Row(
+                architecture=label,
+                int8_speedup=baseline.cycles / camp8.cycles,
+                int4_speedup=baseline.cycles / camp4.cycles,
+                paper_int8=PAPER_CAMP[(machine, "int8")],
+                paper_int4=PAPER_CAMP[(machine, "int4")],
+            )
+        )
+    return rows
+
+
+def format_results(rows):
+    return format_table(
+        ["Architecture", "Int8 (ours)", "Int4 (ours)", "Int8 (paper)", "Int4 (paper)"],
+        [
+            (r.architecture, "%.1fx" % r.int8_speedup, "%.1fx" % r.int4_speedup,
+             "%.1fx" % r.paper_int8, "%.1fx" % r.paper_int4)
+            for r in rows
+        ],
+        title="Table 1: quantized speedup over FP32 (512x512 SMM)",
+    )

@@ -1,0 +1,92 @@
+"""Table 4 + Section 6.2 text: edge SoC throughput and efficiency.
+
+Paper values for "This work" (RV64, 1 GHz, GF 22nm, 0.0782 mm^2):
+12.6-21.7 GOPS on the reference convolution and 0.2-0.3 TOPS/W; the
+Section 6.2 text adds 16 / 28 GOPS for SMM and 270 / 405 GOPS/W.
+Prior-work rows are published numbers carried as constants.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import analyze_cached
+from repro.isa.dtypes import DType
+from repro.physical.area import camp_area_report
+from repro.physical.energy import EnergyModel
+from repro.physical.technology import GF22FDX
+from repro.workloads.shapes import GemmShape, edge_conv_shape
+
+#: published comparison rows: (work, data widths, freq GHz, tech nm,
+#: area mm2, GOPS range, TOPS/W range)
+RELATED_WORK = (
+    ("PULP-NN [25]", "8b/4b/2b", 0.17, None, None, (0.2, 0.6), None),
+    ("Bruschi+ [13]", "8b/4b/2b", 0.17, None, None, (2.4, 6.1), None),
+    ("Ottavi+ [46]", "8b/4b/2b", 0.25, 22, 0.002, (1.1, 3.3), (0.2, 0.6)),
+    ("XpulpNN [26]", "8b/4b/2b", 0.6, 22, 0.32, (19.8, 47.9), (0.7, 1.1)),
+    ("Mix-GEMM [51]", "8b-2b", 1.2, 22, 0.0136, (4.2, 7.9), (0.4, 0.8)),
+)
+
+PAPER_THIS_WORK = {
+    "gops_range": (12.6, 21.7),
+    "tops_w_range": (0.2, 0.3),
+    "smm_gops": (16.0, 28.0),
+    "smm_gops_w": (270.0, 405.0),
+}
+
+
+@dataclass
+class EdgeMetrics:
+    workload: str
+    gops_8bit: float
+    gops_4bit: float
+    gops_w_8bit: float
+    gops_w_4bit: float
+    area_mm2: float
+
+
+def run(fast=False):
+    model = EnergyModel(GF22FDX)
+    area = camp_area_report("sargantana").area_mm2
+    conv = edge_conv_shape()
+    smm_size = 128 if fast else 512
+    workloads = {
+        "conv": conv,
+        "smm": GemmShape(smm_size, smm_size, smm_size, label="smm"),
+    }
+    rows = []
+    for name, shape in workloads.items():
+        e8 = analyze_cached(shape, "camp8", "sargantana")
+        e4 = analyze_cached(shape, "camp4", "sargantana")
+        rows.append(
+            EdgeMetrics(
+                workload=name,
+                gops_8bit=e8.gops,
+                gops_4bit=e4.gops,
+                gops_w_8bit=model.gops_per_watt(e8, DType.INT8),
+                gops_w_4bit=model.gops_per_watt(e4, DType.INT4),
+                area_mm2=area,
+            )
+        )
+    return rows
+
+
+def format_results(rows):
+    body = []
+    for work in RELATED_WORK:
+        name, widths, freq, tech, area, gops, topsw = work
+        body.append(
+            (name, widths, freq, tech or "-", area if area is not None else "-",
+             "%.1f-%.1f" % gops,
+             "%.1f-%.1f" % topsw if topsw else "-")
+        )
+    for r in rows:
+        body.append(
+            ("This work (%s)" % r.workload, "8b/4b", 1.0, 22, "%.4f" % r.area_mm2,
+             "%.1f-%.1f" % (r.gops_8bit, r.gops_4bit),
+             "%.2f-%.2f" % (r.gops_w_8bit / 1000, r.gops_w_4bit / 1000))
+        )
+    return format_table(
+        ["Work", "Widths", "GHz", "nm", "mm2", "GOPS", "TOPS/W"],
+        body,
+        title="Table 4: edge SoC comparison (prior rows are published numbers)",
+    )

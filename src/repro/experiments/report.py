@@ -1,0 +1,32 @@
+"""Plain-text table rendering for experiment outputs."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list of row tuples as an aligned ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell):
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return "%.0f" % cell
+        if abs(cell) >= 1:
+            return "%.2f" % cell
+        return "%.3f" % cell
+    return str(cell)

@@ -1,0 +1,66 @@
+"""Shared experiment infrastructure: cached drivers and sweeps."""
+
+from repro.gemm.api import make_driver
+
+#: the method set of Section 5.3 compared on the A64FX platform
+A64FX_METHODS = (
+    "camp4",
+    "camp8",
+    "handv-int8",
+    "gemmlowp",
+    "handv-int32",
+    "openblas-fp32",
+)
+A64FX_BASELINE = "openblas-fp32"
+
+RISCV_BASELINE = "blis-int32"
+
+_DRIVERS = {}
+
+
+def driver_for(method, machine="a64fx"):
+    """Cached driver per (method, machine): micro-kernel simulations are
+    shape-independent, so one driver serves a whole sweep."""
+    key = (method, machine)
+    if key not in _DRIVERS:
+        _DRIVERS[key] = make_driver(method, machine)
+    return _DRIVERS[key]
+
+
+def analyze_cached(shape, method, machine="a64fx"):
+    """Analyze one GemmShape through the cached driver."""
+    return driver_for(method, machine).analyze(shape.m, shape.n, shape.k)
+
+
+def speedup_rows(shapes, methods, machine, baseline):
+    """Per-shape speedup and instruction-count ratios vs a baseline.
+
+    Returns a list of dicts: ``{"shape", "baseline", method: {"speedup",
+    "ic_ratio", "execution"}}``.
+    """
+    rows = []
+    for shape in shapes:
+        base = analyze_cached(shape, baseline, machine)
+        row = {"shape": shape, "baseline": base}
+        for method in methods:
+            if method == baseline:
+                execution = base
+            else:
+                execution = analyze_cached(shape, method, machine)
+            row[method] = {
+                "speedup": base.cycles / execution.cycles,
+                "ic_ratio": execution.total_instructions / base.total_instructions,
+                "execution": execution,
+            }
+        rows.append(row)
+    return rows
+
+
+def geometric_mean(values):
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

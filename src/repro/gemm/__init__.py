@@ -1,0 +1,32 @@
+"""GotoBLAS-style blocked GEMM with pluggable micro-kernels.
+
+The paper integrates CAMP into the ulmBLAS (GotoBLAS-structured) GEMM;
+this package implements that structure — five loops around a
+micro-kernel with A/B panel packing — plus the full set of micro-kernels
+the evaluation compares (Section 5.3):
+
+- ``camp8`` / ``camp4`` — this work,
+- ``handv-int32`` / ``handv-int8`` — hand-vectorized ulmBLAS,
+- ``gemmlowp`` — Google's low-precision GEMM strategy,
+- ``openblas-fp32`` — optimized SGEMM baseline,
+- ``blis-int32`` — the edge RISC-V baseline,
+- ``mmla`` — ARMv8.6 matrix multiply-accumulate.
+"""
+
+from repro.gemm.blocking import BlockingParams, default_blocking
+from repro.gemm.microkernel import MicroKernel, get_kernel, kernel_names
+from repro.gemm.goto import GotoBlasDriver, GemmExecution
+from repro.gemm.api import GemmResult, analyze, gemm
+
+__all__ = [
+    "BlockingParams",
+    "default_blocking",
+    "MicroKernel",
+    "get_kernel",
+    "kernel_names",
+    "GotoBlasDriver",
+    "GemmExecution",
+    "GemmResult",
+    "analyze",
+    "gemm",
+]

@@ -1,0 +1,123 @@
+"""Public GEMM API.
+
+``gemm(a, b, method=...)`` computes a blocked GEMM with a chosen
+micro-kernel and returns both the numeric result and the performance
+analysis; ``analyze(m, n, k, method=...)`` is the shape-only timing
+path the experiments use.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.gemm.kernels  # noqa: F401  (populates the registry)
+from repro.gemm.goto import GemmExecution, GotoBlasDriver
+from repro.gemm.microkernel import get_kernel
+from repro.isa.instructions import FUClass
+from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
+
+_MACHINES = {
+    "a64fx": a64fx_config,
+    "sargantana": sargantana_config,
+}
+
+#: kernels that need the MATRIX functional unit
+_MATRIX_KERNELS = {"camp8", "camp4", "camp8-requant", "mmla"}
+
+
+def resolve_machine(machine, method):
+    """Turn a machine name/config into a config with the right FUs."""
+    needs_matrix = method in _MATRIX_KERNELS
+    if isinstance(machine, MachineConfig):
+        if needs_matrix and not machine.units_of(FUClass.MATRIX):
+            raise ValueError(
+                "kernel %r needs a matrix unit but machine %r has none"
+                % (method, machine.name)
+            )
+        return machine
+    if machine is None:
+        machine = "a64fx"
+    try:
+        factory = _MACHINES[machine]
+    except KeyError:
+        raise KeyError(
+            "unknown machine %r; available: %s" % (machine, ", ".join(sorted(_MACHINES)))
+        ) from None
+    return factory(camp_enabled=needs_matrix)
+
+
+def make_driver(method, machine=None, blocking=None):
+    """Build a :class:`GotoBlasDriver` for a method/machine pair."""
+    config = resolve_machine(machine, method)
+    kernel = get_kernel(method, vector_length_bits=config.vector_length_bits)
+    return GotoBlasDriver(kernel, config, blocking=blocking)
+
+
+@dataclass
+class GemmResult:
+    """Numeric result + performance analysis of one ``gemm`` call."""
+
+    c: np.ndarray
+    execution: GemmExecution
+
+    @property
+    def cycles(self):
+        return self.execution.cycles
+
+    @property
+    def gops(self):
+        return self.execution.gops
+
+
+def gemm(a, b, method="camp8", machine=None, blocking=None):
+    """Blocked matrix multiplication ``a @ b`` with full analysis.
+
+    Parameters
+    ----------
+    a, b:
+        Integer (or float, for fp32 methods) matrices of shapes (m, k)
+        and (k, n). Values must fit the method's operand type (int8 in
+        [-128, 127], int4 in [-8, 7]).
+    method:
+        Micro-kernel name — one of :func:`repro.gemm.kernel_names`.
+    machine:
+        ``"a64fx"`` (default), ``"sargantana"``, or a
+        :class:`~repro.simulator.config.MachineConfig`.
+
+    Returns
+    -------
+    GemmResult
+        ``.c`` is the numeric product in the kernel's accumulator type
+        (note ``handv-int8`` wraps by design); ``.execution`` carries
+        cycles, instruction counts and derived metrics.
+    """
+    driver = make_driver(method, machine, blocking)
+    _check_operand_range(a, driver.kernel)
+    _check_operand_range(b, driver.kernel)
+    c = driver.compute(a, b)
+    execution = driver.analyze(a.shape[0], b.shape[1], a.shape[1])
+    return GemmResult(c=c, execution=execution)
+
+
+def analyze(m, n, k, method="camp8", machine=None, blocking=None):
+    """Shape-only performance analysis (no numeric computation)."""
+    driver = make_driver(method, machine, blocking)
+    return driver.analyze(m, n, k)
+
+
+def _check_operand_range(matrix, kernel):
+    dtype = kernel.dtype
+    if not dtype.is_integer:
+        return
+    matrix = np.asarray(matrix)
+    if not np.issubdtype(matrix.dtype, np.integer):
+        raise TypeError(
+            "kernel %r expects integer operands, got %s" % (kernel.name, matrix.dtype)
+        )
+    if matrix.size and (
+        matrix.min() < dtype.min_value or matrix.max() > dtype.max_value
+    ):
+        raise ValueError(
+            "operand values outside the %s range [%d, %d]"
+            % (dtype.value, dtype.min_value, dtype.max_value)
+        )

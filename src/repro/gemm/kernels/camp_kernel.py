@@ -1,0 +1,108 @@
+"""CAMP micro-kernels (Figure 9).
+
+The two innermost GotoBLAS loops disappear: each iteration loads one
+4x16 (int8) or 4x32 (int4) packed A slab and the matching B slab —
+64 bytes each, one full vector register — and issues a single ``camp``.
+The 4x4 int32 tile accumulates in the auxiliary register across the
+whole kc loop and is written out once.
+"""
+
+import numpy as np
+
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    MicroKernel,
+    exact_tile,
+    register_kernel,
+)
+from repro.isa.dtypes import DType
+
+
+class _CampKernelBase(MicroKernel):
+    acc_dtype = DType.INT32
+    m_r = 4
+    n_r = 4
+    unroll = 4
+    element_bits = 8
+
+    def _configure(self):
+        # a 4 x k_step panel fills one register: vector-length agnostic
+        self.k_step = self.vector_length_bits // (4 * self.element_bits)
+        # the edge RISC-V integration inlines un-unrolled assembly
+        # (Section 4.3), so narrow-SIMD builds pay loop overhead every
+        # iteration; the SVE intrinsics build unrolls by 4
+        self.unroll = 4 if self.vector_length_bits >= 256 else 1
+
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        self.validate_kc(kc)
+        a_reg = builder.vregs.alloc()
+        b_reg = builder.vregs.alloc()
+        acc = builder.aregs.alloc()
+        counter = builder.xregs.alloc()
+        builder.salu(counter, [], imm=kc)  # initialize the loop counter
+        builder.vzero(acc)
+        iterations = kc // self.k_step
+        step_bytes = self.vector_bytes  # one full register per operand per step
+        for it in range(iterations):
+            builder.vload(a_reg, a_addr + it * step_bytes, self.dtype, size=step_bytes)
+            builder.vload(b_reg, b_addr + it * step_bytes, self.dtype, size=step_bytes)
+            builder.camp(acc, a_reg, b_reg, self.dtype)
+            if (it + 1) % self.unroll == 0 or it + 1 == iterations:
+                # pointer bumps for A and B plus the loop back-edge
+                builder.salu(counter, [counter])
+                builder.salu(counter, [counter])
+                builder.loop_overhead(counter)
+        # the 4x4 int32 tile occupies 64 bytes: one register-sized move
+        # and store per chunk (one at VL=512, four at VL=128)
+        c_reg = builder.vregs.alloc()
+        tile_bytes = 64
+        chunk_bytes = min(tile_bytes, self.vector_bytes)
+        for index, off in enumerate(range(0, tile_bytes, chunk_bytes)):
+            builder.camp_store(c_reg, acc, chunk=index)
+            if first_k_block:
+                builder.vstore(c_reg, c_addr + off, DType.INT32, size=chunk_bytes)
+            else:
+                old = builder.vregs.alloc()
+                builder.vload(old, c_addr + off, DType.INT32, size=chunk_bytes)
+                builder.vadd(c_reg, c_reg, old, DType.INT32)
+                builder.vstore(c_reg, c_addr + off, DType.INT32, size=chunk_bytes)
+                builder.vregs.free(old)
+        for reg in (a_reg, b_reg, c_reg):
+            builder.vregs.free(reg)
+        builder.aregs.free(acc)
+        builder.xregs.free(counter)
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        a_panel = np.asarray(a_panel)
+        b_panel = np.asarray(b_panel)
+        if a_panel.shape[1] % self.k_step:
+            raise ValueError(
+                "%s needs K padded to a multiple of %d" % (self.name, self.k_step)
+            )
+        return exact_tile(a_panel, b_panel, acc, out_dtype=np.int32)
+
+
+@register_kernel
+class Camp8Kernel(_CampKernelBase):
+    """8-bit ``camp``: 4x16 @ 16x4 per instruction at VL=512 (256 MACs)."""
+
+    name = "camp8"
+    dtype = DType.INT8
+    element_bits = 8
+
+
+@register_kernel
+class Camp4Kernel(_CampKernelBase):
+    """4-bit ``camp``: 4x32 @ 32x4 per instruction at VL=512 (512 MACs).
+
+    Operands stay nibble-packed in memory; no pack/unpack instructions
+    are emitted — this is the linear 8-bit/4-bit relationship the paper
+    highlights for the RISC-V results (Figure 12).
+    """
+
+    name = "camp4"
+    dtype = DType.INT4
+    element_bits = 4

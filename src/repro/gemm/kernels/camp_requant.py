@@ -1,0 +1,114 @@
+"""Extension: CAMP micro-kernel with fused int8 requantization.
+
+Production QNN pipelines (gemmlowp, QNNPACK) requantize the int32 GEMM
+result back to int8 on the way out. The paper leaves the CAMP output
+as int32 tiles; this extension kernel fuses the requantize step into
+the C write-out — a narrowing plus scale stage after ``camp_store`` —
+quartering the C store traffic. The requantization itself uses the
+standard fixed-point multiplier + right-shift formulation, applied
+numerically in :meth:`requantize` and architecturally as
+``vnarrow``/``vmul`` tail instructions.
+"""
+
+import numpy as np
+
+from repro.gemm.kernels.camp_kernel import _CampKernelBase
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    exact_tile,
+    register_kernel,
+)
+from repro.isa.dtypes import DType
+
+
+def requantize_int32_to_int8(tile, multiplier, shift):
+    """Fixed-point requantization: ``round(tile * multiplier / 2^shift)``.
+
+    ``multiplier`` is a positive int32 fixed-point factor; the result
+    saturates to int8 — the arithmetic gemmlowp documents.
+    """
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    if not 0 <= shift < 63:
+        raise ValueError("shift out of range")
+    scaled = np.asarray(tile, dtype=np.int64) * int(multiplier)
+    rounding = 1 << shift >> 1
+    shifted = (scaled + np.where(scaled >= 0, rounding, -rounding)) >> shift
+    return np.clip(shifted, -128, 127).astype(np.int8)
+
+
+@register_kernel
+class Camp8RequantKernel(_CampKernelBase):
+    """camp8 with fused int32 -> int8 output requantization.
+
+    The k-loop is identical to ``camp8``; the tail requantizes the 4x4
+    tile and stores 16 int8 bytes instead of 64 int32 bytes.
+    Requantizing partial sums is numerically wrong, so this kernel
+    requires the whole reduction in one k-block (K <= kc); both the
+    trace emitter and the numeric path enforce that.
+    """
+
+    name = "camp8-requant"
+    dtype = DType.INT8
+    element_bits = 8
+
+    #: fixed-point output scale (tests exercise round-trips against the
+    #: float formulation); kernels in a real stack would set these per
+    #: layer from the quantization parameters
+    multiplier = 1 << 14
+    shift = 16
+
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        if not first_k_block:
+            raise ValueError(
+                "%s fuses requantization into the write-out and cannot "
+                "accumulate across k-blocks; use K <= kc" % self.name
+            )
+        self.validate_kc(kc)
+        a_reg = builder.vregs.alloc()
+        b_reg = builder.vregs.alloc()
+        acc = builder.aregs.alloc()
+        counter = builder.xregs.alloc()
+        builder.salu(counter, [], imm=kc)
+        builder.vzero(acc)
+        step_bytes = self.vector_bytes
+        iterations = kc // self.k_step
+        for it in range(iterations):
+            builder.vload(a_reg, a_addr + it * step_bytes, self.dtype, size=step_bytes)
+            builder.vload(b_reg, b_addr + it * step_bytes, self.dtype, size=step_bytes)
+            builder.camp(acc, a_reg, b_reg, self.dtype)
+            if (it + 1) % self.unroll == 0 or it + 1 == iterations:
+                builder.salu(counter, [counter])
+                builder.salu(counter, [counter])
+                builder.loop_overhead(counter)
+        c_reg = builder.vregs.alloc()
+        scale_reg = builder.vregs.alloc()
+        tile_bytes = 64
+        chunk_bytes = min(tile_bytes, self.vector_bytes)
+        for index in range(tile_bytes // chunk_bytes):
+            builder.camp_store(c_reg, acc, chunk=index)
+            # fused requantize: fixed-point scale then narrow to int8
+            mul = builder.vmul(scale_reg, c_reg, c_reg, DType.INT32)
+            mul.meta["requant"] = (self.multiplier, self.shift)
+            builder.vnarrow(scale_reg, scale_reg, DType.INT32, DType.INT8)
+            builder.vstore(scale_reg, c_addr + index * chunk_bytes // 4,
+                           DType.INT8, size=chunk_bytes // 4)
+        for reg in (a_reg, b_reg, c_reg, scale_reg):
+            builder.vregs.free(reg)
+        builder.aregs.free(acc)
+        builder.xregs.free(counter)
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        """Requantized int8 tile (single k-block semantics)."""
+        if acc is not None:
+            raise ValueError(
+                "%s cannot accumulate across k-blocks" % self.name
+            )
+        int32_tile = exact_tile(a_panel, b_panel, None, out_dtype=np.int32)
+        return requantize_int32_to_int8(int32_tile, self.multiplier, self.shift)
+
+    def requantize(self, tile):
+        return requantize_int32_to_int8(tile, self.multiplier, self.shift)

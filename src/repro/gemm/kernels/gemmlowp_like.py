@@ -1,0 +1,96 @@
+"""gemmlowp-style micro-kernel (Section 5.3, method 4).
+
+Google's gemmlowp computes int8 GEMM *correctly*: operands widen to
+int16, products accumulate into int32, and the tile requantizes back
+to int8 on the way out. That correctness costs instructions — the
+widening, the extra multiply-accumulate per half, and the requantize
+tail — which is exactly the overhead CAMP's in-datapath widening
+removes.
+
+Per k: one 32-element B-row load, one widen, then per tile row a
+broadcast and two widening MLAs (16 int32 accumulators each).
+"""
+
+import numpy as np
+
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    MicroKernel,
+    exact_tile,
+    register_kernel,
+)
+from repro.isa.dtypes import DType
+
+
+@register_kernel
+class GemmlowpKernel(MicroKernel):
+    """Low-precision GEMM with exact int32 accumulation."""
+
+    name = "gemmlowp"
+    dtype = DType.INT8
+    acc_dtype = DType.INT32
+    m_r = 4
+    k_step = 1
+    unroll = 4
+
+    def _configure(self):
+        self.n_r = self.vector_length_bits // 16
+        self.a_elems_per_load = self.vector_length_bits // 8
+
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        self.validate_kc(kc)
+        b_raw = builder.vregs.alloc()
+        b_wide = builder.vregs.alloc()
+        a_vec = builder.vregs.alloc()
+        tmp = builder.vregs.alloc()
+        # 32 int32 accumulators per tile row = 2 vector registers per row
+        accs = [
+            [builder.vregs.alloc() for _ in range(2)] for _ in range(self.m_r)
+        ]
+        counter = builder.xregs.alloc()
+        builder.salu(counter, [], imm=kc)  # initialize the loop counter
+        for row in accs:
+            for acc in row:
+                builder.vzero(acc, DType.INT32)
+        ks_per_a_load = self.a_elems_per_load // self.m_r
+        for k in range(kc):
+            if k % ks_per_a_load == 0:
+                builder.vload(
+                    a_vec,
+                    a_addr + (k // ks_per_a_load) * self.a_elems_per_load,
+                    DType.INT8,
+                    size=self.a_elems_per_load,
+                )
+            builder.vload(b_raw, b_addr + k * self.n_r, DType.INT8, size=self.n_r)
+            builder.vwiden(b_wide, b_raw, DType.INT8, DType.INT16)
+            for i in range(self.m_r):
+                lane = (k % ks_per_a_load) * self.m_r + i
+                builder.vdup(tmp, a_vec, DType.INT16, lane=lane, elements=self.n_r)
+                # two widening MLAs: int16 x int16 products folded into
+                # 16 int32 accumulators each (low half, high half)
+                for half, acc in enumerate(accs[i]):
+                    mla = builder.vmla(acc, tmp, b_wide, DType.INT32)
+                    mla.meta["half"] = "low" if half == 0 else "high"
+            if (k + 1) % self.unroll == 0 or k + 1 == kc:
+                builder.salu(counter, [counter])
+                builder.loop_overhead(counter)
+        # requantize tail: narrow each accumulator pair to int8, add the
+        # output offset, store one 32-byte int8 row
+        vb = self.vector_bytes
+        for i, row in enumerate(accs):
+            row_addr = c_addr + i * self.n_r * 4
+            if not first_k_block:
+                for half, acc in enumerate(row):
+                    builder.vload(tmp, row_addr + half * vb, DType.INT32, size=vb)
+                    builder.vadd(acc, acc, tmp, DType.INT32)
+            for half, acc in enumerate(row):
+                builder.vstore(acc, row_addr + half * vb, DType.INT32, size=vb)
+        for reg in [b_raw, b_wide, a_vec, tmp] + [a for row in accs for a in row]:
+            builder.vregs.free(reg)
+        builder.xregs.free(counter)
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        return exact_tile(a_panel, b_panel, acc, out_dtype=np.int32)

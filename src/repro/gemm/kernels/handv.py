@@ -1,0 +1,122 @@
+"""Hand-vectorized ulmBLAS micro-kernels (Section 5.3, methods 1-2).
+
+``handv-int32`` is the in-house vectorized ulmBLAS using 32-bit integer
+SVE: per k it loads one B row, broadcasts each of the 4 packed A
+elements and issues a 16-wide int32 multiply-accumulate per tile row.
+
+``handv-int8`` is the quantized variant the paper uses to isolate the
+data-type-conversion speedup: 8-bit operands with 8-bit accumulators
+and *no* widening/reinterpret instructions. Overflow is deliberately
+ignored, exactly as the paper describes ("may lead to incorrect
+results") — ``compute_tile`` faithfully wraps modulo 256. SVE's int8
+multiply constraints keep it at half-register width (32 elements).
+"""
+
+import numpy as np
+
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    MicroKernel,
+    exact_tile,
+    register_kernel,
+)
+from repro.isa.dtypes import DType
+
+
+class _HandvBase(MicroKernel):
+    m_r = 4
+    unroll = 4
+    #: A-panel elements carried per vector load
+    a_elems_per_load = 16
+
+    def _row_bytes(self):
+        return self.n_r * (self.dtype.bits // 8)
+
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        self.validate_kc(kc)
+        b_reg = builder.vregs.alloc()
+        a_vec = builder.vregs.alloc()
+        tmp = builder.vregs.alloc()
+        accs = [builder.vregs.alloc() for _ in range(self.m_r)]
+        counter = builder.xregs.alloc()
+        builder.salu(counter, [], imm=kc)  # initialize the loop counter
+        for acc in accs:
+            builder.vzero(acc, self.acc_dtype)
+        row_bytes = self._row_bytes()
+        a_elem_bytes = self.dtype.bits // 8
+        ks_per_a_load = self.a_elems_per_load // self.m_r
+        for k in range(kc):
+            if k % ks_per_a_load == 0:
+                builder.vload(
+                    a_vec,
+                    a_addr + (k // ks_per_a_load) * self.a_elems_per_load * a_elem_bytes,
+                    self.dtype,
+                    size=self.a_elems_per_load * a_elem_bytes,
+                )
+            builder.vload(b_reg, b_addr + k * row_bytes, self.dtype, size=row_bytes)
+            for i in range(self.m_r):
+                lane = (k % ks_per_a_load) * self.m_r + i
+                builder.vdup(tmp, a_vec, self.dtype, lane=lane, elements=self.n_r)
+                builder.vmla(accs[i], tmp, b_reg, self.acc_dtype)
+            if (k + 1) % self.unroll == 0 or k + 1 == kc:
+                builder.salu(counter, [counter])
+                builder.loop_overhead(counter)
+        acc_row_bytes = self.n_r * (self.acc_dtype.bits // 8)
+        for i, acc in enumerate(accs):
+            row_addr = c_addr + i * acc_row_bytes
+            if first_k_block:
+                builder.vstore(acc, row_addr, self.acc_dtype, size=acc_row_bytes)
+            else:
+                builder.vload(tmp, row_addr, self.acc_dtype, size=acc_row_bytes)
+                builder.vadd(acc, acc, tmp, self.acc_dtype)
+                builder.vstore(acc, row_addr, self.acc_dtype, size=acc_row_bytes)
+        for reg in [b_reg, a_vec, tmp] + accs:
+            builder.vregs.free(reg)
+        builder.xregs.free(counter)
+
+
+@register_kernel
+class HandvInt32Kernel(_HandvBase):
+    """Vectorized ulmBLAS with 32-bit integer SVE (exact arithmetic)."""
+
+    name = "handv-int32"
+    dtype = DType.INT32
+    acc_dtype = DType.INT32
+    k_step = 1
+
+    def _configure(self):
+        self.n_r = self.vector_length_bits // 32
+        self.a_elems_per_load = self.vector_length_bits // 32
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        return exact_tile(a_panel, b_panel, acc, out_dtype=np.int32)
+
+
+@register_kernel
+class HandvInt8Kernel(_HandvBase):
+    """Quantized 8-bit variant with wrapping 8-bit accumulators.
+
+    The missing widening steps make it fast but *wrong* for large
+    reductions — the accumulator wraps modulo 256, which is exactly the
+    deviation the paper accepts to isolate the data-type speedup.
+    """
+
+    name = "handv-int8"
+    dtype = DType.INT8
+    acc_dtype = DType.INT8
+    k_step = 1
+
+    def _configure(self):
+        # int8 processing at half register width (SVE multiply returns
+        # only 8 of the 16 product bits; wider forms need the widening
+        # ops this kernel deliberately omits)
+        self.n_r = self.vector_length_bits // 16
+        self.a_elems_per_load = self.vector_length_bits // 8
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        # int8 truncation at every multiply and accumulate == arithmetic
+        # modulo 256 throughout, so the exact sum wrapped once is identical.
+        return exact_tile(a_panel, b_panel, acc, out_dtype=np.int8)

@@ -1,0 +1,92 @@
+"""ARMv8.6 MMLA-style micro-kernel (Section 7.2 / Figure 18).
+
+``smmla`` multiplies a 2x8 row-major int8 tile by another 2x8 row-major
+tile (transposed) into a 2x2 int32 tile, independently per 128-bit
+quadword. Building an 8x8 register tile from it needs every (row-pair,
+column-pair) combination — 16 MMLAs per 8-deep k step — plus zip /
+reinterpret traffic to replicate the quadwords, and a layout fix-up at
+the C write-out because the 2x2-per-quadword output conflicts with
+GotoBLAS's column-major expectations (the mismatch the paper calls
+out). Those overheads, and the single matrix unit the MMLAs serialize
+on, are why MMLA lands well below CAMP in Figure 18.
+"""
+
+import numpy as np
+
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    MicroKernel,
+    exact_tile,
+    register_kernel,
+)
+from repro.isa.dtypes import DType
+
+
+@register_kernel
+class MmlaKernel(MicroKernel):
+    """8x8 register-tile kernel built from 2x8x2 ``smmla`` ops."""
+
+    name = "mmla"
+    dtype = DType.INT8
+    acc_dtype = DType.INT32
+    m_r = 8
+    n_r = 8
+    k_step = 8
+    unroll = 2
+
+    def _configure(self):
+        if self.vector_length_bits < 512:
+            raise ValueError(
+                "the mmla kernel is modelled for 512-bit registers "
+                "(the Yitian-class comparison platform of Section 7.2)"
+            )
+
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        self.validate_kc(kc)
+        a_reg = builder.vregs.alloc()
+        b_reg = builder.vregs.alloc()
+        a_rep = builder.vregs.alloc()
+        b_rep = builder.vregs.alloc()
+        # 8x8 int32 C tile = 16 quadword 2x2 tiles = 4 vector registers
+        accs = [builder.vregs.alloc() for _ in range(4)]
+        counter = builder.xregs.alloc()
+        builder.salu(counter, [], imm=kc)  # initialize the loop counter
+        for acc in accs:
+            builder.vzero(acc, DType.INT32)
+        iterations = kc // self.k_step
+        for it in range(iterations):
+            builder.vload(a_reg, a_addr + it * 64, DType.INT8, size=64)
+            builder.vload(b_reg, b_addr + it * 64, DType.INT8, size=64)
+            # replicate row-pair / column-pair quadwords so each of the
+            # 16 (row-pair, col-pair) MMLAs sees aligned segments
+            for _ in range(3):
+                builder.vreinterpret(a_rep, a_reg, DType.INT8)
+                builder.vreinterpret(b_rep, b_reg, DType.INT8)
+            for acc in accs:
+                for _ in range(4):  # 4 quadword MMLAs per accumulator register
+                    builder.mmla(acc, a_rep, b_rep, DType.INT8)
+            if (it + 1) % self.unroll == 0 or it + 1 == iterations:
+                builder.salu(counter, [counter])
+                builder.salu(counter, [counter])
+                builder.loop_overhead(counter)
+        # C write-out: un-interleave 2x2 quadword tiles into row-major
+        # rows (the GotoBLAS layout conflict), then store 8 rows
+        tmp = builder.vregs.alloc()
+        for i in range(self.m_r):
+            row_addr = c_addr + i * self.n_r * 4
+            builder.vreinterpret(tmp, accs[i // 2], DType.INT32)
+            if not first_k_block:
+                old = builder.vregs.alloc()
+                builder.vload(old, row_addr, DType.INT32, size=self.n_r * 4)
+                builder.vadd(tmp, tmp, old, DType.INT32)
+                builder.vregs.free(old)
+            builder.vstore(tmp, row_addr, DType.INT32, size=self.n_r * 4)
+        for reg in [a_reg, b_reg, a_rep, b_rep, tmp] + accs:
+            builder.vregs.free(reg)
+        builder.xregs.free(counter)
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        return exact_tile(a_panel, b_panel, acc, out_dtype=np.int32)

@@ -1,0 +1,90 @@
+"""OpenBLAS-SGEMM-style FP32 micro-kernel — the A64FX baseline.
+
+OpenBLAS's SVE SGEMM uses a tall register tile (8x16 here) with one
+broadcast + one FMLA per tile row per k. This is the normalization
+baseline for Table 1 and Figures 13/14/18.
+"""
+
+import numpy as np
+
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    MicroKernel,
+    register_kernel,
+)
+from repro.isa.dtypes import DType
+
+
+@register_kernel
+class OpenBlasFp32Kernel(MicroKernel):
+    """FP32 SGEMM micro-kernel with an 8x16 register tile."""
+
+    name = "openblas-fp32"
+    dtype = DType.FP32
+    acc_dtype = DType.FP32
+    k_step = 1
+    unroll = 4
+
+    def _configure(self):
+        if self.vector_length_bits >= 256:
+            self.n_r = self.vector_length_bits // 32
+            self.m_r = 8       # tall register tile on wide machines
+            self.unroll = 4
+        else:
+            # edge SoC: the FP datapath is 64 bits wide (two fp32
+            # lanes) and the build is plain compiled C, like BLIS
+            self.n_r = max(2, self.vector_length_bits // 64)
+            self.m_r = 4
+            self.unroll = 1
+        self.a_elems_per_load = max(self.n_r, self.m_r)
+
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        self.validate_kc(kc)
+        b_reg = builder.vregs.alloc()
+        a_vec = builder.vregs.alloc()
+        tmp = builder.vregs.alloc()
+        accs = [builder.vregs.alloc() for _ in range(self.m_r)]
+        counter = builder.xregs.alloc()
+        builder.salu(counter, [], imm=kc)  # initialize the loop counter
+        for acc in accs:
+            builder.vzero(acc, DType.FP32)
+        row_bytes = self.n_r * 4
+        ks_per_a_load = self.a_elems_per_load // self.m_r
+        for k in range(kc):
+            if k % ks_per_a_load == 0:
+                builder.vload(
+                    a_vec,
+                    a_addr + (k // ks_per_a_load) * self.a_elems_per_load * 4,
+                    DType.FP32,
+                    size=self.a_elems_per_load * 4,
+                )
+            builder.vload(b_reg, b_addr + k * row_bytes, DType.FP32, size=row_bytes)
+            for i in range(self.m_r):
+                lane = (k % ks_per_a_load) * self.m_r + i
+                builder.vdup(tmp, a_vec, DType.FP32, lane=lane, elements=self.n_r)
+                builder.fmla(accs[i], tmp, b_reg)
+            if (k + 1) % self.unroll == 0 or k + 1 == kc:
+                builder.salu(counter, [counter])
+                builder.loop_overhead(counter)
+        for i, acc in enumerate(accs):
+            row_addr = c_addr + i * row_bytes
+            if first_k_block:
+                builder.vstore(acc, row_addr, DType.FP32, size=row_bytes)
+            else:
+                builder.vload(tmp, row_addr, DType.FP32, size=row_bytes)
+                builder.vadd(acc, acc, tmp, DType.FP32)
+                builder.vstore(acc, row_addr, DType.FP32, size=row_bytes)
+        for reg in [b_reg, a_vec, tmp] + accs:
+            builder.vregs.free(reg)
+        builder.xregs.free(counter)
+
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        tile = np.asarray(a_panel, dtype=np.float32) @ np.asarray(
+            b_panel, dtype=np.float32
+        )
+        if acc is not None:
+            tile = tile + np.asarray(acc, dtype=np.float32)
+        return tile.astype(np.float32)

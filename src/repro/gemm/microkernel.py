@@ -1,0 +1,164 @@
+"""Micro-kernel framework and registry.
+
+A micro-kernel computes one ``m_r x n_r`` tile of C over a depth-``kc``
+slice of packed panels. Every kernel supplies both:
+
+- ``emit_call`` — the instruction trace of one invocation (what the
+  pipeline simulator times and the functional executor can run), and
+- ``compute_tile`` — the numeric semantics, *including* any deliberate
+  deviation from exact arithmetic (handv-int8's wrapping accumulator).
+
+The registry maps the paper's method names to kernel factories.
+"""
+
+import abc
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+
+# Default base addresses used by emitted traces: packed A and B panels
+# and the C tile live in disjoint regions so cache behaviour is sane.
+A_PANEL_BASE = 0x100000
+B_PANEL_BASE = 0x200000
+C_TILE_BASE = 0x300000
+
+
+class MicroKernel(abc.ABC):
+    """One GEMM micro-kernel: tile shape, trace emission, semantics.
+
+    Kernels are vector-length agnostic: tile geometry (``n_r``, CAMP's
+    ``k_step``, loads per iteration) derives from the register width at
+    construction via ``_configure``.
+    """
+
+    #: method name (registry key)
+    name = "abstract"
+    #: operand element type
+    dtype = DType.INT8
+    #: accumulator element type
+    acc_dtype = DType.INT32
+    #: tile rows / columns (defaults; _configure may override)
+    m_r = 4
+    n_r = 4
+    #: k elements consumed per inner-loop iteration
+    k_step = 1
+    #: k iterations unrolled per loop back-edge
+    unroll = 4
+
+    def __init__(self, vector_length_bits=512):
+        if vector_length_bits % 64:
+            raise ValueError("vector length must be a multiple of 64 bits")
+        self.vector_length_bits = vector_length_bits
+        self._configure()
+
+    def _configure(self):
+        """Hook: derive width-dependent geometry from the vector length."""
+
+    @property
+    def vector_bytes(self):
+        return self.vector_length_bits // 8
+
+    def operand_bytes(self, elements):
+        """Bytes occupied by ``elements`` operand elements in memory."""
+        if self.dtype is DType.INT4:
+            return elements // 2
+        return elements * (self.dtype.bits // 8)
+
+    def macs_per_call(self, kc):
+        return self.m_r * self.n_r * kc
+
+    # -- trace -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def emit_call(self, builder, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                  c_addr=C_TILE_BASE, first_k_block=True):
+        """Emit the dynamic trace of one micro-kernel invocation.
+
+        ``first_k_block`` selects between overwriting C (first kc slice
+        of the 4th GotoBLAS loop) and read-modify-write accumulation.
+        """
+
+    def build_call(self, kc, **kwargs):
+        """Convenience: emit one call into a fresh builder."""
+        builder = ProgramBuilder(
+            name="%s(kc=%d)" % (self.name, kc),
+            vector_length_bits=self.vector_length_bits,
+        )
+        self.emit_call(builder, kc, **kwargs)
+        return builder.build()
+
+    def validate_kc(self, kc):
+        if kc % self.k_step:
+            raise ValueError(
+                "%s requires kc to be a multiple of %d, got %d"
+                % (self.name, self.k_step, kc)
+            )
+
+    # -- semantics ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def compute_tile(self, a_panel, b_panel, acc=None):
+        """Numeric result of one call.
+
+        ``a_panel`` is m_r x kc, ``b_panel`` kc x n_r; ``acc`` an
+        existing accumulator tile or ``None`` for a zero start.
+        Returns the new tile in this kernel's accumulator dtype.
+        """
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def instruction_counts(self, kc):
+        """Opcode histogram of one emitted call (exact, by construction)."""
+        return self.build_call(kc).opcode_histogram()
+
+    def warm_addresses(self, kc, a_addr=A_PANEL_BASE, b_addr=B_PANEL_BASE,
+                       c_addr=C_TILE_BASE):
+        """Cache lines a steady-state call finds resident.
+
+        Packed panels live in L1/L2 by construction of the GotoBLAS
+        blocking; the C tile was written by the previous k-block pass
+        and is still cached.
+        """
+        a_bytes = self.operand_bytes(self.m_r * kc)
+        b_bytes = self.operand_bytes(self.n_r * kc)
+        c_bytes = self.m_r * self.n_r * (self.acc_dtype.bits // 8)
+        addresses = []
+        for base, span in ((a_addr, a_bytes), (b_addr, b_bytes), (c_addr, c_bytes)):
+            addresses.extend(range(base, base + int(span), 64))
+        return addresses
+
+
+_REGISTRY = {}
+
+
+def register_kernel(factory):
+    """Class decorator adding a kernel to the registry by its ``name``."""
+    _REGISTRY[factory.name] = factory
+    return factory
+
+
+def get_kernel(name, **kwargs):
+    """Instantiate a registered kernel by method name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown kernel %r; available: %s" % (name, ", ".join(sorted(_REGISTRY)))
+        ) from None
+    return factory(**kwargs)
+
+
+def kernel_names():
+    return sorted(_REGISTRY)
+
+
+def exact_tile(a_panel, b_panel, acc, out_dtype=np.int32):
+    """Exact integer tile product used by several kernels."""
+    a64 = np.asarray(a_panel, dtype=np.int64)
+    b64 = np.asarray(b_panel, dtype=np.int64)
+    tile = a64 @ b64
+    if acc is not None:
+        tile = tile + np.asarray(acc, dtype=np.int64)
+    return tile.astype(out_dtype)

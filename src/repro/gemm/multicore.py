@@ -1,0 +1,70 @@
+"""Multi-core GEMM scaling model (the A64FX platform has 16 cores).
+
+GotoBLAS parallelizes the 5th loop (N panels) or 3rd loop (M blocks)
+across cores; each core runs its own micro-kernel stream while sharing
+the L2 and DRAM. We model per-core work as an independent single-core
+analysis of the partitioned problem and apply a shared-resource factor
+from the combined DRAM/packing traffic — enough to study how CAMP's
+bandwidth appetite scales relative to the baselines' compute appetite.
+"""
+
+from dataclasses import dataclass
+
+from repro.gemm.packing import element_bytes
+
+
+def _ceil_div(a, b):
+    return -(-a // b)
+
+
+@dataclass
+class MulticoreResult:
+    """Scaling outcome for one (method, cores) point."""
+
+    cores: int
+    single_core_cycles: float
+    parallel_cycles: float
+    dram_limited: bool
+
+    @property
+    def speedup(self):
+        return self.single_core_cycles / self.parallel_cycles
+
+    @property
+    def efficiency(self):
+        return self.speedup / self.cores
+
+
+def parallel_gemm_analysis(driver, m, n, k, cores=16):
+    """Scale one GEMM across ``cores`` with an N-panel partition.
+
+    Per-core cycles come from analyzing the N/cores slice; the shared
+    memory system imposes a floor of (total compulsory traffic) /
+    (DRAM bytes per cycle), which is what eventually bends the curve.
+    """
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    single = driver.analyze(m, n, k)
+    if cores == 1:
+        return MulticoreResult(1, single.cycles, single.cycles, False)
+    n_slice = max(driver.kernel.n_r, _ceil_div(n, cores))
+    per_core = driver.analyze(m, n_slice, k)
+    elem = element_bytes(driver.kernel.dtype)
+    # compulsory traffic: every core streams the shared A once per
+    # jc panel plus its own B slice; C written once
+    total_bytes = (
+        cores * m * k * elem + k * n * elem + m * n * 4
+    )
+    dram_floor = total_bytes / driver.config.dram_bytes_per_cycle
+    parallel_cycles = max(per_core.cycles, dram_floor)
+    return MulticoreResult(
+        cores=cores,
+        single_core_cycles=single.cycles,
+        parallel_cycles=parallel_cycles,
+        dram_limited=dram_floor > per_core.cycles,
+    )
+
+
+def scaling_curve(driver, m, n, k, core_counts=(1, 2, 4, 8, 16)):
+    """Multicore scaling across a list of core counts."""
+    return [parallel_gemm_analysis(driver, m, n, k, cores) for cores in core_counts]

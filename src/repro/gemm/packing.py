@@ -1,0 +1,74 @@
+"""Panel packing (the Pack Ai / Pack Bp steps of Figure 3).
+
+``pack_a_block`` rearranges an mc x kc block of A into row panels of
+``m_r`` rows stored column-major (m_r consecutive elements per k) —
+exactly the operand layout the ``camp`` instruction consumes.
+``pack_b_block`` produces kc x n_r row-major panels.
+
+Besides the numeric packing, this module models packing *cost*:
+every source byte is read once and every packed byte written once via
+full-width vector operations, plus one shuffle (VALU) op per loaded
+vector for the layout transform. That approximation is documented in
+DESIGN.md and charged through the pipeline simulator.
+"""
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+
+
+def pack_a_block(a_block, m_r):
+    """Pack A (mc x kc) into panels; returns array (n_panels, kc, m_r).
+
+    Rows beyond ``mc`` in the last panel are zero-padded, matching the
+    GotoBLAS treatment of fringe tiles.
+    """
+    a_block = np.asarray(a_block)
+    mc, kc = a_block.shape
+    n_panels = -(-mc // m_r)
+    packed = np.zeros((n_panels, kc, m_r), dtype=a_block.dtype)
+    for p in range(n_panels):
+        rows = a_block[p * m_r : (p + 1) * m_r, :]
+        packed[p, :, : rows.shape[0]] = rows.T
+    return packed
+
+
+def pack_b_block(b_block, n_r):
+    """Pack B (kc x nc) into panels; returns array (n_panels, kc, n_r)."""
+    b_block = np.asarray(b_block)
+    kc, nc = b_block.shape
+    n_panels = -(-nc // n_r)
+    packed = np.zeros((n_panels, kc, n_r), dtype=b_block.dtype)
+    for p in range(n_panels):
+        cols = b_block[:, p * n_r : (p + 1) * n_r]
+        packed[p, :, : cols.shape[1]] = cols
+    return packed
+
+
+def element_bytes(dtype):
+    """Storage bytes per element (0.5 for packed int4)."""
+    return 0.5 if dtype is DType.INT4 else dtype.bits / 8
+
+
+def packing_bytes(rows, cols, dtype):
+    """Bytes read (== bytes written) to pack a rows x cols block."""
+    return int(rows * cols * element_bytes(dtype))
+
+
+def emit_pack_trace(builder, src_addr, dst_addr, n_bytes, dtype,
+                    vector_bytes=64, shuffle=True):
+    """Emit the instruction trace packing ``n_bytes`` of panel data.
+
+    One vector load per source chunk, one shuffle (modelling the
+    layout transform), one vector store per packed chunk. The load
+    dtype is passed through so int4 data keeps its packed density.
+    """
+    n_vectors = -(-n_bytes // vector_bytes)
+    vec = builder.vregs.alloc()
+    for i in range(n_vectors):
+        builder.vload(vec, src_addr + i * vector_bytes, dtype, size=vector_bytes)
+        if shuffle:
+            builder.vreinterpret(vec, vec, dtype if dtype is not DType.INT4 else DType.INT8)
+        builder.vstore(vec, dst_addr + i * vector_bytes, dtype, size=vector_bytes)
+    builder.vregs.free(vec)
+    return n_vectors

@@ -1,0 +1,114 @@
+"""Address-stream generators for the cache-locality study (Figure 1).
+
+The blocked (ulmBLAS/GotoBLAS) stream mirrors the packed-panel access
+pattern: packing reads each source block once and writes contiguous
+panels; the micro-kernel then streams those panels sequentially with
+heavy reuse. Replaying either stream through
+:class:`repro.memory.MemoryHierarchy` yields the L1 miss rates the
+paper plots.
+"""
+
+from repro.gemm.blocking import BlockingParams
+from repro.gemm.naive import naive_address_stream
+from repro.isa.dtypes import DType
+
+
+def blocked_address_stream(m, n, k, blocking, dtype=DType.FP32, a_base=0x0,
+                           b_base=None, c_base=None, packed_base=None,
+                           max_accesses=None):
+    """Yield (address, is_write) for GotoBLAS-blocked GEMM.
+
+    Element-granular like the naive stream so miss rates are directly
+    comparable. Packing touches the source block once (A column-walks
+    within an mc-row band — short strides — and B row-walks); the
+    micro-kernel then reads the packed panels sequentially.
+    """
+    elem = dtype.bits // 8
+    if b_base is None:
+        b_base = a_base + m * k * elem
+    if c_base is None:
+        c_base = b_base + k * n * elem
+    if packed_base is None:
+        packed_base = c_base + m * n * elem
+    packed_a = packed_base
+    packed_b = packed_base + blocking.mc * blocking.kc * elem
+
+    count = 0
+
+    def emit(addr, is_write):
+        nonlocal count
+        count += 1
+        return addr, is_write
+
+    m_r, n_r = blocking.m_r, blocking.n_r
+    for jc in range(0, n, blocking.nc):
+        nc = min(blocking.nc, n - jc)
+        for pc in range(0, k, blocking.kc):
+            kc = min(blocking.kc, k - pc)
+            # pack B(kc x nc) panel-major: each n_r-wide panel is stored
+            # contiguously (kc rows of n_r elements)
+            for p in range(0, nc, n_r):
+                panel_base = packed_b + p * kc * elem
+                for l in range(kc):
+                    for j in range(min(n_r, nc - p)):
+                        yield emit(b_base + ((pc + l) * n + jc + p + j) * elem, False)
+                        yield emit(panel_base + (l * n_r + j) * elem, True)
+                        if max_accesses is not None and count >= max_accesses:
+                            return
+            for ic in range(0, m, blocking.mc):
+                mc = min(blocking.mc, m - ic)
+                # pack A(mc x kc) panel-major: m_r-row panels stored
+                # column-major (m_r consecutive elements per k)
+                for p in range(0, mc, m_r):
+                    panel_base = packed_a + p * kc * elem
+                    for l in range(kc):
+                        for i in range(min(m_r, mc - p)):
+                            yield emit(
+                                a_base + ((ic + p + i) * k + pc + l) * elem, False
+                            )
+                            yield emit(panel_base + (l * m_r + i) * elem, True)
+                            if max_accesses is not None and count >= max_accesses:
+                                return
+                # micro-kernel sweep: stream the packed panels (both
+                # contiguous by construction) and touch the C tile
+                for jr in range(0, nc, n_r):
+                    b_panel = packed_b + jr * kc * elem
+                    for ir in range(0, mc, m_r):
+                        a_panel = packed_a + ir * kc * elem
+                        for l in range(kc):
+                            for i in range(m_r):
+                                yield emit(a_panel + (l * m_r + i) * elem, False)
+                            for j in range(n_r):
+                                yield emit(b_panel + (l * n_r + j) * elem, False)
+                            if max_accesses is not None and count >= max_accesses:
+                                return
+                        for i in range(m_r):
+                            for j in range(n_r):
+                                addr = c_base + (
+                                    (ic + ir + i) * n + jc + jr + j
+                                ) * elem
+                                yield emit(addr, False)
+                                yield emit(addr, True)
+                        if max_accesses is not None and count >= max_accesses:
+                            return
+
+
+def replay(stream, hierarchy):
+    """Feed an address stream through a memory hierarchy."""
+    for addr, is_write in stream:
+        hierarchy.access(addr, 1, is_write=is_write)
+    return hierarchy
+
+
+def miss_rate_of(stream, hierarchy, level="l1"):
+    """L1 (or named level) miss rate after replaying ``stream``."""
+    replay(stream, hierarchy)
+    return hierarchy.miss_rate(level)
+
+
+__all__ = [
+    "naive_address_stream",
+    "blocked_address_stream",
+    "replay",
+    "miss_rate_of",
+]

@@ -1,0 +1,25 @@
+"""Vector / SIMD instruction set abstraction.
+
+Defines the data types, registers, instructions, program container and
+an assembler-style builder used by the GEMM micro-kernels and by the
+cycle-approximate pipeline simulator.
+"""
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import FUClass, Instruction, Opcode
+from repro.isa.registers import Reg, RegisterFile, ScalarRegisterFile, VectorRegisterFile
+from repro.isa.program import Program
+from repro.isa.builder import ProgramBuilder
+
+__all__ = [
+    "DType",
+    "FUClass",
+    "Instruction",
+    "Opcode",
+    "Reg",
+    "RegisterFile",
+    "ScalarRegisterFile",
+    "VectorRegisterFile",
+    "Program",
+    "ProgramBuilder",
+]

@@ -1,0 +1,190 @@
+"""Assembler-style builder for emitting instruction traces.
+
+Micro-kernels use a :class:`ProgramBuilder` to emit a dynamic trace
+mirroring what their compiled loop would execute. The builder offers
+one method per opcode plus register allocation helpers.
+"""
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, areg, vreg, xreg
+
+
+class RegisterAllocator:
+    """Round-robin allocator over a register namespace.
+
+    Micro-kernels have static register assignments; this helper hands
+    out registers and raises once the architectural file is exhausted,
+    surfacing the "register pressure" constraint the paper discusses
+    for generic vector GEMM.
+    """
+
+    def __init__(self, kind, count, reserved=()):
+        self.kind = kind
+        self.count = count
+        self._free = [i for i in range(count) if i not in set(reserved)]
+        self._live = set()
+
+    def alloc(self):
+        if not self._free:
+            raise RuntimeError(
+                "out of %r registers (%d architectural): the kernel needs more "
+                "live values than the register file holds" % (self.kind, self.count)
+            )
+        index = self._free.pop(0)
+        self._live.add(index)
+        return Reg(self.kind, index)
+
+    def free(self, reg):
+        if reg.kind != self.kind or reg.index not in self._live:
+            raise ValueError("register %s is not live in this allocator" % (reg,))
+        self._live.discard(reg.index)
+        self._free.append(reg.index)
+
+    @property
+    def live_count(self):
+        return len(self._live)
+
+
+class ProgramBuilder:
+    """Emit instructions into a :class:`Program`."""
+
+    def __init__(self, name="", vector_length_bits=512, vector_registers=32):
+        self.program = Program(name=name)
+        self.vector_length_bits = vector_length_bits
+        self.vregs = RegisterAllocator("v", vector_registers)
+        self.xregs = RegisterAllocator("x", 32, reserved=(0,))
+        self.aregs = RegisterAllocator("a", 4)
+
+    # -- emission -----------------------------------------------------
+
+    def emit(self, opcode, dst=(), src=(), **kwargs):
+        inst = Instruction(opcode, tuple(dst), tuple(src), **kwargs)
+        self.program.append(inst)
+        return inst
+
+    # -- vector memory ------------------------------------------------
+
+    def vload(self, dst, addr, dtype, size=None):
+        """Contiguous vector load filling one full register."""
+        if size is None:
+            size = self.vector_length_bits // 8
+        return self.emit(Opcode.VLOAD, [dst], [], dtype=dtype, addr=addr, size=size)
+
+    def vload_strided(self, dst, addr, dtype, stride, size=None):
+        if size is None:
+            size = self.vector_length_bits // 8
+        inst = self.emit(
+            Opcode.VLOAD_STRIDED, [dst], [], dtype=dtype, addr=addr, size=size
+        )
+        inst.meta["stride"] = stride
+        return inst
+
+    def vstore(self, src, addr, dtype, size=None):
+        if size is None:
+            size = self.vector_length_bits // 8
+        return self.emit(Opcode.VSTORE, [], [src], dtype=dtype, addr=addr, size=size)
+
+    # -- vector arithmetic ---------------------------------------------
+
+    def vzero(self, dst, dtype=DType.INT32):
+        return self.emit(Opcode.VZERO, [dst], [], dtype=dtype)
+
+    def vadd(self, dst, a, b, dtype):
+        return self.emit(Opcode.VADD, [dst], [a, b], dtype=dtype)
+
+    def vmul(self, dst, a, b, dtype):
+        return self.emit(Opcode.VMUL, [dst], [a, b], dtype=dtype)
+
+    def vmla(self, acc, a, b, dtype):
+        """acc += a * b (elementwise); acc is both source and dest."""
+        return self.emit(Opcode.VMLA, [acc], [acc, a, b], dtype=dtype)
+
+    def fmla(self, acc, a, b):
+        return self.emit(Opcode.FMLA, [acc], [acc, a, b], dtype=DType.FP32)
+
+    def vdup(self, dst, src, dtype, lane=None, elements=None):
+        """Broadcast a scalar register or a vector lane across ``dst``.
+
+        ``lane`` selects the element when ``src`` is a vector register;
+        ``elements`` bounds the broadcast width (partial-vector forms).
+        """
+        inst = self.emit(Opcode.VDUP, [dst], [src], dtype=dtype, imm=lane)
+        if elements is not None:
+            inst.meta["elements"] = elements
+        return inst
+
+    def vwiden(self, dst, src, from_dtype, to_dtype):
+        inst = self.emit(Opcode.VWIDEN, [dst], [src], dtype=to_dtype)
+        inst.meta["from_dtype"] = from_dtype
+        return inst
+
+    def vnarrow(self, dst, src, from_dtype, to_dtype):
+        inst = self.emit(Opcode.VNARROW, [dst], [src], dtype=to_dtype)
+        inst.meta["from_dtype"] = from_dtype
+        return inst
+
+    def vreinterpret(self, dst, src, dtype):
+        return self.emit(Opcode.VREINTERPRET, [dst], [src], dtype=dtype)
+
+    def vreduce(self, dst_scalar, src, dtype):
+        return self.emit(Opcode.VREDUCE, [dst_scalar], [src], dtype=dtype)
+
+    def vmov(self, dst, src, dtype=DType.INT32):
+        return self.emit(Opcode.VMOV, [dst], [src], dtype=dtype)
+
+    # -- matrix ---------------------------------------------------------
+
+    def camp(self, acc, a, b, dtype):
+        """CAMP outer-product matrix multiply-accumulate.
+
+        ``acc`` is an auxiliary register holding the 4x4 int32 tile;
+        ``a`` holds a 4x16 (int8) or 4x32 (int4) column-major panel and
+        ``b`` a 16x4 / 32x4 row-major panel.
+        """
+        return self.emit(Opcode.CAMP, [acc], [acc, a, b], dtype=dtype)
+
+    def camp_store(self, dst_vector, acc, chunk=0):
+        """Move the auxiliary accumulator tile into a vector register.
+
+        When the register is narrower than the 64-byte tile, ``chunk``
+        selects which register-sized slice of the tile to move.
+        """
+        return self.emit(
+            Opcode.CAMP_STORE, [dst_vector], [acc], dtype=DType.INT32, imm=chunk
+        )
+
+    def mmla(self, acc, a, b, dtype=DType.INT8):
+        """ARM MMLA-style 2x8 by 8x2 matrix multiply-accumulate."""
+        return self.emit(Opcode.MMLA, [acc], [acc, a, b], dtype=dtype)
+
+    # -- scalar / control ------------------------------------------------
+
+    def salu(self, dst, src=(), imm=None):
+        return self.emit(Opcode.SALU, [dst], list(src), imm=imm)
+
+    def smul(self, dst, a, b):
+        return self.emit(Opcode.SMUL, [dst], [a, b])
+
+    def sload(self, dst, addr, size=8):
+        return self.emit(Opcode.SLOAD, [dst], [], addr=addr, size=size)
+
+    def sstore(self, src, addr, size=8):
+        return self.emit(Opcode.SSTORE, [], [src], addr=addr, size=size)
+
+    def branch(self, cond_reg):
+        return self.emit(Opcode.BRANCH, [], [cond_reg])
+
+    def loop_overhead(self, counter_reg):
+        """Emit the canonical decrement + branch pair for one back-edge."""
+        self.salu(counter_reg, [counter_reg])
+        self.branch(counter_reg)
+
+    # ---------------------------------------------------------------------
+
+    def build(self):
+        return self.program
+
+
+__all__ = ["ProgramBuilder", "RegisterAllocator", "vreg", "xreg", "areg"]

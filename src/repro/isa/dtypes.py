@@ -1,0 +1,83 @@
+"""Element data types supported by the modelled vector ISA."""
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Element type of a vector operation.
+
+    ``INT4`` has no native numpy storage; int4 vectors are held as one
+    nibble per ``np.int8`` element (sign-extended), and the functional
+    model enforces the 4-bit value range at the points where hardware
+    would.
+    """
+
+    INT4 = "int4"
+    INT8 = "int8"
+    INT16 = "int16"
+    INT32 = "int32"
+    INT64 = "int64"
+    FP32 = "fp32"
+
+    @property
+    def bits(self):
+        """Storage width of one element in bits."""
+        return _BITS[self]
+
+    @property
+    def bytes(self):
+        """Storage width of one element in bytes (int4 packs two per byte)."""
+        return max(self.bits // 8, 0) or 1  # int4 loads are packed: handled by callers
+
+    @property
+    def numpy_dtype(self):
+        """The numpy dtype used to hold values of this element type."""
+        return _NUMPY[self]
+
+    @property
+    def is_integer(self):
+        return self is not DType.FP32
+
+    @property
+    def min_value(self):
+        """Smallest representable value (signed, two's complement)."""
+        if self is DType.FP32:
+            return -np.inf
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self):
+        """Largest representable value (signed, two's complement)."""
+        if self is DType.FP32:
+            return np.inf
+        return (1 << (self.bits - 1)) - 1
+
+    def elements_per_register(self, vector_length_bits):
+        """How many elements of this type fit in one vector register."""
+        if vector_length_bits % self.bits:
+            raise ValueError(
+                "vector length %d is not a multiple of %s element width"
+                % (vector_length_bits, self.value)
+            )
+        return vector_length_bits // self.bits
+
+
+_BITS = {
+    DType.INT4: 4,
+    DType.INT8: 8,
+    DType.INT16: 16,
+    DType.INT32: 32,
+    DType.INT64: 64,
+    DType.FP32: 32,
+}
+
+_NUMPY = {
+    DType.INT4: np.int8,
+    DType.INT8: np.int8,
+    DType.INT16: np.int16,
+    DType.INT32: np.int32,
+    DType.INT64: np.int64,
+    DType.FP32: np.float32,
+}

@@ -1,0 +1,122 @@
+"""Binary encoding of the modelled ISA.
+
+Instructions encode into fixed 96-bit words (three 32-bit parcels):
+
+- parcel 0: opcode (8) | dtype (4) | #dst (2) | #src (2) | regs (16)
+- parcel 1: additional register specifiers + immediate low bits
+- parcel 2: memory address / immediate (32)
+
+The encoding exists so traces can be persisted and diffed; it also
+pins down exactly what architectural state an instruction names, which
+keeps the simulator honest (anything not encodable is not an
+instruction).
+"""
+
+import struct
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+_OPCODES = list(Opcode)
+_DTYPES = [None] + list(DType)
+_KINDS = ["v", "x", "a"]
+
+WORD_BYTES = 12
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded/decoded."""
+
+
+def _encode_reg(reg):
+    return (_KINDS.index(reg.kind) << 6) | reg.index
+
+
+def _decode_reg(bits):
+    kind = _KINDS[(bits >> 6) & 0x3]
+    return Reg(kind, bits & 0x3F)
+
+
+def encode_instruction(inst):
+    """Encode one instruction into :data:`WORD_BYTES` bytes."""
+    regs = list(inst.dst) + list(inst.src)
+    if len(inst.dst) > 3 or len(inst.src) > 3:
+        raise EncodingError("too many register operands: %s" % (inst,))
+    opc = _OPCODES.index(inst.opcode)
+    dt = _DTYPES.index(inst.dtype)
+    p0 = (opc << 24) | (dt << 20) | (len(inst.dst) << 18) | (len(inst.src) << 16)
+    packed = [_encode_reg(r) for r in regs] + [0] * (6 - len(regs))
+    p0 |= (packed[0] << 8) | packed[1]
+    p1 = (packed[2] << 24) | (packed[3] << 16) | (packed[4] << 8) | packed[5]
+    if inst.addr is not None:
+        if inst.addr >= 1 << 56 or inst.size is None or inst.size >= 1 << 16:
+            raise EncodingError("address/size out of encodable range: %s" % (inst,))
+        p2 = inst.addr & 0xFFFFFFFF
+        p1_extra = ((inst.addr >> 32) & 0xFF) | ((inst.size & 0xFFFF) << 8)
+        # address high bits + size live in an auxiliary parcel overlaid on p1's
+        # unused space; register parcels never use the top byte for memory ops
+        p1 = (p1 & 0xFF000000) | (p1_extra & 0x00FFFFFF)
+    elif inst.imm is not None:
+        if not -(1 << 31) <= inst.imm < (1 << 31):
+            raise EncodingError("immediate out of range: %s" % (inst,))
+        p0 |= 1 << 23  # has-immediate flag (top bit of the dtype nibble)
+        p2 = inst.imm & 0xFFFFFFFF
+    else:
+        p2 = 0
+    return struct.pack("<III", p0, p1, p2)
+
+
+def decode_instruction(blob):
+    """Decode :data:`WORD_BYTES` bytes back into an :class:`Instruction`."""
+    if len(blob) != WORD_BYTES:
+        raise EncodingError("expected %d bytes, got %d" % (WORD_BYTES, len(blob)))
+    p0, p1, p2 = struct.unpack("<III", blob)
+    opcode = _OPCODES[(p0 >> 24) & 0xFF]
+    dtype = _DTYPES[(p0 >> 20) & 0x7]
+    n_dst = (p0 >> 18) & 0x3
+    n_src = (p0 >> 16) & 0x3
+    reg_bits = [(p0 >> 8) & 0xFF, p0 & 0xFF]
+    addr = size = imm = None
+    from repro.isa.instructions import MEMORY_OPCODES
+
+    if opcode in MEMORY_OPCODES:
+        reg_bits += [(p1 >> 24) & 0xFF, 0, 0, 0]
+        addr = p2 | ((p1 & 0xFF) << 32)
+        size = (p1 >> 8) & 0xFFFF
+    else:
+        reg_bits += [
+            (p1 >> 24) & 0xFF,
+            (p1 >> 16) & 0xFF,
+            (p1 >> 8) & 0xFF,
+            p1 & 0xFF,
+        ]
+        if p0 & (1 << 23):
+            imm = p2 - (1 << 32) if p2 >= (1 << 31) else p2
+    regs = [_decode_reg(bits) for bits in reg_bits[: n_dst + n_src]]
+    return Instruction(
+        opcode,
+        tuple(regs[:n_dst]),
+        tuple(regs[n_dst : n_dst + n_src]),
+        dtype=dtype,
+        addr=addr,
+        size=size,
+        imm=imm,
+    )
+
+
+def encode_program(program):
+    """Encode a whole program to bytes."""
+    return b"".join(encode_instruction(inst) for inst in program)
+
+
+def decode_program(blob, name=""):
+    """Decode bytes produced by :func:`encode_program`."""
+    if len(blob) % WORD_BYTES:
+        raise EncodingError("blob length %d not a multiple of %d" % (len(blob), WORD_BYTES))
+    instructions = [
+        decode_instruction(blob[i : i + WORD_BYTES])
+        for i in range(0, len(blob), WORD_BYTES)
+    ]
+    return Program(instructions, name=name)

@@ -1,0 +1,160 @@
+"""Instruction definitions for the modelled vector ISA.
+
+The ISA is deliberately small: just enough to express the GEMM
+micro-kernels the paper evaluates (naive, hand-vectorized int32/int8,
+gemmlowp-style, OpenBLAS-SGEMM-style, MMLA, and CAMP) with a faithful
+instruction *mix* — loads, stores, broadcasts, widenings, multiply-adds
+and the matrix instructions.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.dtypes import DType
+from repro.isa.registers import Reg
+
+
+class Opcode(enum.Enum):
+    # --- scalar ---
+    SALU = "salu"          # scalar add/sub/logic (loop bookkeeping)
+    SMUL = "smul"          # scalar multiply (address arithmetic)
+    SLOAD = "sload"        # scalar load
+    SSTORE = "sstore"      # scalar store
+    BRANCH = "branch"      # conditional branch (loop back-edge)
+
+    # --- vector memory ---
+    VLOAD = "vload"        # contiguous vector load
+    VSTORE = "vstore"      # contiguous vector store
+    VLOAD_STRIDED = "vload_strided"  # strided gather-style load
+
+    # --- vector arithmetic ---
+    VADD = "vadd"
+    VMUL = "vmul"
+    VMLA = "vmla"          # elementwise multiply-accumulate
+    VDUP = "vdup"          # broadcast scalar / element across register
+    VWIDEN = "vwiden"      # widening conversion (e.g. int8 -> int16)
+    VNARROW = "vnarrow"    # narrowing / requantize step
+    VREINTERPRET = "vreinterpret"  # lane re-interpretation (free-ish shuffle)
+    VREDUCE = "vreduce"    # horizontal reduction
+    VZERO = "vzero"        # zero a register
+    VMOV = "vmov"          # register move
+    FMLA = "fmla"          # fp32 fused multiply-add
+
+    # --- matrix ---
+    CAMP = "camp"          # the paper's instruction (this work)
+    MMLA = "mmla"          # ARMv8.6 integer matrix multiply-accumulate
+    CAMP_STORE = "camp_store"  # move auxiliary accumulator to a vector register
+
+
+class FUClass(enum.Enum):
+    """Functional-unit class an opcode executes on."""
+
+    SCALAR = "scalar"
+    BRANCH = "branch"
+    LOAD = "load"
+    STORE = "store"
+    VALU = "valu"      # vector add/logic/move/dup
+    VMUL = "vmul"      # vector multiply / multiply-accumulate
+    MATRIX = "matrix"  # CAMP / MMLA hybrid-multiplier unit
+
+
+OPCODE_FU = {
+    Opcode.SALU: FUClass.SCALAR,
+    Opcode.SMUL: FUClass.SCALAR,
+    Opcode.SLOAD: FUClass.LOAD,
+    Opcode.SSTORE: FUClass.STORE,
+    Opcode.BRANCH: FUClass.BRANCH,
+    Opcode.VLOAD: FUClass.LOAD,
+    Opcode.VLOAD_STRIDED: FUClass.LOAD,
+    Opcode.VSTORE: FUClass.STORE,
+    Opcode.VADD: FUClass.VALU,
+    Opcode.VMUL: FUClass.VMUL,
+    Opcode.VMLA: FUClass.VMUL,
+    Opcode.VDUP: FUClass.VALU,
+    Opcode.VWIDEN: FUClass.VALU,
+    Opcode.VNARROW: FUClass.VALU,
+    Opcode.VREINTERPRET: FUClass.VALU,
+    Opcode.VREDUCE: FUClass.VALU,
+    Opcode.VZERO: FUClass.VALU,
+    Opcode.VMOV: FUClass.VALU,
+    Opcode.FMLA: FUClass.VMUL,
+    Opcode.CAMP: FUClass.MATRIX,
+    Opcode.MMLA: FUClass.MATRIX,
+    Opcode.CAMP_STORE: FUClass.VALU,
+}
+
+MEMORY_OPCODES = frozenset(
+    {Opcode.VLOAD, Opcode.VSTORE, Opcode.VLOAD_STRIDED, Opcode.SLOAD, Opcode.SSTORE}
+)
+
+VECTOR_OPCODES = frozenset(
+    op for op in Opcode
+    if op not in {Opcode.SALU, Opcode.SMUL, Opcode.SLOAD, Opcode.SSTORE, Opcode.BRANCH}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction of the modelled ISA.
+
+    ``dst`` / ``src`` carry the architectural registers used for
+    dependence tracking; memory operations also carry a byte ``addr``
+    and transfer ``size`` so the cache model can be consulted.
+    """
+
+    opcode: Opcode
+    dst: Tuple[Reg, ...] = ()
+    src: Tuple[Reg, ...] = ()
+    dtype: Optional[DType] = None
+    addr: Optional[int] = None
+    size: Optional[int] = None
+    imm: Optional[int] = None
+    meta: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self):
+        if self.opcode in MEMORY_OPCODES:
+            if self.addr is None or self.size is None:
+                raise ValueError("%s requires addr and size" % self.opcode.value)
+        if self.opcode is Opcode.CAMP and self.dtype not in (DType.INT8, DType.INT4):
+            raise ValueError("camp supports int8 and int4 operands only")
+
+    @property
+    def fu_class(self):
+        """Functional-unit class this instruction occupies."""
+        return OPCODE_FU[self.opcode]
+
+    @property
+    def is_memory(self):
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_load(self):
+        return self.opcode in (Opcode.VLOAD, Opcode.VLOAD_STRIDED, Opcode.SLOAD)
+
+    @property
+    def is_store(self):
+        return self.opcode in (Opcode.VSTORE, Opcode.SSTORE)
+
+    @property
+    def is_vector(self):
+        return self.opcode in VECTOR_OPCODES
+
+    def reads(self):
+        """Registers whose values this instruction consumes."""
+        return self.src
+
+    def writes(self):
+        """Registers this instruction produces."""
+        return self.dst
+
+    def __str__(self):
+        parts = [self.opcode.value]
+        if self.dtype is not None:
+            parts.append("." + self.dtype.value)
+        operands = [str(r) for r in self.dst] + [str(r) for r in self.src]
+        if self.addr is not None:
+            operands.append("[0x%x:%d]" % (self.addr, self.size))
+        if self.imm is not None:
+            operands.append("#%d" % self.imm)
+        return "%s %s" % ("".join(parts), ", ".join(operands))

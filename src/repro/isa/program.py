@@ -1,0 +1,88 @@
+"""Program container: an ordered instruction trace with summary helpers."""
+
+from collections import Counter
+
+from repro.isa.instructions import FUClass, Instruction, Opcode
+
+
+class Program:
+    """An ordered sequence of instructions (a dynamic trace).
+
+    The simulator consumes programs as *traces*: loops are already
+    unrolled by the emitting micro-kernel, so there is no control-flow
+    state to model beyond the back-edge ``BRANCH`` bookkeeping
+    instructions the kernels choose to include.
+    """
+
+    def __init__(self, instructions=None, name=""):
+        self.name = name
+        self._instructions = list(instructions or [])
+
+    def append(self, instruction):
+        if not isinstance(instruction, Instruction):
+            raise TypeError("expected Instruction, got %r" % (instruction,))
+        self._instructions.append(instruction)
+
+    def extend(self, instructions):
+        for instruction in instructions:
+            self.append(instruction)
+
+    def __len__(self):
+        return len(self._instructions)
+
+    def __iter__(self):
+        return iter(self._instructions)
+
+    def __getitem__(self, index):
+        return self._instructions[index]
+
+    def opcode_histogram(self):
+        """Counter of opcodes in the trace."""
+        return Counter(inst.opcode for inst in self)
+
+    def fu_histogram(self):
+        """Counter of functional-unit classes in the trace."""
+        return Counter(inst.fu_class for inst in self)
+
+    def count(self, *opcodes):
+        """Number of instructions whose opcode is in ``opcodes``."""
+        wanted = set(opcodes)
+        return sum(1 for inst in self if inst.opcode in wanted)
+
+    @property
+    def vector_instruction_count(self):
+        return sum(1 for inst in self if inst.is_vector)
+
+    @property
+    def scalar_instruction_count(self):
+        return len(self) - self.vector_instruction_count
+
+    def classify_vector_mix(self):
+        """Split vector instructions into read / write / alu groups.
+
+        Mirrors the R / W / Alu categories of the paper's Figure 17
+        heatmap: vector loads, vector stores, and everything else
+        (arithmetic, permutes, matrix ops).
+        """
+        reads = writes = alu = 0
+        for inst in self:
+            if not inst.is_vector:
+                continue
+            if inst.is_load:
+                reads += 1
+            elif inst.is_store:
+                writes += 1
+            else:
+                alu += 1
+        return {"read": reads, "write": writes, "alu": alu}
+
+    def bytes_loaded(self):
+        return sum(inst.size for inst in self if inst.is_load)
+
+    def bytes_stored(self):
+        return sum(inst.size for inst in self if inst.is_store)
+
+    def __str__(self):
+        header = "Program %r (%d instructions)" % (self.name, len(self))
+        body = "\n".join("  %4d: %s" % (i, inst) for i, inst in enumerate(self))
+        return header + ("\n" + body if body else "")

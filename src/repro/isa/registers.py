@@ -1,0 +1,167 @@
+"""Register naming and architectural register files.
+
+The simulator tracks dependences through :class:`Reg` handles; the
+functional executor stores actual values in :class:`VectorRegisterFile`
+and :class:`ScalarRegisterFile`.
+"""
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.isa.dtypes import DType
+
+
+class Reg(NamedTuple):
+    """An architectural register handle.
+
+    ``kind`` is one of:
+
+    - ``"v"`` — vector register (``v0`` .. ``v31``)
+    - ``"x"`` — scalar register (``x0`` .. ``x31``)
+    - ``"a"`` — CAMP auxiliary accumulator register (``a0`` ..)
+
+    The auxiliary registers model the private accumulation storage the
+    CAMP unit uses between ``camp`` issues, which the paper adds so the
+    vector register file does not need to hold live partial sums.
+    """
+
+    kind: str
+    index: int
+
+    def __str__(self):
+        return "%s%d" % (self.kind, self.index)
+
+    @property
+    def is_vector(self):
+        return self.kind == "v"
+
+    @property
+    def is_scalar(self):
+        return self.kind == "x"
+
+    @property
+    def is_aux(self):
+        return self.kind == "a"
+
+
+def vreg(index):
+    """Vector register ``v<index>``."""
+    return Reg("v", index)
+
+
+def xreg(index):
+    """Scalar register ``x<index>``."""
+    return Reg("x", index)
+
+
+def areg(index):
+    """CAMP auxiliary accumulator register ``a<index>``."""
+    return Reg("a", index)
+
+
+class RegisterFile:
+    """Base register file: a mapping from :class:`Reg` to a value."""
+
+    def __init__(self, kind, count):
+        if count <= 0:
+            raise ValueError("register count must be positive")
+        self.kind = kind
+        self.count = count
+        self._values = {}
+
+    def _check(self, reg):
+        if reg.kind != self.kind:
+            raise KeyError("register %s does not belong to the %r file" % (reg, self.kind))
+        if not 0 <= reg.index < self.count:
+            raise KeyError("register %s out of range (0..%d)" % (reg, self.count - 1))
+
+    def read(self, reg):
+        self._check(reg)
+        if reg not in self._values:
+            raise KeyError("register %s read before write" % (reg,))
+        return self._values[reg]
+
+    def write(self, reg, value):
+        self._check(reg)
+        self._values[reg] = value
+
+    def is_written(self, reg):
+        self._check(reg)
+        return reg in self._values
+
+    def reset(self):
+        self._values.clear()
+
+
+class VectorRegisterFile(RegisterFile):
+    """Vector register file holding fixed-width bit vectors.
+
+    Values are numpy arrays. The stored array's total bit width must
+    equal the architectural vector length; e.g. with a 512-bit vector
+    length a register may hold 64 ``int8`` elements or 16 ``int32``
+    elements.
+
+    Int4 data is stored *unpacked*, one nibble per ``int8`` slot, in an
+    array of ``2 * elements_per_register(int8)`` entries — mirroring how
+    the CAMP datapath sees 128 nibbles in a 512-bit register.
+    """
+
+    def __init__(self, count=32, vector_length_bits=512):
+        super().__init__("v", count)
+        self.vector_length_bits = vector_length_bits
+
+    def expected_elements(self, dtype):
+        """Number of elements a full register holds for ``dtype``."""
+        return dtype.elements_per_register(self.vector_length_bits)
+
+    def write(self, reg, value, dtype=None):
+        value = np.asarray(value)
+        if dtype is not None:
+            expected = self.expected_elements(dtype)
+            if value.size != expected:
+                raise ValueError(
+                    "register %s expects %d %s elements, got %d"
+                    % (reg, expected, dtype.value, value.size)
+                )
+            value = value.astype(dtype.numpy_dtype, copy=False)
+        super().write(reg, value.ravel())
+
+
+class ScalarRegisterFile(RegisterFile):
+    """Scalar (integer) register file. ``x0`` is hardwired to zero."""
+
+    def __init__(self, count=32):
+        super().__init__("x", count)
+        self._values[Reg("x", 0)] = 0
+
+    def write(self, reg, value):
+        if reg.index == 0:
+            return  # writes to x0 are discarded, as in RISC-V
+        super().write(reg, int(value))
+
+
+class AuxRegisterFile(RegisterFile):
+    """CAMP auxiliary accumulator registers.
+
+    Each holds a 4x4 int32 tile (one micro-kernel accumulator). The
+    paper uses a single auxiliary register per CAMP unit; we allow a
+    small file so multi-tile kernels can be explored.
+    """
+
+    TILE_SHAPE = (4, 4)
+
+    def __init__(self, count=4):
+        super().__init__("a", count)
+
+    def write(self, reg, value):
+        value = np.asarray(value, dtype=DType.INT32.numpy_dtype)
+        if value.shape != self.TILE_SHAPE:
+            raise ValueError(
+                "auxiliary register %s expects a %s tile, got %s"
+                % (reg, self.TILE_SHAPE, value.shape)
+            )
+        super().write(reg, value.copy())
+
+    def zero(self, reg):
+        self.write(reg, np.zeros(self.TILE_SHAPE, dtype=np.int32))

@@ -1,0 +1,21 @@
+"""Memory hierarchy substrate.
+
+Models the cache systems of the two evaluation platforms (Table 2 and
+Section 5.1): set-associative LRU caches with stride prefetchers over a
+bandwidth-limited DRAM. Used for the Figure 1 cache-miss-rate study and
+to supply load latencies to the pipeline simulator.
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.prefetcher import StridePrefetcher
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "StridePrefetcher",
+    "Dram",
+    "AccessResult",
+    "MemoryHierarchy",
+]

@@ -1,0 +1,126 @@
+"""Set-associative write-back / write-allocate cache with true LRU."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    ways: int
+    load_to_use: int  # cycles on hit
+
+    def __post_init__(self):
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError(
+                "%s: size %d not divisible by line*ways (%d*%d)"
+                % (self.name, self.size_bytes, self.line_bytes, self.ways)
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("%s: line size must be a power of two" % self.name)
+
+    @property
+    def n_sets(self):
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self):
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool = False
+    prefetched: bool = False
+
+
+class Cache:
+    """One cache level.
+
+    ``lookup`` probes and updates LRU/allocation; demand accesses and
+    prefetch fills are distinguished so prefetch effectiveness can be
+    reported. LRU is exact (per-set ordered list, most recent last).
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets = [[] for _ in range(config.n_sets)]  # list[_Line], LRU order
+
+    def _split(self, addr):
+        line = addr // self.config.line_bytes
+        return line % self.config.n_sets, line // self.config.n_sets
+
+    def line_address(self, addr):
+        return (addr // self.config.line_bytes) * self.config.line_bytes
+
+    def lookup(self, addr, is_write=False):
+        """Demand access. Returns True on hit; allocates on miss."""
+        set_index, tag = self._split(addr)
+        ways = self._sets[set_index]
+        for i, line in enumerate(ways):
+            if line.tag == tag:
+                ways.append(ways.pop(i))  # move to MRU
+                if line.prefetched:
+                    self.stats.prefetch_hits += 1
+                    line.prefetched = False
+                line.dirty = line.dirty or is_write
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        self._fill(set_index, tag, dirty=is_write, prefetched=False)
+        return False
+
+    def contains(self, addr):
+        """Probe without updating LRU or stats."""
+        set_index, tag = self._split(addr)
+        return any(line.tag == tag for line in self._sets[set_index])
+
+    def prefetch(self, addr):
+        """Fill a line speculatively (no stats hit/miss accounting)."""
+        set_index, tag = self._split(addr)
+        ways = self._sets[set_index]
+        if any(line.tag == tag for line in ways):
+            return False
+        self._fill(set_index, tag, dirty=False, prefetched=True)
+        self.stats.prefetch_fills += 1
+        return True
+
+    def _fill(self, set_index, tag, dirty, prefetched):
+        ways = self._sets[set_index]
+        if len(ways) >= self.config.ways:
+            victim = ways.pop(0)  # LRU
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+        ways.append(_Line(tag, dirty=dirty, prefetched=prefetched))
+
+    def invalidate_all(self):
+        self._sets = [[] for _ in range(self.config.n_sets)]
+
+    @property
+    def occupancy(self):
+        lines = sum(len(ways) for ways in self._sets)
+        return lines * self.config.line_bytes / self.config.size_bytes

@@ -1,0 +1,33 @@
+"""Main-memory model: fixed access latency plus bandwidth queueing.
+
+The A64FX platform uses 4-channel HBM2; the edge RISC-V SoC a simple
+DDR interface. Both are modelled as a base latency plus a service rate
+(bytes per cycle); a running "next free" pointer approximates channel
+occupancy so bursts see queueing delay.
+"""
+
+
+class Dram:
+    """Bandwidth-limited constant-latency memory."""
+
+    def __init__(self, base_latency=90, bytes_per_cycle=64.0, name="dram"):
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.name = name
+        self.base_latency = base_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.bytes_transferred = 0
+        self._next_free_cycle = 0.0
+
+    def access(self, size_bytes, now_cycle=0):
+        """Latency (cycles) to service ``size_bytes`` starting at ``now_cycle``."""
+        service = size_bytes / self.bytes_per_cycle
+        start = max(float(now_cycle), self._next_free_cycle)
+        self._next_free_cycle = start + service
+        self.bytes_transferred += size_bytes
+        queue_delay = start - float(now_cycle)
+        return int(round(self.base_latency + queue_delay + service))
+
+    def reset(self):
+        self.bytes_transferred = 0
+        self._next_free_cycle = 0.0

@@ -1,0 +1,97 @@
+"""Multi-level memory hierarchy tying caches, prefetchers and DRAM."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.cache import Cache
+from repro.memory.prefetcher import StridePrefetcher
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access."""
+
+    latency: int          # load-to-use cycles for the requesting instruction
+    hit_level: str        # name of the level that served it ("l1", "l2", "dram")
+    bytes_touched: int
+
+
+class MemoryHierarchy:
+    """An inclusive cache hierarchy with per-level stride prefetchers.
+
+    ``access`` walks the levels in order; a miss at every level goes to
+    DRAM. Multi-line requests (vector loads spanning lines) charge the
+    worst line's latency — the pipeline treats a vector load as ready
+    when its last beat arrives.
+    """
+
+    def __init__(self, caches, dram, prefetch=True):
+        if not caches:
+            raise ValueError("at least one cache level is required")
+        self.caches = list(caches)
+        self.dram = dram
+        self.prefetchers = [
+            StridePrefetcher() if prefetch else None for _ in self.caches
+        ]
+        self.demand_accesses = 0
+
+    @classmethod
+    def from_configs(cls, configs, dram, prefetch=True):
+        return cls([Cache(c) for c in configs], dram, prefetch=prefetch)
+
+    def _access_line(self, addr, is_write, now_cycle):
+        """One cache-line-granule access; returns (latency, level name)."""
+        for level, cache in enumerate(self.caches):
+            hit = cache.lookup(addr, is_write=is_write)
+            prefetcher = self.prefetchers[level]
+            if prefetcher is not None:
+                for target in prefetcher.observe(cache.line_address(addr)):
+                    self._prefetch_into(level, target)
+            if hit:
+                return cache.config.load_to_use, cache.config.name
+            # miss: allocate happened in lookup; keep walking for latency
+        latency = self.dram.access(self.caches[-1].config.line_bytes, now_cycle)
+        return latency + self.caches[-1].config.load_to_use, "dram"
+
+    def _prefetch_into(self, level, addr):
+        """Fill ``addr``'s line into ``level`` and all levels below it."""
+        for cache in self.caches[level:]:
+            cache.prefetch(addr)
+
+    def access(self, addr, size=1, is_write=False, now_cycle=0):
+        """Demand access of ``size`` bytes starting at ``addr``."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.demand_accesses += 1
+        line_bytes = self.caches[0].config.line_bytes
+        first = (addr // line_bytes) * line_bytes
+        last = ((addr + size - 1) // line_bytes) * line_bytes
+        worst_latency = 0
+        worst_level = self.caches[0].config.name
+        line = first
+        while line <= last:
+            latency, level = self._access_line(line, is_write, now_cycle)
+            if latency > worst_latency:
+                worst_latency, worst_level = latency, level
+            line += line_bytes
+        return AccessResult(worst_latency, worst_level, size)
+
+    def level(self, name):
+        """The :class:`Cache` whose config has the given name."""
+        for cache in self.caches:
+            if cache.config.name == name:
+                return cache
+        raise KeyError("no cache level named %r" % name)
+
+    def miss_rate(self, name):
+        return self.level(name).stats.miss_rate
+
+    def reset(self):
+        for cache in self.caches:
+            cache.stats.reset()
+            cache.invalidate_all()
+        for prefetcher in self.prefetchers:
+            if prefetcher is not None:
+                prefetcher.reset()
+        self.dram.reset()
+        self.demand_accesses = 0

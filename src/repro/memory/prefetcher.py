@@ -1,0 +1,61 @@
+"""Stride prefetcher (Table 2 lists one at every cache level).
+
+A small table of stream entries keyed by memory region. Each entry
+tracks the last address seen and the detected stride; after the stride
+repeats ``confidence_threshold`` times, the prefetcher issues fills
+``degree`` strides ahead on each subsequent matching access.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _StreamEntry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Region-associative stride detector."""
+
+    def __init__(self, table_size=16, region_bits=12, confidence_threshold=2, degree=2):
+        self.table_size = table_size
+        self.region_bits = region_bits
+        self.confidence_threshold = confidence_threshold
+        self.degree = degree
+        self._table = {}
+        self.issued = 0
+
+    def _region(self, addr):
+        return addr >> self.region_bits
+
+    def observe(self, addr):
+        """Record a demand access; return addresses to prefetch."""
+        region = self._region(addr)
+        entry = self._table.get(region)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # evict the stalest region (FIFO over insertion order)
+                self._table.pop(next(iter(self._table)))
+            self._table[region] = _StreamEntry(addr)
+            return []
+        stride = addr - entry.last_addr
+        if stride == 0:
+            return []
+        if stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, 8)
+        else:
+            entry.stride = stride
+            entry.confidence = 1
+        entry.last_addr = addr
+        if entry.confidence < self.confidence_threshold:
+            return []
+        targets = [addr + entry.stride * d for d in range(1, self.degree + 1)]
+        targets = [t for t in targets if t >= 0]
+        self.issued += len(targets)
+        return targets
+
+    def reset(self):
+        self._table.clear()
+        self.issued = 0

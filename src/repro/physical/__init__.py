@@ -1,0 +1,22 @@
+"""Physical-design models: technology nodes, area, power, energy.
+
+Replaces the paper's Synopsys synthesis + PnR flow (Section 6.1) with
+an analytical gate-count model calibrated to the published results:
+0.027263 mm^2 in TSMC 7nm (1% of an A64FX core) and 0.0782 mm^2 in
+GF 22nm FDX (4% of the Sargantana SoC).
+"""
+
+from repro.physical.technology import TechNode, GF22FDX, TSMC7
+from repro.physical.area import CampAreaReport, camp_unit_gates, camp_area_report
+from repro.physical.energy import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "TechNode",
+    "GF22FDX",
+    "TSMC7",
+    "CampAreaReport",
+    "camp_unit_gates",
+    "camp_area_report",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

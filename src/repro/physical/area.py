@@ -1,0 +1,87 @@
+"""Area model of the CAMP block (Section 6.1 / Figure 11).
+
+Gate counts come from the structural model — 32 hybrid 8-bit
+multipliers, 16 intra-lane adders per lane, a shared 16-entry
+inter-lane accumulator and the auxiliary register — scaled by the
+technology's effective density.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.hybrid_multiplier import HybridMultiplier
+from repro.core.lane import CampLane
+from repro.physical.technology import (
+    A64FX_CORE_AREA_MM2,
+    SARGANTANA_SOC_AREA_MM2,
+    GF22FDX,
+    TSMC7,
+    TechNode,
+)
+
+_ADDER_GATES_PER_BIT = 9          # carry-lookahead full adder, NAND2-equiv
+_REGISTER_GATES_PER_BIT = 8       # flop + mux
+_LANE_CONTROL_GATES = 1800        # per-lane sequencing / operand muxing
+
+
+def camp_unit_gates(vector_length_bits=512, block_bits=4):
+    """NAND2-equivalent gate count of a CAMP unit.
+
+    Scales with the number of 64-bit lanes; the building-block width
+    feeds through the hybrid-multiplier gate model, enabling the
+    block-size ablation DESIGN.md calls for.
+    """
+    n_lanes = vector_length_bits // CampLane.LANE_BITS
+    multiplier = HybridMultiplier(width_bits=8, block_bits=block_bits)
+    per_lane = (
+        CampLane.MULTIPLIERS_INT8 * multiplier.gate_estimate()
+        + 16 * 32 * _ADDER_GATES_PER_BIT          # intra-lane adders
+        + 16 * 32 * _REGISTER_GATES_PER_BIT       # lane-local partial sums
+        + _LANE_CONTROL_GATES
+    )
+    shared = (
+        16 * 32 * _ADDER_GATES_PER_BIT            # inter-lane accumulators
+        + 16 * 32 * _REGISTER_GATES_PER_BIT       # auxiliary register
+    )
+    return n_lanes * per_lane + shared
+
+
+@dataclass
+class CampAreaReport:
+    """Area of one CAMP configuration against its host platform."""
+
+    tech: TechNode
+    vector_length_bits: int
+    gates: int
+    area_mm2: float
+    host_area_mm2: float
+    host_name: str
+
+    @property
+    def overhead_fraction(self):
+        return self.area_mm2 / self.host_area_mm2
+
+
+def camp_area_report(platform="a64fx", block_bits=4):
+    """Area report for one of the two evaluation platforms.
+
+    ``a64fx``: 512-bit unit in TSMC 7nm vs one A64FX core.
+    ``sargantana``: 128-bit unit in GF 22nm FDX vs the whole SoC.
+    """
+    if platform == "a64fx":
+        tech, vl, host_area = TSMC7, 512, A64FX_CORE_AREA_MM2
+        host = "A64FX core"
+    elif platform == "sargantana":
+        tech, vl, host_area = GF22FDX, 128, SARGANTANA_SOC_AREA_MM2
+        host = "Sargantana SoC"
+    else:
+        raise ValueError("platform must be 'a64fx' or 'sargantana'")
+    gates = camp_unit_gates(vl, block_bits=block_bits)
+    area = gates / tech.gate_density_mm2
+    return CampAreaReport(
+        tech=tech,
+        vector_length_bits=vl,
+        gates=gates,
+        area_mm2=area,
+        host_area_mm2=host_area,
+        host_name=host,
+    )

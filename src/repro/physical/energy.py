@@ -1,0 +1,104 @@
+"""Energy model (Figure 16 / Table 4 substitute).
+
+Energy of a GEMM execution is composed from per-operation dynamic
+energies — MAC work on the datapath actually used, instruction
+front-end overhead, memory traffic weighted by the cache level that
+served it — plus static power integrated over the runtime. The
+"switching activity from simulation" the paper feeds into its power
+analysis corresponds to our per-op counters from the pipeline model.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.dtypes import DType
+from repro.physical.technology import TechNode
+
+#: relative MAC datapath cost per operand type (int8 = 1.0); fp32 FMA
+#: hardware is substantially costlier per MAC than a fixed-point MAC
+_MAC_SCALE = {
+    # int4 is 0.75, not 0.5: 4-bit mode activates the same multiplier
+    # array as 8-bit mode (all building blocks switch), so per-MAC
+    # energy drops less than the operand width would suggest — this is
+    # why the paper's 405 GOPS/W is 1.5x its 270, not 2x.
+    DType.INT4: 0.75,
+    DType.INT8: 1.0,
+    DType.INT16: 1.6,
+    DType.INT32: 2.4,
+    DType.FP32: 4.0,
+}
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by component for one execution."""
+
+    compute_j: float
+    frontend_j: float
+    memory_j: float
+    static_j: float
+
+    @property
+    def total_j(self):
+        return self.compute_j + self.frontend_j + self.memory_j + self.static_j
+
+
+class EnergyModel:
+    """Energy of a :class:`~repro.gemm.goto.GemmExecution` on a node."""
+
+    def __init__(self, tech):
+        if not isinstance(tech, TechNode):
+            raise TypeError("tech must be a TechNode")
+        self.tech = tech
+
+    def mac_energy_pj(self, dtype):
+        """Dynamic energy of one MAC on a ``dtype`` datapath."""
+        return self.tech.pj_mac * _MAC_SCALE[dtype]
+
+    def execution_energy(self, execution, dtype):
+        """Energy breakdown of a GEMM execution with ``dtype`` MACs."""
+        tech = self.tech
+        stats = execution.stats
+        compute = execution.macs * self.mac_energy_pj(dtype)
+        frontend = (
+            execution.total_instructions * tech.pj_instruction
+            + stats.vector_instructions * tech.pj_vector_issue
+        )
+        l1_miss = stats.cache_miss_rates.get("l1", 0.05)
+        l2_miss = stats.cache_miss_rates.get("l2", 0.2)
+        bytes_moved = stats.bytes_loaded + stats.bytes_stored
+        memory = bytes_moved * (
+            tech.pj_l1_byte
+            + l1_miss * tech.pj_l2_byte
+            + l1_miss * l2_miss * tech.pj_dram_byte
+        )
+        seconds = execution.cycles / (tech.frequency_ghz * 1e9)
+        static = tech.static_w_core * seconds * 1e12  # pJ
+        return EnergyBreakdown(
+            compute_j=compute * 1e-12,
+            frontend_j=frontend * 1e-12,
+            memory_j=memory * 1e-12,
+            static_j=static * 1e-12,
+        )
+
+    def average_power_w(self, execution, dtype):
+        breakdown = self.execution_energy(execution, dtype)
+        seconds = execution.cycles / (self.tech.frequency_ghz * 1e9)
+        return breakdown.total_j / seconds
+
+    def gops_per_watt(self, execution, dtype):
+        """The paper's efficiency metric (2 ops per MAC)."""
+        breakdown = self.execution_energy(execution, dtype)
+        ops = 2.0 * execution.macs
+        return ops / breakdown.total_j / 1e9
+
+    def camp_peak_power_w(self, vector_length_bits=512):
+        """Peak dynamic power of the CAMP array at full MAC rate.
+
+        Includes the per-cycle overhead of operand fan-out, partial-sum
+        registers and clocking alongside the MAC datapath energy.
+        """
+        macs_per_cycle = 4 * 4 * (vector_length_bits // 32)
+        pj_per_cycle = (
+            macs_per_cycle * self.tech.pj_mac + self.tech.pj_camp_cycle_overhead
+        )
+        return pj_per_cycle * self.tech.frequency_ghz * 1e-3

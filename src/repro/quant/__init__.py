@@ -1,0 +1,20 @@
+"""Quantization support: schemes, int4 packing, accuracy studies.
+
+CAMP exists to serve quantized neural networks; this package provides
+the int8/int4 post-training quantization machinery the examples and
+experiments use, including the Figure 7 accuracy-vs-bit-width study.
+"""
+
+from repro.quant.packing import pack_int4, unpack_int4
+from repro.quant.schemes import QuantParams, choose_params
+from repro.quant.quantize import dequantize, quantize, quantized_matmul
+
+__all__ = [
+    "pack_int4",
+    "unpack_int4",
+    "QuantParams",
+    "choose_params",
+    "quantize",
+    "dequantize",
+    "quantized_matmul",
+]

@@ -1,0 +1,141 @@
+"""Accuracy vs bit-width study (Figure 7 substitute).
+
+The paper cites a survey showing CNN top-1 accuracy holds down to
+4-bit weights/inputs and collapses below — the justification for the
+4-bit hybrid-multiplier building block. We reproduce the *shape* with
+a small two-layer MLP trained in numpy on a synthetic multi-class
+task, then post-training-quantized at every (weight bits, input bits)
+combination in 2..8.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.quant.quantize import quantize
+from repro.quant.schemes import choose_params
+
+
+def make_dataset(n_samples=2000, n_features=32, n_classes=8, seed=7, noise=0.9):
+    """Gaussian-cluster classification task with class overlap.
+
+    ``noise`` controls difficulty: enough overlap that quantization
+    noise below ~4 bits visibly destroys the decision boundaries.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 1.0, size=(n_classes, n_features))
+    labels = rng.integers(0, n_classes, size=n_samples)
+    data = centers[labels] + rng.normal(0.0, noise, size=(n_samples, n_features))
+    return data.astype(np.float64), labels
+
+
+@dataclass
+class Mlp:
+    """Two-layer perceptron trained with plain softmax + SGD."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    w2: np.ndarray
+    b2: np.ndarray
+
+    def forward(self, x, w1=None, w2=None):
+        w1 = self.w1 if w1 is None else w1
+        w2 = self.w2 if w2 is None else w2
+        hidden = np.maximum(x @ w1 + self.b1, 0.0)
+        return hidden @ w2 + self.b2, hidden
+
+    def accuracy(self, x, labels):
+        logits, _ = self.forward(x)
+        return float(np.mean(np.argmax(logits, axis=1) == labels))
+
+
+def train_mlp(x, labels, hidden=64, epochs=60, lr=0.08, seed=3):
+    """Train :class:`Mlp` by mini-batch SGD on softmax cross-entropy."""
+    rng = np.random.default_rng(seed)
+    n, d = x.shape
+    n_classes = int(labels.max()) + 1
+    model = Mlp(
+        w1=rng.normal(0, np.sqrt(2.0 / d), size=(d, hidden)),
+        b1=np.zeros(hidden),
+        w2=rng.normal(0, np.sqrt(2.0 / hidden), size=(hidden, n_classes)),
+        b2=np.zeros(n_classes),
+    )
+    batch = 64
+    one_hot = np.eye(n_classes)[labels]
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch):
+            idx = order[start : start + batch]
+            xb, yb = x[idx], one_hot[idx]
+            logits, hidden_act = model.forward(xb)
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad_logits = (probs - yb) / len(idx)
+            grad_w2 = hidden_act.T @ grad_logits
+            grad_hidden = grad_logits @ model.w2.T
+            grad_hidden[hidden_act <= 0] = 0.0
+            grad_w1 = xb.T @ grad_hidden
+            model.w2 -= lr * grad_w2
+            model.b2 -= lr * grad_logits.sum(axis=0)
+            model.w1 -= lr * grad_w1
+            model.b1 -= lr * grad_hidden.sum(axis=0)
+    return model
+
+
+def quantized_accuracy(model, x, labels, weight_bits, input_bits):
+    """Accuracy after post-training quantization of weights and inputs."""
+    wp1 = choose_params(model.w1, weight_bits)
+    wp2 = choose_params(model.w2, weight_bits)
+    w1 = quantize(model.w1, wp1).astype(np.float64) * wp1.scale
+    w2 = quantize(model.w2, wp2).astype(np.float64) * wp2.scale
+    xp = choose_params(x, input_bits)
+    xq = quantize(x, xp).astype(np.float64) * xp.scale
+    hidden = np.maximum(xq @ w1 + model.b1, 0.0)
+    hp = choose_params(hidden, input_bits)
+    hidden_q = quantize(hidden, hp).astype(np.float64) * hp.scale
+    logits = hidden_q @ w2 + model.b2
+    return float(np.mean(np.argmax(logits, axis=1) == labels))
+
+
+@dataclass
+class AccuracySurface:
+    """Accuracy grid over (weight bits, input bits) pairs."""
+
+    float_accuracy: float
+    grid: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def at(self, weight_bits, input_bits):
+        return self.grid[(weight_bits, input_bits)]
+
+    def knee_holds(self, threshold_drop=0.08):
+        """True if >=4-bit accuracy is near float and 2-bit collapses.
+
+        This is Figure 7's message: the surface is flat down to 4 bits
+        and falls off a cliff below.
+        """
+        ok_4bit = all(
+            self.float_accuracy - self.grid[(w, i)] <= threshold_drop
+            for w in (4, 6, 8)
+            for i in (4, 6, 8)
+        )
+        collapsed_2bit = (
+            self.float_accuracy - self.grid[(2, 2)] > threshold_drop
+        )
+        return ok_4bit and collapsed_2bit
+
+
+def sweep_accuracy(bit_widths=(2, 3, 4, 5, 6, 7, 8), seed=7, n_samples=2000):
+    """Run the full Figure-7-style sweep; returns :class:`AccuracySurface`."""
+    x, labels = make_dataset(n_samples=n_samples, seed=seed)
+    split = int(0.8 * len(x))
+    model = train_mlp(x[:split], labels[:split])
+    x_test, y_test = x[split:], labels[split:]
+    surface = AccuracySurface(float_accuracy=model.accuracy(x_test, y_test))
+    for weight_bits in bit_widths:
+        for input_bits in bit_widths:
+            surface.grid[(weight_bits, input_bits)] = quantized_accuracy(
+                model, x_test, y_test, weight_bits, input_bits
+            )
+    return surface

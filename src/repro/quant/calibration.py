@@ -1,0 +1,99 @@
+"""Activation calibration for post-training quantization.
+
+Weights can be quantized from their exact value range, but activation
+ranges must be *calibrated* from representative data. This module
+implements the standard calibration strategies (absolute max,
+percentile clipping, moving average) used by deployment frameworks
+like TensorRT/TFLite, so the examples can quantize whole inference
+pipelines rather than single tensors.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.quant.schemes import QuantParams
+
+
+@dataclass
+class Calibrator:
+    """Accumulates activation statistics over calibration batches."""
+
+    bits: int = 8
+    strategy: str = "percentile"
+    percentile: float = 99.9
+    momentum: float = 0.9
+    _absmax_values: List[float] = field(default_factory=list)
+    _samples: List[np.ndarray] = field(default_factory=list)
+    _running_absmax: float = 0.0
+    _observed: int = 0
+
+    def __post_init__(self):
+        if self.strategy not in ("absmax", "percentile", "moving_average"):
+            raise ValueError("unknown calibration strategy %r" % self.strategy)
+        if not 50.0 < self.percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+
+    def observe(self, batch):
+        """Record one batch of activations."""
+        batch = np.asarray(batch, dtype=np.float64).ravel()
+        if batch.size == 0:
+            raise ValueError("empty calibration batch")
+        self._observed += 1
+        absmax = float(np.abs(batch).max())
+        self._absmax_values.append(absmax)
+        if self.strategy == "percentile":
+            # subsample large batches to bound memory
+            if batch.size > 4096:
+                step = batch.size // 4096
+                batch = batch[::step]
+            self._samples.append(np.abs(batch))
+        if self.strategy == "moving_average":
+            if self._observed == 1:
+                self._running_absmax = absmax
+            else:
+                self._running_absmax = (
+                    self.momentum * self._running_absmax
+                    + (1.0 - self.momentum) * absmax
+                )
+
+    @property
+    def observed_batches(self):
+        return self._observed
+
+    def range_estimate(self):
+        """The calibrated symmetric clipping range."""
+        if not self._observed:
+            raise RuntimeError("no calibration batches observed")
+        if self.strategy == "absmax":
+            return max(self._absmax_values)
+        if self.strategy == "moving_average":
+            return self._running_absmax
+        pooled = np.concatenate(self._samples)
+        return float(np.percentile(pooled, self.percentile))
+
+    def params(self):
+        """Quantization parameters from the calibrated range."""
+        span = self.range_estimate()
+        qmax = (1 << (self.bits - 1)) - 1
+        scale = span / qmax if span > 0 else 1.0
+        return QuantParams(scale=scale, zero_point=0, bits=self.bits, symmetric=True)
+
+
+def calibrate(batches, bits=8, strategy="percentile", percentile=99.9):
+    """One-shot calibration over an iterable of activation batches."""
+    calibrator = Calibrator(bits=bits, strategy=strategy, percentile=percentile)
+    for batch in batches:
+        calibrator.observe(batch)
+    return calibrator.params()
+
+
+def clipping_error(tensor, params):
+    """Fraction of values clipped plus their mass (quality diagnostic)."""
+    tensor = np.asarray(tensor, dtype=np.float64).ravel()
+    limit = params.scale * params.qmax
+    clipped = np.abs(tensor) > limit
+    frac = float(np.mean(clipped))
+    mass = float(np.abs(tensor[clipped]).sum() / max(np.abs(tensor).sum(), 1e-30))
+    return frac, mass

@@ -1,0 +1,43 @@
+"""Int4 nibble packing.
+
+Two signed 4-bit values per byte, low nibble first — the memory layout
+the ``camp`` int4 mode loads directly, with no unpack instructions
+(Section 4.1: "4-bit support without requiring any instruction
+overhead for packing or unpacking data").
+"""
+
+import numpy as np
+
+INT4_MIN = -8
+INT4_MAX = 7
+
+
+def pack_int4(values):
+    """Pack signed int4 values (one per array slot) into bytes.
+
+    ``values`` length must be even; element ``2*i`` lands in the low
+    nibble of byte ``i``, element ``2*i + 1`` in the high nibble.
+    """
+    values = np.asarray(values, dtype=np.int64).ravel()
+    if values.size % 2:
+        raise ValueError("int4 packing requires an even element count")
+    if values.size and (values.min() < INT4_MIN or values.max() > INT4_MAX):
+        raise ValueError(
+            "values outside int4 range [%d, %d]" % (INT4_MIN, INT4_MAX)
+        )
+    unsigned = (values & 0xF).astype(np.uint8)
+    low = unsigned[0::2]
+    high = unsigned[1::2]
+    return (low | (high << 4)).astype(np.uint8)
+
+
+def unpack_int4(packed):
+    """Unpack bytes into sign-extended int4 values (as ``int8``)."""
+    packed = np.asarray(packed, dtype=np.uint8).ravel()
+    low = (packed & 0xF).astype(np.int16)
+    high = ((packed >> 4) & 0xF).astype(np.int16)
+    out = np.empty(packed.size * 2, dtype=np.int16)
+    out[0::2] = low
+    out[1::2] = high
+    out[out >= 8] -= 16  # sign extension
+    return out.astype(np.int8)

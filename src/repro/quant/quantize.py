@@ -1,0 +1,52 @@
+"""Quantize / dequantize tensors and run integer matmuls faithfully."""
+
+import numpy as np
+
+from repro.quant.schemes import QuantParams, choose_params
+
+
+def quantize(tensor, params):
+    """Quantize a float tensor onto ``params``' integer grid."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    q = np.round(tensor / params.scale) + params.zero_point
+    return np.clip(q, params.qmin, params.qmax).astype(
+        np.int8 if params.bits <= 8 else np.int16
+    )
+
+
+def dequantize(q, params):
+    """Map integer codes back to real values."""
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def quantized_matmul(a, b, bits=8, a_params=None, b_params=None):
+    """Float matmul computed through integer quantization.
+
+    Quantizes ``a`` and ``b`` to ``bits``-wide integers, multiplies in
+    int32 (the arithmetic CAMP performs), and rescales back to float.
+    Returns ``(c_float, c_int32, a_params, b_params)`` so callers can
+    inspect both the integer result and the reconstruction.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a_params is None:
+        a_params = choose_params(a, bits, symmetric=True)
+    if b_params is None:
+        b_params = choose_params(b, bits, symmetric=True)
+    qa = quantize(a, a_params).astype(np.int64)
+    qb = quantize(b, b_params).astype(np.int64)
+    c_int = qa @ qb
+    if np.abs(c_int).max(initial=0) > np.iinfo(np.int32).max:
+        raise OverflowError("int32 accumulator overflow; reduce K or bit-width")
+    c_float = c_int.astype(np.float64) * (a_params.scale * b_params.scale)
+    return c_float, c_int.astype(np.int32), a_params, b_params
+
+
+def quantization_error(a, b, bits):
+    """Relative Frobenius error of the ``bits``-wide quantized matmul."""
+    exact = np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+    approx, _, _, _ = quantized_matmul(a, b, bits=bits)
+    denom = np.linalg.norm(exact)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(approx - exact) / denom)

@@ -1,0 +1,53 @@
+"""Quantization parameter selection (per-tensor affine / symmetric)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization: ``real = scale * (q - zero_point)``."""
+
+    scale: float
+    zero_point: int
+    bits: int
+    symmetric: bool = True
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if not 2 <= self.bits <= 16:
+            raise ValueError("bits must be in [2, 16]")
+
+    @property
+    def qmin(self):
+        return -(1 << (self.bits - 1))
+
+    @property
+    def qmax(self):
+        return (1 << (self.bits - 1)) - 1
+
+
+def choose_params(tensor, bits, symmetric=True):
+    """Pick quantization parameters covering ``tensor``'s value range.
+
+    Symmetric mode (used for weights, and what CAMP's signed datapath
+    expects) maps ``[-absmax, absmax]`` onto the signed grid with a
+    zero zero-point; asymmetric mode fits ``[min, max]`` exactly.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.size == 0:
+        raise ValueError("cannot derive quantization params from an empty tensor")
+    qmin = -(1 << (bits - 1))
+    qmax = (1 << (bits - 1)) - 1
+    if symmetric:
+        absmax = float(np.max(np.abs(tensor)))
+        scale = absmax / qmax if absmax > 0 else 1.0
+        return QuantParams(scale, 0, bits, symmetric=True)
+    lo = min(float(tensor.min()), 0.0)
+    hi = max(float(tensor.max()), 0.0)
+    scale = (hi - lo) / (qmax - qmin) if hi > lo else 1.0
+    zero_point = int(round(qmin - lo / scale))
+    zero_point = max(qmin, min(qmax, zero_point))
+    return QuantParams(scale, zero_point, bits, symmetric=False)

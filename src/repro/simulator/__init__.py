@@ -1,0 +1,26 @@
+"""Cycle-approximate vector pipeline simulator.
+
+Replaces the paper's gem5 (ARM SVE) and bare-metal RTL (RISC-V)
+platforms with a trace-driven scoreboard model: instructions issue
+in-order within a configurable lookahead window, occupy functional
+units with per-opcode latency/initiation-interval, and loads resolve
+through the :mod:`repro.memory` hierarchy. Stalls are attributed to the
+paper's three categories (functional unit / read / write).
+"""
+
+from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
+from repro.simulator.stats import SimStats
+from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.executor import FlatMemory, FunctionalExecutor
+from repro.simulator.machine import Machine
+
+__all__ = [
+    "MachineConfig",
+    "a64fx_config",
+    "sargantana_config",
+    "SimStats",
+    "PipelineSimulator",
+    "FlatMemory",
+    "FunctionalExecutor",
+    "Machine",
+]

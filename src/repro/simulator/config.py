@@ -1,0 +1,168 @@
+"""Machine configurations for the two evaluation platforms.
+
+``a64fx_config`` mirrors Table 2 (A64FX-like superscalar out-of-order
+core, 512-bit SVE, 64KB L1D / 8MB shared L2, HBM2); ``sargantana_config``
+mirrors the Sargantana-like edge RISC-V SoC of Section 5.1 (in-order,
+single-issue, 32KB L1 / 512KB L2).
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import FUClass, Opcode
+from repro.memory.cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class StoreBufferConfig:
+    """Store buffer between the pipeline and the cache."""
+
+    entries: int = 16
+    drain_latency: int = 2  # cycles per store once at the head
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full description of a simulated machine."""
+
+    name: str
+    frequency_ghz: float
+    vector_length_bits: int
+    issue_width: int
+    window: int                         # lookahead; 1 = strictly in-order
+    fu_counts: Dict[FUClass, int]
+    fu_latency: Dict[FUClass, int]
+    opcode_latency: Dict[Opcode, int] = field(default_factory=dict)
+    fu_interval: Dict[FUClass, int] = field(default_factory=dict)
+    cache_configs: Tuple[CacheConfig, ...] = ()
+    dram_latency: int = 90
+    dram_bytes_per_cycle: float = 64.0
+    store_buffer: StoreBufferConfig = field(default_factory=StoreBufferConfig)
+    camp_enabled: bool = False
+    prefetch: bool = True
+
+    @property
+    def n_lanes(self):
+        return self.vector_length_bits // 64
+
+    def latency_of(self, instruction):
+        """Execution latency of ``instruction`` (memory ops add cache time)."""
+        if instruction.opcode in self.opcode_latency:
+            return self.opcode_latency[instruction.opcode]
+        return self.fu_latency[instruction.fu_class]
+
+    def interval_of(self, fu_class):
+        """Initiation interval (cycles a unit stays busy per op)."""
+        return self.fu_interval.get(fu_class, 1)
+
+    def with_camp(self, enabled=True):
+        """A copy of this config with the CAMP unit toggled."""
+        return replace(self, camp_enabled=enabled)
+
+    def units_of(self, fu_class):
+        return self.fu_counts.get(fu_class, 0)
+
+
+def a64fx_config(camp_enabled=False):
+    """A64FX-like OoO SVE core (Table 2).
+
+    Two SIMD pipelines, 512-bit vectors, L1D 64KB 8-way with 4-cycle
+    load-to-use, shared L2 8MB 16-way at 37 cycles, HBM2-class DRAM.
+    The CAMP unit, when enabled, is one matrix-class FU with a 6-cycle
+    latency and single-cycle initiation (Section 6.1 reports positive
+    slack at the 2 GHz target, i.e. the unit pipelines cleanly).
+    """
+    return MachineConfig(
+        name="a64fx" + ("+camp" if camp_enabled else ""),
+        frequency_ghz=2.0,
+        vector_length_bits=512,
+        issue_width=2,
+        window=32,
+        fu_counts={
+            # A64FX exposes two SIMD pipelines shared between vector
+            # add/permute and multiply work; one VALU + one VMUL unit
+            # models that shared pair for GEMM's balanced dup/MLA mix
+            FUClass.SCALAR: 2,
+            FUClass.BRANCH: 1,
+            FUClass.LOAD: 2,
+            FUClass.STORE: 1,
+            FUClass.VALU: 1,
+            FUClass.VMUL: 1,
+            FUClass.MATRIX: 1 if camp_enabled else 0,
+        },
+        fu_latency={
+            FUClass.SCALAR: 1,
+            FUClass.BRANCH: 1,
+            FUClass.LOAD: 4,    # L1 hit; cache model overrides on miss
+            FUClass.STORE: 1,
+            FUClass.VALU: 2,
+            FUClass.VMUL: 4,
+            FUClass.MATRIX: 6,
+        },
+        opcode_latency={
+            Opcode.FMLA: 9,     # A64FX FLA fp latency
+            Opcode.VREDUCE: 6,
+            Opcode.VREINTERPRET: 1,
+            Opcode.VMOV: 1,
+        },
+        cache_configs=(
+            CacheConfig("l1", 64 * 1024, 256, 8, load_to_use=4),
+            CacheConfig("l2", 8 * 1024 * 1024, 256, 16, load_to_use=37),
+        ),
+        dram_latency=100,
+        dram_bytes_per_cycle=128.0,
+        store_buffer=StoreBufferConfig(entries=24, drain_latency=2),
+        camp_enabled=camp_enabled,
+    )
+
+
+def sargantana_config(camp_enabled=False):
+    """Sargantana-like in-order RISC-V edge SoC (Section 5.1).
+
+    Single-issue 7-stage in-order pipeline with a 128-bit SIMD unit
+    (the edge SoC implements "a subset of the vector instruction"
+    features), 32KB L1D, 512KB L2, modest DDR bandwidth, 1 GHz in
+    GF 22nm FDX. The 128-bit datapath is what puts the paper's edge
+    throughput in the 13-28 GOPS range.
+    """
+    return MachineConfig(
+        name="sargantana" + ("+camp" if camp_enabled else ""),
+        frequency_ghz=1.0,
+        vector_length_bits=128,
+        issue_width=1,
+        window=1,
+        fu_counts={
+            FUClass.SCALAR: 1,
+            FUClass.BRANCH: 1,
+            FUClass.LOAD: 1,
+            FUClass.STORE: 1,
+            FUClass.VALU: 1,
+            FUClass.VMUL: 1,
+            FUClass.MATRIX: 1 if camp_enabled else 0,
+        },
+        fu_latency={
+            FUClass.SCALAR: 1,
+            FUClass.BRANCH: 1,
+            FUClass.LOAD: 2,
+            FUClass.STORE: 1,
+            FUClass.VALU: 2,
+            FUClass.VMUL: 3,
+            FUClass.MATRIX: 4,
+        },
+        opcode_latency={
+            Opcode.FMLA: 5,
+            Opcode.VREDUCE: 4,
+        },
+        fu_interval={
+            # the edge SIMD unit is not fully pipelined for wide ops
+            FUClass.VMUL: 2,
+        },
+        cache_configs=(
+            CacheConfig("l1", 32 * 1024, 64, 4, load_to_use=2),
+            CacheConfig("l2", 512 * 1024, 64, 8, load_to_use=12),
+        ),
+        dram_latency=60,
+        dram_bytes_per_cycle=8.0,
+        store_buffer=StoreBufferConfig(entries=8, drain_latency=2),
+        camp_enabled=camp_enabled,
+    )

@@ -1,0 +1,322 @@
+"""Functional (bit-accurate) executor for instruction traces.
+
+Timing and function are split: :class:`PipelineSimulator` answers "how
+many cycles", this module answers "what values". The test suite runs
+micro-kernels through both and checks the numeric results against
+numpy matmul, which is what ties the instruction traces used for
+performance numbers to actual correct arithmetic.
+"""
+
+import numpy as np
+
+from repro.core.camp import CampMode, camp_reference
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Opcode
+from repro.isa.registers import (
+    AuxRegisterFile,
+    ScalarRegisterFile,
+    VectorRegisterFile,
+)
+from repro.quant.packing import pack_int4, unpack_int4
+
+
+class FlatMemory:
+    """Byte-addressable flat memory backed by a numpy buffer."""
+
+    def __init__(self, size_bytes=1 << 24):
+        self.size_bytes = size_bytes
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+
+    def _check(self, addr, size):
+        if addr < 0 or addr + size > self.size_bytes:
+            raise IndexError(
+                "access [0x%x, 0x%x) outside memory of %d bytes"
+                % (addr, addr + size, self.size_bytes)
+            )
+
+    def read(self, addr, size):
+        self._check(addr, size)
+        return self._data[addr : addr + size].copy()
+
+    def write(self, addr, data):
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        self._check(addr, data.size)
+        self._data[addr : addr + data.size] = data
+
+    def write_array(self, addr, array):
+        """Store a numpy array's raw bytes at ``addr``."""
+        raw = np.ascontiguousarray(array).view(np.uint8).ravel()
+        self.write(addr, raw)
+
+    def read_array(self, addr, dtype, count):
+        """Load ``count`` elements of numpy ``dtype`` from ``addr``."""
+        dtype = np.dtype(dtype)
+        raw = self.read(addr, dtype.itemsize * count)
+        return raw.view(dtype).copy()
+
+
+def _wrap(values, dtype):
+    """Two's-complement wraparound into ``dtype``'s range."""
+    if dtype is DType.FP32:
+        return np.asarray(values, dtype=np.float32)
+    bits = dtype.bits
+    span = 1 << bits
+    lo = -(1 << (bits - 1))
+    arr = np.asarray(values, dtype=np.int64)
+    return ((arr - lo) % span + lo).astype(dtype.numpy_dtype)
+
+
+class FunctionalExecutor:
+    """Executes a :class:`~repro.isa.program.Program` against memory."""
+
+    def __init__(self, memory=None, vector_length_bits=512):
+        self.memory = memory if memory is not None else FlatMemory()
+        self.vector_length_bits = vector_length_bits
+        self.vregs = VectorRegisterFile(vector_length_bits=vector_length_bits)
+        self.xregs = ScalarRegisterFile()
+        self.aregs = AuxRegisterFile()
+        self._dispatch = {
+            Opcode.VLOAD: self._exec_vload,
+            Opcode.VLOAD_STRIDED: self._exec_vload_strided,
+            Opcode.VSTORE: self._exec_vstore,
+            Opcode.VADD: self._exec_vadd,
+            Opcode.VMUL: self._exec_vmul,
+            Opcode.VMLA: self._exec_vmla,
+            Opcode.FMLA: self._exec_vmla,
+            Opcode.VDUP: self._exec_vdup,
+            Opcode.VWIDEN: self._exec_vwiden,
+            Opcode.VNARROW: self._exec_vnarrow,
+            Opcode.VREINTERPRET: self._exec_vreinterpret,
+            Opcode.VREDUCE: self._exec_vreduce,
+            Opcode.VZERO: self._exec_vzero,
+            Opcode.VMOV: self._exec_vmov,
+            Opcode.CAMP: self._exec_camp,
+            Opcode.CAMP_STORE: self._exec_camp_store,
+            Opcode.MMLA: self._exec_mmla,
+            Opcode.SALU: self._exec_salu,
+            Opcode.SMUL: self._exec_smul,
+            Opcode.SLOAD: self._exec_sload,
+            Opcode.SSTORE: self._exec_sstore,
+            Opcode.BRANCH: self._exec_branch,
+        }
+
+    def run(self, program):
+        """Execute every instruction in order."""
+        for inst in program:
+            self._dispatch[inst.opcode](inst)
+        return self
+
+    # -- register helpers --------------------------------------------------
+
+    def _vec(self, reg):
+        return self.vregs.read(reg)
+
+    def _file_for(self, reg):
+        if reg.is_vector:
+            return self.vregs
+        if reg.is_scalar:
+            return self.xregs
+        return self.aregs
+
+    # -- vector memory -------------------------------------------------
+
+    def _elements_for(self, inst):
+        if inst.dtype is DType.INT4:
+            return inst.size * 2  # two nibbles per byte
+        return inst.size // np.dtype(inst.dtype.numpy_dtype).itemsize
+
+    def _exec_vload(self, inst):
+        if inst.dtype is DType.INT4:
+            raw = self.memory.read(inst.addr, inst.size)
+            values = unpack_int4(raw)
+        else:
+            values = self.memory.read_array(
+                inst.addr, inst.dtype.numpy_dtype, self._elements_for(inst)
+            )
+        self.vregs.write(inst.dst[0], values)
+
+    def _exec_vload_strided(self, inst):
+        stride = inst.meta.get("stride")
+        if stride is None:
+            raise ValueError("strided load without stride metadata: %s" % inst)
+        if inst.dtype is DType.INT4:
+            raise NotImplementedError("strided int4 loads are not modelled")
+        item = np.dtype(inst.dtype.numpy_dtype).itemsize
+        count = inst.size // item
+        values = np.empty(count, dtype=inst.dtype.numpy_dtype)
+        for i in range(count):
+            values[i] = self.memory.read_array(inst.addr + i * stride, inst.dtype.numpy_dtype, 1)[0]
+        self.vregs.write(inst.dst[0], values)
+
+    def _exec_vstore(self, inst):
+        values = self._vec(inst.src[0])
+        if inst.dtype is DType.INT4:
+            self.memory.write(inst.addr, pack_int4(values))
+        else:
+            expected = self._elements_for(inst)
+            self.memory.write_array(
+                inst.addr, values[:expected].astype(inst.dtype.numpy_dtype)
+            )
+
+    # -- vector arithmetic -----------------------------------------------
+
+    @staticmethod
+    def _align(*arrays):
+        """Trim operands to a common length (partial-vector forms)."""
+        n = min(a.size for a in arrays)
+        return tuple(a[:n] for a in arrays)
+
+    def _exec_vadd(self, inst):
+        a, b = self._align(self._vec(inst.src[0]), self._vec(inst.src[1]))
+        self.vregs.write(
+            inst.dst[0], _wrap(a.astype(np.int64) + b.astype(np.int64), inst.dtype)
+        )
+
+    def _exec_vmul(self, inst):
+        requant = inst.meta.get("requant")
+        if requant is not None:
+            # fused fixed-point requantization (see camp8-requant):
+            # saturating scale of the accumulator values to int8 range
+            from repro.gemm.kernels.camp_requant import requantize_int32_to_int8
+
+            multiplier, shift = requant
+            values = self._vec(inst.src[0])
+            self.vregs.write(
+                inst.dst[0],
+                requantize_int32_to_int8(values, multiplier, shift).astype(np.int32),
+            )
+            return
+        a, b = self._align(self._vec(inst.src[0]), self._vec(inst.src[1]))
+        if inst.dtype is DType.FP32:
+            self.vregs.write(inst.dst[0], a * b)
+            return
+        self.vregs.write(
+            inst.dst[0], _wrap(a.astype(np.int64) * b.astype(np.int64), inst.dtype)
+        )
+
+    def _exec_vmla(self, inst):
+        acc = self._vec(inst.src[0])
+        a = self._vec(inst.src[1])
+        b = self._vec(inst.src[2])
+        half = inst.meta.get("half")
+        if half is not None:
+            # widening MLA: the low or high half of the narrow operands
+            # feeds this register's accumulators
+            offset = 0 if half == "low" else acc.size
+            a = a[offset : offset + acc.size]
+            b = b[offset : offset + acc.size]
+        acc, a, b = self._align(acc, a, b)
+        if inst.dtype is DType.FP32:
+            self.vregs.write(inst.dst[0], acc + a * b)
+            return
+        result = acc.astype(np.int64) + a.astype(np.int64) * b.astype(np.int64)
+        self.vregs.write(inst.dst[0], _wrap(result, inst.dtype))
+
+    def _exec_vdup(self, inst):
+        src = inst.src[0]
+        if src.is_vector:
+            lane = inst.imm or 0
+            value = self._vec(src)[lane]
+        else:
+            value = self.xregs.read(src)
+        count = inst.meta.get("elements")
+        if count is None:
+            count = inst.dtype.elements_per_register(self.vector_length_bits)
+        self.vregs.write(inst.dst[0], _wrap(np.full(count, value), inst.dtype))
+
+    def _exec_vwiden(self, inst):
+        src = self._vec(inst.src[0])
+        to_dtype = inst.dtype
+        count = to_dtype.elements_per_register(self.vector_length_bits)
+        half = inst.meta.get("half", "low")
+        offset = 0 if half == "low" else count
+        self.vregs.write(inst.dst[0], src[offset : offset + count].astype(to_dtype.numpy_dtype))
+
+    def _exec_vnarrow(self, inst):
+        src = self._vec(inst.src[0])
+        self.vregs.write(inst.dst[0], _wrap(src, inst.dtype))
+
+    def _exec_vreinterpret(self, inst):
+        src = self._vec(inst.src[0])
+        if inst.dtype is DType.INT4:
+            raise NotImplementedError("reinterpret to int4 is not modelled")
+        target = np.dtype(inst.dtype.numpy_dtype)
+        raw = np.ascontiguousarray(src).view(np.uint8)
+        self.vregs.write(inst.dst[0], raw.view(target).copy())
+
+    def _exec_vreduce(self, inst):
+        src = self._vec(inst.src[0])
+        self.xregs.write(inst.dst[0], int(np.sum(src.astype(np.int64))))
+
+    def _exec_vzero(self, inst):
+        count = inst.dtype.elements_per_register(self.vector_length_bits)
+        if inst.dtype is DType.INT4:
+            count = 2 * DType.INT8.elements_per_register(self.vector_length_bits)
+        if inst.dst[0].is_aux:
+            self.aregs.zero(inst.dst[0])
+            return
+        self.vregs.write(inst.dst[0], np.zeros(count, dtype=inst.dtype.numpy_dtype))
+
+    def _exec_vmov(self, inst):
+        self.vregs.write(inst.dst[0], self._vec(inst.src[0]).copy())
+
+    # -- matrix -----------------------------------------------------------
+
+    def _exec_camp(self, inst):
+        acc = self.aregs.read(inst.src[0])
+        a = self._vec(inst.src[1])
+        b = self._vec(inst.src[2])
+        mode = CampMode.from_dtype(inst.dtype)
+        self.aregs.write(
+            inst.dst[0],
+            camp_reference(acc, a, b, mode, vector_length_bits=self.vector_length_bits),
+        )
+
+    def _exec_camp_store(self, inst):
+        tile = self.aregs.read(inst.src[0]).reshape(-1).astype(np.int32)
+        per_reg = min(tile.size, self.vector_length_bits // 32)
+        chunk = inst.imm or 0
+        self.vregs.write(inst.dst[0], tile[chunk * per_reg : (chunk + 1) * per_reg])
+
+    def _exec_mmla(self, inst):
+        """ARMv8.6 smmla over four 128-bit quadword segments.
+
+        Each segment: A holds a 2x8 int8 row-major tile, B holds a 2x8
+        int8 row-major tile, and the int32 accumulator segment gains
+        ``A @ B.T`` (a 2x2 tile).
+        """
+        acc = self._vec(inst.src[0]).astype(np.int64)
+        a = self._vec(inst.src[1]).astype(np.int64)
+        b = self._vec(inst.src[2]).astype(np.int64)
+        n_segments = self.vector_length_bits // 128
+        out = acc.copy()
+        for q in range(n_segments):
+            a_tile = a[16 * q : 16 * q + 16].reshape(2, 8)
+            b_tile = b[16 * q : 16 * q + 16].reshape(2, 8)
+            c_tile = out[4 * q : 4 * q + 4].reshape(2, 2)
+            c_tile += a_tile @ b_tile.T
+        self.vregs.write(inst.dst[0], _wrap(out, DType.INT32))
+
+    # -- scalar / control ---------------------------------------------------
+
+    def _exec_salu(self, inst):
+        total = sum(self.xregs.read(r) for r in inst.src) + (inst.imm or 0)
+        self.xregs.write(inst.dst[0], total)
+
+    def _exec_smul(self, inst):
+        a = self.xregs.read(inst.src[0])
+        b = self.xregs.read(inst.src[1])
+        self.xregs.write(inst.dst[0], a * b)
+
+    def _exec_sload(self, inst):
+        self.xregs.write(
+            inst.dst[0], int(self.memory.read_array(inst.addr, np.int64, 1)[0])
+        )
+
+    def _exec_sstore(self, inst):
+        self.memory.write_array(
+            inst.addr, np.array([self.xregs.read(inst.src[0])], dtype=np.int64)
+        )
+
+    def _exec_branch(self, inst):
+        """Back-edge bookkeeping only — traces are already unrolled."""

@@ -1,0 +1,36 @@
+"""Facade combining timing and functional simulation of one machine."""
+
+from repro.simulator.executor import FlatMemory, FunctionalExecutor
+from repro.simulator.pipeline import PipelineSimulator
+
+
+class Machine:
+    """One simulated platform: config + pipeline + functional executor.
+
+    A fresh pipeline (and hence cold caches) is created per ``simulate``
+    call unless ``keep_state=True`` chains runs on warm caches.
+    """
+
+    def __init__(self, config, memory_bytes=1 << 24):
+        self.config = config
+        self.memory = FlatMemory(memory_bytes)
+        self._pipeline = None
+
+    def execute(self, program):
+        """Functionally execute ``program``; returns the executor."""
+        executor = FunctionalExecutor(
+            self.memory, vector_length_bits=self.config.vector_length_bits
+        )
+        return executor.run(program)
+
+    def simulate(self, program, keep_state=False, warm_addresses=()):
+        """Timing-simulate ``program``; returns :class:`SimStats`."""
+        if self._pipeline is None or not keep_state:
+            self._pipeline = PipelineSimulator(self.config)
+        return self._pipeline.run(program, warm_addresses=warm_addresses)
+
+    def run(self, program, **simulate_kwargs):
+        """Execute and simulate; returns ``(executor, stats)``."""
+        executor = self.execute(program)
+        stats = self.simulate(program, **simulate_kwargs)
+        return executor, stats

@@ -1,0 +1,95 @@
+"""Simulation statistics and stall taxonomy.
+
+The paper reports (Figures 4 and 15) the functional-unit busy rate and
+the proportion of stall cycles attributed to *Functional Unit*, *Read*
+and *Write* causes; :class:`SimStats` carries exactly those, plus the
+instruction/byte counters every experiment consumes.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.instructions import FUClass
+
+
+@dataclass
+class SimStats:
+    """Counters produced by one pipeline simulation."""
+
+    cycles: int = 0
+    instructions: int = 0
+    vector_instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    fu_busy_cycles: Dict[FUClass, int] = field(default_factory=Counter)
+    stall_cycles_fu: int = 0
+    stall_cycles_read: int = 0
+    stall_cycles_write: int = 0
+    issue_cycles: int = 0       # cycles in which >=1 instruction issued
+    cache_miss_rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def stall_cycles(self):
+        return self.stall_cycles_fu + self.stall_cycles_read + self.stall_cycles_write
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def busy_rate(self, fu_class, n_units=1):
+        """Fraction of cycles ``fu_class`` units were occupied."""
+        if not self.cycles or not n_units:
+            return 0.0
+        return self.fu_busy_cycles.get(fu_class, 0) / (self.cycles * n_units)
+
+    def arithmetic_busy_rate(self, config):
+        """Busy rate of the vector-arithmetic units (paper's "FU busy rate").
+
+        Weighted over the VALU/VMUL/MATRIX pools that exist in
+        ``config``; this is the quantity Figures 4 and 15 plot.
+        """
+        busy = 0
+        capacity = 0
+        for fu in (FUClass.VALU, FUClass.VMUL, FUClass.MATRIX):
+            units = config.units_of(fu)
+            if units:
+                busy += self.fu_busy_cycles.get(fu, 0)
+                capacity += units * self.cycles
+        return busy / capacity if capacity else 0.0
+
+    def stall_proportions(self):
+        """(fu, read, write) proportions of total stall cycles."""
+        total = self.stall_cycles
+        if not total:
+            return 0.0, 0.0, 0.0
+        return (
+            self.stall_cycles_fu / total,
+            self.stall_cycles_read / total,
+            self.stall_cycles_write / total,
+        )
+
+    def merge_scaled(self, other, repeat=1):
+        """Fold ``repeat`` copies of ``other`` into this stats object.
+
+        Used by the GotoBLAS driver to compose whole-GEMM totals from a
+        micro-kernel tile simulated once (block composition; validated
+        against full simulation in the tests).
+        """
+        self.cycles += other.cycles * repeat
+        self.instructions += other.instructions * repeat
+        self.vector_instructions += other.vector_instructions * repeat
+        self.loads += other.loads * repeat
+        self.stores += other.stores * repeat
+        self.bytes_loaded += other.bytes_loaded * repeat
+        self.bytes_stored += other.bytes_stored * repeat
+        for fu, busy in other.fu_busy_cycles.items():
+            self.fu_busy_cycles[fu] = self.fu_busy_cycles.get(fu, 0) + busy * repeat
+        self.stall_cycles_fu += other.stall_cycles_fu * repeat
+        self.stall_cycles_read += other.stall_cycles_read * repeat
+        self.stall_cycles_write += other.stall_cycles_write * repeat
+        self.issue_cycles += other.issue_cycles * repeat
+        self.cache_miss_rates.update(other.cache_miss_rates)
+        return self

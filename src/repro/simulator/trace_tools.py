@@ -1,0 +1,111 @@
+"""Trace analysis utilities.
+
+Static analyses over instruction traces that complement the pipeline
+simulator: dataflow critical path (the latency lower bound no amount
+of issue width can beat), per-functional-unit occupancy lower bounds,
+and arithmetic-intensity summaries. Used by the ablation experiments
+and handy when designing new kernels.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.isa.instructions import FUClass, Opcode
+
+
+@dataclass
+class TraceAnalysis:
+    """Static properties of one instruction trace on one machine."""
+
+    instructions: int
+    critical_path_cycles: int
+    fu_bound_cycles: int
+    issue_bound_cycles: int
+    bytes_loaded: int
+    bytes_stored: int
+    fu_cycles: Dict[FUClass, int]
+
+    @property
+    def latency_bound(self):
+        """Best achievable cycles: max of all three lower bounds."""
+        return max(
+            self.critical_path_cycles, self.fu_bound_cycles, self.issue_bound_cycles
+        )
+
+    def arithmetic_intensity(self, macs):
+        """MACs per byte of memory traffic."""
+        traffic = self.bytes_loaded + self.bytes_stored
+        return macs / traffic if traffic else float("inf")
+
+
+def _latency(config, inst):
+    if inst.opcode in (Opcode.CAMP, Opcode.MMLA):
+        # accumulator forwarding: chains pipeline at the interval
+        return config.interval_of(inst.fu_class)
+    return config.latency_of(inst)
+
+
+def analyze_trace(program, config):
+    """Compute :class:`TraceAnalysis` for ``program`` on ``config``.
+
+    The critical path uses SSA dependences (same renaming assumption
+    as the pipeline) with load latencies taken as L1 hits; the FU
+    bound divides per-class occupancy by the unit count; the issue
+    bound divides instruction count by issue width.
+    """
+    last_writer = {}
+    finish = []  # earliest finish time of each instruction
+    fu_busy = {}
+    for index, inst in enumerate(program):
+        start = 0
+        for src in inst.src:
+            writer = last_writer.get(src)
+            if writer is not None:
+                start = max(start, finish[writer])
+        latency = _latency(config, inst)
+        finish.append(start + latency)
+        for dst in inst.dst:
+            last_writer[dst] = index
+        interval = config.interval_of(inst.fu_class)
+        fu_busy[inst.fu_class] = fu_busy.get(inst.fu_class, 0) + interval
+
+    critical = max(finish) if finish else 0
+    fu_bound = 0
+    for fu, busy in fu_busy.items():
+        units = config.units_of(fu)
+        if units == 0:
+            raise ValueError(
+                "trace uses %s but machine %r has no such unit" % (fu.value, config.name)
+            )
+        fu_bound = max(fu_bound, -(-busy // units))
+    issue_bound = -(-len(program) // config.issue_width)
+    return TraceAnalysis(
+        instructions=len(program),
+        critical_path_cycles=critical,
+        fu_bound_cycles=fu_bound,
+        issue_bound_cycles=issue_bound,
+        bytes_loaded=program.bytes_loaded(),
+        bytes_stored=program.bytes_stored(),
+        fu_cycles=fu_busy,
+    )
+
+
+def efficiency_report(program, config, simulated_cycles):
+    """How close a simulated run came to its static lower bound."""
+    analysis = analyze_trace(program, config)
+    bound = analysis.latency_bound
+    return {
+        "lower_bound_cycles": bound,
+        "simulated_cycles": simulated_cycles,
+        "efficiency": bound / simulated_cycles if simulated_cycles else 0.0,
+        "binding_constraint": _binding_constraint(analysis),
+    }
+
+
+def _binding_constraint(analysis):
+    bound = analysis.latency_bound
+    if bound == analysis.critical_path_cycles:
+        return "dependency-chain"
+    if bound == analysis.fu_bound_cycles:
+        return "functional-units"
+    return "issue-width"

@@ -1,0 +1,25 @@
+"""Benchmark workloads: the paper's CNN / LLM / SMM matrix shapes."""
+
+from repro.workloads.shapes import (
+    GemmShape,
+    CNN_LAYERS,
+    LLM_LAYERS,
+    SMM_SIZES,
+    cnn_benchmarks,
+    llm_benchmarks,
+    smm_shapes,
+)
+from repro.workloads.im2col import conv_output_shape, conv_to_gemm_shape, im2col
+
+__all__ = [
+    "GemmShape",
+    "CNN_LAYERS",
+    "LLM_LAYERS",
+    "SMM_SIZES",
+    "cnn_benchmarks",
+    "llm_benchmarks",
+    "smm_shapes",
+    "conv_output_shape",
+    "conv_to_gemm_shape",
+    "im2col",
+]

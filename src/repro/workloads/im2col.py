@@ -1,0 +1,73 @@
+"""im2col: casting convolutions to GEMM (Section 2.1).
+
+The standard trick behind every "CNN layer as matrix multiplication"
+row in Table 3: unfold each receptive field into a column so the
+convolution becomes ``patches @ filters``.
+"""
+
+import numpy as np
+
+
+def conv_output_shape(h, w, kernel, stride=1, padding=0):
+    """Output spatial dimensions of a convolution."""
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("convolution output is empty for these parameters")
+    return out_h, out_w
+
+
+def conv_to_gemm_shape(h, w, in_channels, out_channels, kernel, stride=1, padding=0):
+    """(m, n, k) of the GEMM an im2col convolution performs."""
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    return out_h * out_w, out_channels, kernel * kernel * in_channels
+
+
+def im2col(image, kernel, stride=1, padding=0):
+    """Unfold an (H, W, C) image into a patch matrix.
+
+    Returns an array of shape (out_h * out_w, kernel * kernel * C):
+    row p holds the flattened receptive field of output pixel p, so a
+    convolution with filters reshaped to (k*k*C, F) is ``patches @
+    filters``.
+    """
+    image = np.asarray(image)
+    if image.ndim != 3:
+        raise ValueError("expected an (H, W, C) image, got shape %s" % (image.shape,))
+    h, w, c = image.shape
+    if padding:
+        image = np.pad(image, ((padding, padding), (padding, padding), (0, 0)))
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    patches = np.empty((out_h * out_w, kernel * kernel * c), dtype=image.dtype)
+    row = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            window = image[
+                i * stride : i * stride + kernel,
+                j * stride : j * stride + kernel,
+                :,
+            ]
+            patches[row] = window.reshape(-1)
+            row += 1
+    return patches
+
+
+def conv2d_via_gemm(image, filters, stride=1, padding=0):
+    """Convolution computed as im2col + GEMM.
+
+    ``image`` is (H, W, C); ``filters`` is (F, k, k, C). Returns the
+    (out_h, out_w, F) feature map. Used by the CNN example and by the
+    tests as a cross-check against direct convolution.
+    """
+    filters = np.asarray(filters)
+    n_filters, kernel, kernel2, in_c = filters.shape
+    if kernel != kernel2:
+        raise ValueError("only square kernels are supported")
+    patches = im2col(image, kernel, stride, padding)
+    weights = filters.reshape(n_filters, -1).T  # (k*k*C, F)
+    out = patches.astype(np.int64) @ weights.astype(np.int64) \
+        if np.issubdtype(patches.dtype, np.integer) else patches @ weights
+    out_h, out_w = conv_output_shape(
+        image.shape[0], image.shape[1], kernel, stride, padding
+    )
+    return out.reshape(out_h, out_w, n_filters)

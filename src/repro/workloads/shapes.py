@@ -1,0 +1,163 @@
+"""Matrix-multiplication shapes evaluated in the paper.
+
+``CNN_LAYERS`` transcribes Table 3 exactly (m, n, k per layer).
+``LLM_LAYERS`` covers the feed-forward (FF) and self-attention (SA)
+GEMMs of the four transformer models in Section 5.2; the paper does
+not tabulate these, so we derive them from the published model
+geometries (hidden size, FF expansion 4x, typical sequence lengths) —
+the derivation is recorded per entry.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """One m x k by k x n matrix multiplication."""
+
+    m: int
+    n: int
+    k: int
+    label: str = ""
+
+    @property
+    def macs(self):
+        return self.m * self.n * self.k
+
+    def __str__(self):
+        suffix = " (%s)" % self.label if self.label else ""
+        return "%dx%dx%d%s" % (self.m, self.n, self.k, suffix)
+
+
+def _layers(name, triples):
+    return [
+        GemmShape(m, n, k, label="%s-L%d" % (name, i + 1))
+        for i, (m, n, k) in enumerate(triples)
+    ]
+
+
+# Table 3: m, n, k per layer (convolutions already cast via im2col).
+CNN_LAYERS: Dict[str, List[GemmShape]] = {
+    "alexnet": _layers(
+        "alexnet",
+        [
+            (169, 256, 3456),
+            (169, 384, 2304),
+            (169, 384, 3456),
+            (3025, 96, 363),
+            (729, 256, 2400),
+        ],
+    ),
+    "resnet": _layers(
+        "resnet",
+        [
+            (12544, 64, 147),
+            (196, 256, 1152),
+            (196, 256, 2304),
+            (3136, 64, 576),
+            (49, 512, 2304),
+            (49, 512, 4608),
+            (784, 128, 1152),
+            (784, 128, 576),
+        ],
+    ),
+    "vgg": _layers(
+        "vgg",
+        [
+            (12544, 128, 1152),
+            (12544, 128, 576),
+            (196, 512, 4608),
+            (3136, 256, 1152),
+            (3136, 256, 2304),
+            (50176, 64, 27),
+            (50176, 64, 576),
+            (784, 512, 2304),
+            (784, 512, 4608),
+        ],
+    ),
+    "mobilenet": _layers(
+        "mobilenet",
+        [
+            (2544, 32, 27),
+            (12544, 64, 32),
+            (196, 512, 256),
+            (196, 512, 512),
+            (3136, 128, 128),
+            (3136, 128, 64),
+            (49, 1024, 1024),
+            (49, 1024, 512),
+            (784, 256, 128),
+            (784, 256, 256),
+        ],
+    ),
+}
+
+# Square matrix multiplication sizes (Table 3 "SMM" column + Figure 12).
+SMM_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512, 1024)
+
+
+def smm_shapes(sizes=SMM_SIZES):
+    return [GemmShape(s, s, s, label="smm-%d" % s) for s in sizes]
+
+
+# LLM layer GEMMs. Derivation (per model: hidden h, FF inner 4h, heads
+# omitted — the SA projections are h x h GEMMs over the sequence):
+#   FF:  (seq, 4h, h)     — first feed-forward matmul
+#   SA:  (seq, h, h)      — Q/K/V/output projection shape
+# Sequence lengths: BERT 128 (classification fine-tune default),
+# GPT-2 / GPT-3 1024/2048 context.
+_LLM_GEOMETRY = {
+    "bert-base": {"hidden": 768, "seq": 128},
+    "bert-large": {"hidden": 1024, "seq": 128},
+    "gpt2-large": {"hidden": 1280, "seq": 1024},
+    "gpt3-small": {"hidden": 768, "seq": 2048},
+}
+
+LLM_LAYERS: Dict[str, Dict[str, GemmShape]] = {
+    model: {
+        "ff": GemmShape(geo["seq"], 4 * geo["hidden"], geo["hidden"],
+                        label="%s-ff" % model),
+        "sa": GemmShape(geo["seq"], geo["hidden"], geo["hidden"],
+                        label="%s-sa" % model),
+    }
+    for model, geo in _LLM_GEOMETRY.items()
+}
+
+
+def cnn_benchmarks():
+    """(network, layer index, shape) triples in Table 3 order."""
+    for network, layers in CNN_LAYERS.items():
+        for index, shape in enumerate(layers, start=1):
+            yield network, index, shape
+
+
+def llm_benchmarks():
+    """(model, layer kind, shape) triples for the LLM study."""
+    for model, layers in LLM_LAYERS.items():
+        for kind in ("ff", "sa"):
+            yield model, kind, layers[kind]
+
+
+# The Table 4 / related-work convolution benchmark: input tensor
+# H x W x F = 16 x 16 x 32, filters 64 x 3 x 3 x 32.
+EDGE_CONV = {
+    "input_hw": (16, 16),
+    "in_channels": 32,
+    "out_channels": 64,
+    "kernel": 3,
+}
+
+
+def edge_conv_shape(padding=1, stride=1):
+    """GEMM shape of the Table 4 convolution benchmark (im2col form)."""
+    h, w = EDGE_CONV["input_hw"]
+    kern = EDGE_CONV["kernel"]
+    out_h = (h + 2 * padding - kern) // stride + 1
+    out_w = (w + 2 * padding - kern) // stride + 1
+    return GemmShape(
+        m=out_h * out_w,
+        n=EDGE_CONV["out_channels"],
+        k=kern * kern * EDGE_CONV["in_channels"],
+        label="edge-conv",
+    )

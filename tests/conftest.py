@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.config import a64fx_config, sargantana_config
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def a64fx():
+    return a64fx_config(camp_enabled=True)
+
+
+@pytest.fixture
+def a64fx_nocamp():
+    return a64fx_config(camp_enabled=False)
+
+
+@pytest.fixture
+def sargantana():
+    return sargantana_config(camp_enabled=True)
+
+
+def random_int_matrix(rng, shape, bits):
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return rng.integers(lo, hi + 1, size=shape).astype(np.int8 if bits <= 8 else np.int32)

@@ -1,0 +1,80 @@
+"""Tests for the design-choice ablation studies."""
+
+import pytest
+
+from repro.experiments import ABLATIONS
+from repro.experiments import (
+    ablation_blocking,
+    ablation_hybrid_block,
+    ablation_multicore,
+    ablation_vector_length,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation_runs_and_formats(name):
+    module = ABLATIONS[name]
+    rows = module.run(fast=True)
+    text = module.format_results(rows)
+    assert isinstance(text, str) and len(text) > 40
+
+
+class TestBlockingAblation:
+    def test_default_blocking_is_near_optimal(self):
+        rows = ablation_blocking.run(fast=True)
+        for row in rows:
+            # mis-sized kc should not *beat* the cache-derived default
+            # by much, and small kc visibly hurts CAMP
+            assert row.relative > 0.85
+
+    def test_tiny_kc_hurts_camp(self):
+        rows = [r for r in ablation_blocking.run(fast=True) if r.method == "camp8"]
+        small = min(rows, key=lambda r: r.kc)
+        large = max(rows, key=lambda r: r.kc)
+        assert small.cycles > large.cycles
+
+
+class TestHybridBlockAblation:
+    def test_full_sweep_structure(self):
+        rows = ablation_hybrid_block.run(fast=False)
+        by_width = {r.block_bits: r for r in rows}
+        assert set(by_width) == {2, 4, 8}
+        # smaller blocks allow narrower operands
+        assert by_width[2].min_operand_bits == 2
+        # an 8-bit monolithic multiplier offers no 4-bit sub-units
+        assert by_width[8].sub_multipliers_4bit == 0
+        assert by_width[4].sub_multipliers_4bit == 4
+
+    def test_area_monotone_in_recursion_depth(self):
+        rows = {r.block_bits: r for r in ablation_hybrid_block.run(fast=False)}
+        # more recursion levels -> more recombination adders -> more gates
+        assert rows[2].gates_per_multiplier > rows[4].gates_per_multiplier
+
+
+class TestVectorLengthAblation:
+    def test_macs_scale_linearly_with_vl(self):
+        rows = ablation_vector_length.run(fast=True)
+        by_key = {(r.vector_length_bits, r.method): r for r in rows}
+        assert by_key[(512, "camp8")].macs_per_instruction == 4 * by_key[
+            (128, "camp8")
+        ].macs_per_instruction
+
+    def test_throughput_grows_with_vl(self):
+        rows = ablation_vector_length.run(fast=True)
+        camp8 = {r.vector_length_bits: r.gops for r in rows if r.method == "camp8"}
+        assert camp8[512] > 2 * camp8[128]
+
+    def test_int4_doubles_int8(self):
+        rows = ablation_vector_length.run(fast=True)
+        by_key = {(r.vector_length_bits, r.method): r.gops for r in rows}
+        ratio = by_key[(512, "camp4")] / by_key[(512, "camp8")]
+        assert 1.4 < ratio < 2.2
+
+
+class TestMulticoreAblation:
+    def test_rows_cover_methods_and_cores(self):
+        rows = ablation_multicore.run(fast=True)
+        methods = {r.method for r in rows}
+        assert methods == {"camp8", "openblas-fp32"}
+        for row in rows:
+            assert 0 < row.efficiency <= 1.0 + 1e-9

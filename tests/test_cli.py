@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gemm_args(self):
+        args = build_parser().parse_args(["gemm", "64", "32", "16", "--method", "camp4"])
+        assert (args.m, args.n, args.k) == (64, 32, 16)
+        assert args.method == "camp4"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "camp8" in out and "table1" in out
+
+    def test_gemm_analysis(self, capsys):
+        assert main(["gemm", "64", "64", "64", "--method", "camp8"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "GOPS" in out
+
+    def test_gemm_verified(self, capsys):
+        assert main(["gemm", "32", "32", "32", "--method", "camp8", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "numeric verification" in out
+
+    def test_experiment_fast(self, capsys):
+        assert main(["experiment", "area", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "physical design" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "hybrid-block", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "building-block" in out
+
+    def test_ablation_unknown(self):
+        assert main(["ablation", "nope"]) == 2
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "0.027" in out

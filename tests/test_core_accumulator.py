@@ -1,0 +1,87 @@
+"""Tests for intra-lane adders and the inter-lane accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.accumulator import (
+    InterLaneAccumulator,
+    IntraLaneAdderBank,
+    wrap_int32,
+)
+
+
+class TestWrapInt32:
+    def test_identity_in_range(self):
+        values = np.array([-(2**31), -1, 0, 1, 2**31 - 1])
+        assert np.array_equal(wrap_int32(values), values.astype(np.int32))
+
+    def test_positive_overflow_wraps(self):
+        assert wrap_int32(np.array([2**31])) == np.array([-(2**31)], dtype=np.int32)
+
+    def test_negative_overflow_wraps(self):
+        assert wrap_int32(np.array([-(2**31) - 1])) == np.array(
+            [2**31 - 1], dtype=np.int32
+        )
+
+    def test_matches_numpy_cast(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(-(2**40), 2**40, size=100)
+        assert np.array_equal(wrap_int32(values), values.astype(np.int32))
+
+
+class TestIntraLaneAdderBank:
+    def test_reduce_two_tiles(self):
+        bank = IntraLaneAdderBank()
+        t1 = np.ones((4, 4), dtype=np.int64)
+        t2 = np.full((4, 4), 2, dtype=np.int64)
+        assert np.array_equal(bank.reduce([t1, t2]), np.full((4, 4), 3, np.int32))
+
+    def test_add_ops_counted(self):
+        bank = IntraLaneAdderBank()
+        tiles = [np.zeros((4, 4))] * 4
+        bank.reduce(tiles)
+        assert bank.add_ops == 16 * 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IntraLaneAdderBank().reduce([])
+
+    def test_shape_enforced(self):
+        with pytest.raises(ValueError):
+            IntraLaneAdderBank().reduce([np.zeros((2, 2))])
+
+
+class TestInterLaneAccumulator:
+    def test_accumulate(self):
+        acc = InterLaneAccumulator(n_lanes=2)
+        tiles = [np.ones((4, 4)), np.ones((4, 4))]
+        out = acc.accumulate(tiles, np.full((4, 4), 5))
+        assert np.array_equal(out, np.full((4, 4), 7, np.int32))
+
+    def test_lane_count_enforced(self):
+        acc = InterLaneAccumulator(n_lanes=8)
+        with pytest.raises(ValueError):
+            acc.accumulate([np.zeros((4, 4))], np.zeros((4, 4)))
+
+    def test_add_ops(self):
+        acc = InterLaneAccumulator(n_lanes=4)
+        acc.accumulate([np.zeros((4, 4))] * 4, np.zeros((4, 4)))
+        assert acc.add_ops == 16 * 4
+
+    def test_bad_lane_count_construction(self):
+        with pytest.raises(ValueError):
+            InterLaneAccumulator(n_lanes=0)
+
+    def test_acc_shape_enforced(self):
+        acc = InterLaneAccumulator(n_lanes=1)
+        with pytest.raises(ValueError):
+            acc.accumulate([np.zeros((4, 4))], np.zeros((3, 3)))
+
+
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 8))
+def test_reduce_matches_sum_property(seed, n):
+    rng = np.random.default_rng(seed)
+    tiles = [rng.integers(-(2**20), 2**20, size=(4, 4)) for _ in range(n)]
+    out = IntraLaneAdderBank().reduce(tiles)
+    assert np.array_equal(out, wrap_int32(np.sum(tiles, axis=0)))

@@ -1,0 +1,161 @@
+"""Tests for the camp instruction's architectural semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.camp import (
+    CampMode,
+    camp_reference,
+    pack_a_panel,
+    pack_b_panel,
+)
+from repro.isa.dtypes import DType
+
+
+class TestCampMode:
+    def test_k_depth_512(self):
+        assert CampMode.INT8.k_depth == 16
+        assert CampMode.INT4.k_depth == 32
+
+    def test_k_depth_128(self):
+        assert CampMode.INT8.k_depth_for(128) == 4
+        assert CampMode.INT4.k_depth_for(128) == 8
+
+    def test_k_depth_invalid_vl(self):
+        with pytest.raises(ValueError):
+            CampMode.INT8.k_depth_for(24)
+
+    def test_from_dtype(self):
+        assert CampMode.from_dtype(DType.INT8) is CampMode.INT8
+        assert CampMode.from_dtype(DType.INT4) is CampMode.INT4
+        with pytest.raises(ValueError):
+            CampMode.from_dtype(DType.INT32)
+
+    def test_tile_is_4x4(self):
+        assert CampMode.INT8.tile_m == 4 and CampMode.INT8.tile_n == 4
+
+
+def random_panels(rng, mode, vl=512):
+    k = mode.k_depth_for(vl)
+    lo = -(1 << (mode.element_bits - 1))
+    hi = (1 << (mode.element_bits - 1))
+    a = rng.integers(lo, hi, size=(4, k)).astype(np.int8)
+    b = rng.integers(lo, hi, size=(k, 4)).astype(np.int8)
+    return a, b
+
+
+class TestCampReference:
+    @pytest.mark.parametrize("mode", [CampMode.INT8, CampMode.INT4])
+    @pytest.mark.parametrize("vl", [128, 256, 512])
+    def test_matches_matmul(self, rng, mode, vl):
+        a, b = random_panels(rng, mode, vl)
+        out = camp_reference(
+            np.zeros((4, 4), np.int32),
+            pack_a_panel(a, mode, vl),
+            pack_b_panel(b, mode, vl),
+            mode,
+            vector_length_bits=vl,
+        )
+        assert np.array_equal(out, a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_accumulates(self, rng):
+        a, b = random_panels(rng, CampMode.INT8)
+        acc = np.full((4, 4), 7, dtype=np.int32)
+        out = camp_reference(
+            acc, pack_a_panel(a, CampMode.INT8), pack_b_panel(b, CampMode.INT8),
+            CampMode.INT8,
+        )
+        assert np.array_equal(out, acc + a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_int32_wraparound(self):
+        # drive the accumulator to the int32 boundary and verify wrap
+        acc = np.full((4, 4), np.iinfo(np.int32).max, dtype=np.int32)
+        a = np.ones((4, 16), dtype=np.int8)
+        b = np.zeros((16, 4), dtype=np.int8)
+        b[0, :] = 1
+        out = camp_reference(
+            acc, pack_a_panel(a, CampMode.INT8), pack_b_panel(b, CampMode.INT8),
+            CampMode.INT8,
+        )
+        assert (out == np.iinfo(np.int32).min).all()
+
+    def test_operand_range_enforced(self):
+        bad = np.full((4, 16), 9, dtype=np.int8)  # out of int4 range
+        with pytest.raises(ValueError):
+            camp_reference(
+                np.zeros((4, 4), np.int32),
+                bad.T.reshape(-1),
+                np.zeros(128, np.int8),
+                CampMode.INT4,
+            )
+
+    def test_operand_size_enforced(self):
+        with pytest.raises(ValueError):
+            camp_reference(
+                np.zeros((4, 4), np.int32),
+                np.zeros(32, np.int8),
+                np.zeros(64, np.int8),
+                CampMode.INT8,
+            )
+
+    def test_accumulator_shape_enforced(self):
+        with pytest.raises(ValueError):
+            camp_reference(
+                np.zeros((2, 2), np.int32),
+                np.zeros(64, np.int8),
+                np.zeros(64, np.int8),
+                CampMode.INT8,
+            )
+
+    def test_mode_accepts_string_value(self, rng):
+        a, b = random_panels(rng, CampMode.INT8)
+        out = camp_reference(
+            np.zeros((4, 4), np.int32),
+            pack_a_panel(a, "int8"),
+            pack_b_panel(b, "int8"),
+            "int8",
+        )
+        assert np.array_equal(out, a.astype(np.int64) @ b.astype(np.int64))
+
+
+class TestPanelPacking:
+    def test_pack_a_layout(self):
+        a = np.arange(64, dtype=np.int8).reshape(4, 16)
+        flat = pack_a_panel(a, CampMode.INT8)
+        # element i + 4*k is A[i, k]
+        for k in range(16):
+            for i in range(4):
+                assert flat[i + 4 * k] == a[i, k]
+
+    def test_pack_b_layout(self):
+        b = np.arange(64, dtype=np.int8).reshape(16, 4)
+        flat = pack_b_panel(b, CampMode.INT8)
+        for k in range(16):
+            for j in range(4):
+                assert flat[j + 4 * k] == b[k, j]
+
+    def test_pack_shape_validation(self):
+        with pytest.raises(ValueError):
+            pack_a_panel(np.zeros((4, 8), np.int8), CampMode.INT8)
+        with pytest.raises(ValueError):
+            pack_b_panel(np.zeros((8, 4), np.int8), CampMode.INT8)
+
+
+@settings(max_examples=50)
+@given(seed=st.integers(0, 2**31 - 1), mode=st.sampled_from(list(CampMode)))
+def test_camp_reference_matmul_property(seed, mode):
+    rng = np.random.default_rng(seed)
+    k = mode.k_depth
+    lo = -(1 << (mode.element_bits - 1))
+    hi = 1 << (mode.element_bits - 1)
+    a = rng.integers(lo, hi, size=(4, k))
+    b = rng.integers(lo, hi, size=(k, 4))
+    acc = rng.integers(-1000, 1000, size=(4, 4)).astype(np.int32)
+    out = camp_reference(acc, pack_a_panel(a, mode), pack_b_panel(b, mode), mode)
+    assert np.array_equal(out, acc.astype(np.int64) + a @ b)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,112 @@
+"""Tests for the divide-and-conquer hybrid multiplier (Section 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hybrid_multiplier import HybridMultiplier, MultiplierStats
+
+
+class TestConstruction:
+    def test_default_is_8bit_from_4bit_blocks(self):
+        hm = HybridMultiplier()
+        assert hm.width_bits == 8 and hm.block_bits == 4
+
+    def test_bad_width_chain_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMultiplier(width_bits=12, block_bits=4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMultiplier(width_bits=0, block_bits=4)
+
+    def test_block_wider_than_width_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMultiplier(width_bits=4, block_bits=8)
+
+
+class TestStructure:
+    def test_8bit_uses_four_blocks(self):
+        assert HybridMultiplier(8, 4).base_blocks == 4
+
+    def test_16bit_uses_sixteen_blocks(self):
+        assert HybridMultiplier(16, 4).base_blocks == 16
+
+    def test_sub_multipliers_scaling(self):
+        hm = HybridMultiplier(8, 4)
+        assert hm.sub_multipliers(8) == 1
+        assert hm.sub_multipliers(4) == 4
+
+    def test_sub_multipliers_bounds(self):
+        hm = HybridMultiplier(8, 4)
+        with pytest.raises(ValueError):
+            hm.sub_multipliers(16)
+        with pytest.raises(ValueError):
+            hm.sub_multipliers(2)
+
+    def test_recursion_depth(self):
+        assert HybridMultiplier(8, 4).recursion_depth() == 1
+        assert HybridMultiplier(16, 4).recursion_depth() == 2
+
+    def test_gate_estimate_grows_with_width(self):
+        assert (
+            HybridMultiplier(16, 4).gate_estimate()
+            > HybridMultiplier(8, 4).gate_estimate()
+        )
+
+
+class TestMultiplication:
+    @pytest.mark.parametrize("a", [-128, -17, -1, 0, 1, 42, 127])
+    @pytest.mark.parametrize("b", [-128, -3, 0, 5, 127])
+    def test_exhaustive_corners_8bit(self, a, b):
+        assert HybridMultiplier(8, 4).multiply(a, b) == a * b
+
+    def test_full_exhaustive_4bit_operands(self):
+        hm = HybridMultiplier(8, 4)
+        for a in range(-8, 8):
+            for b in range(-8, 8):
+                assert hm.multiply(a, b, operand_bits=4) == a * b
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMultiplier(8, 4).multiply(200, 1)
+
+    def test_16bit_width(self):
+        hm = HybridMultiplier(16, 4)
+        assert hm.multiply(-30000, 2) == -60000
+
+    def test_stats_counting(self):
+        hm = HybridMultiplier(8, 4)
+        hm.multiply(100, 100)
+        # one 8-bit multiply = four 4-bit base multiplies + 3 adds
+        assert hm.stats.base_multiplies == 4
+        assert hm.stats.adder_ops == 3
+        assert hm.stats.shift_ops == 2
+
+    def test_reset_stats(self):
+        hm = HybridMultiplier(8, 4)
+        hm.multiply(3, 5)
+        hm.reset_stats()
+        assert hm.stats.base_multiplies == 0
+
+    def test_stats_merge(self):
+        s1 = MultiplierStats(base_multiplies=2, adder_ops=1, shift_ops=1)
+        s2 = MultiplierStats(base_multiplies=3, adder_ops=2, shift_ops=0)
+        s1.merge(s2)
+        assert s1.base_multiplies == 5 and s1.adder_ops == 3
+
+
+@given(a=st.integers(-128, 127), b=st.integers(-128, 127))
+def test_product_matches_python_8bit(a, b):
+    assert HybridMultiplier(8, 4).multiply(a, b) == a * b
+
+
+@given(a=st.integers(-(1 << 15), (1 << 15) - 1), b=st.integers(-(1 << 15), (1 << 15) - 1))
+def test_product_matches_python_16bit(a, b):
+    assert HybridMultiplier(16, 4).multiply(a, b) == a * b
+
+
+@given(a=st.integers(-128, 127), b=st.integers(-128, 127))
+def test_base_multiply_count_is_square_of_ratio(a, b):
+    hm = HybridMultiplier(8, 4)
+    hm.multiply(a, b)
+    assert hm.stats.base_multiplies == hm.base_blocks

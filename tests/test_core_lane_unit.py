@@ -1,0 +1,100 @@
+"""Tests for the lane model and the assembled CAMP unit."""
+
+import numpy as np
+import pytest
+
+from repro.core.camp import CampMode, camp_reference, pack_a_panel, pack_b_panel
+from repro.core.lane import CampLane
+from repro.core.unit import CampUnit
+
+
+class TestCampLane:
+    def test_multiplier_counts(self):
+        lane = CampLane()
+        assert lane.multipliers_for(CampMode.INT8) == 32
+        assert lane.multipliers_for(CampMode.INT4) == 128
+
+    def test_elements_per_operand(self):
+        lane = CampLane()
+        assert lane.elements_per_operand(CampMode.INT8) == 8
+        assert lane.elements_per_operand(CampMode.INT4) == 16
+
+    def test_columns_per_operand(self):
+        lane = CampLane()
+        assert lane.columns_per_operand(CampMode.INT8) == 2
+        assert lane.columns_per_operand(CampMode.INT4) == 4
+
+    def test_compute_int8_outer_products(self):
+        lane = CampLane()
+        a = np.arange(8, dtype=np.int64) - 4
+        b = np.arange(8, dtype=np.int64)
+        tile = lane.compute(a, b, CampMode.INT8)
+        expected = np.outer(a[:4], b[:4]) + np.outer(a[4:], b[4:])
+        assert np.array_equal(tile, expected)
+
+    def test_compute_validates_size(self):
+        lane = CampLane()
+        with pytest.raises(ValueError):
+            lane.compute(np.zeros(4), np.zeros(8), CampMode.INT8)
+
+    def test_outer_product_counter(self):
+        lane = CampLane()
+        lane.compute(np.zeros(8), np.zeros(8), CampMode.INT8)
+        assert lane.outer_products == 2
+
+    def test_base_multiplies_tracked(self):
+        lane = CampLane()
+        lane.compute(np.ones(8), np.ones(8), CampMode.INT8)
+        # 32 int8 multiplies, each = 4 base blocks
+        assert lane.multiplier.stats.base_multiplies == 128
+
+
+class TestCampUnit:
+    @pytest.mark.parametrize("vl", [128, 512])
+    @pytest.mark.parametrize("mode", [CampMode.INT8, CampMode.INT4])
+    def test_matches_reference(self, vl, mode):
+        rng = np.random.default_rng(3)
+        k = mode.k_depth_for(vl)
+        lo, hi = -(1 << (mode.element_bits - 1)), 1 << (mode.element_bits - 1)
+        a = rng.integers(lo, hi, size=(4, k))
+        b = rng.integers(lo, hi, size=(k, 4))
+        acc = rng.integers(-100, 100, size=(4, 4)).astype(np.int32)
+        unit = CampUnit(vector_length_bits=vl)
+        a_flat = pack_a_panel(a, mode, vl)
+        b_flat = pack_b_panel(b, mode, vl)
+        got = unit.execute(acc, a_flat, b_flat, mode)
+        want = camp_reference(acc, a_flat, b_flat, mode, vector_length_bits=vl)
+        assert np.array_equal(got, want)
+
+    def test_lane_count(self):
+        assert CampUnit(512).n_lanes == 8
+        assert CampUnit(128).n_lanes == 2
+
+    def test_bad_vl_rejected(self):
+        with pytest.raises(ValueError):
+            CampUnit(100)
+
+    def test_operand_size_enforced(self):
+        unit = CampUnit(512)
+        with pytest.raises(ValueError):
+            unit.execute(np.zeros((4, 4)), np.zeros(32), np.zeros(64), CampMode.INT8)
+
+    def test_macs_per_instruction(self):
+        unit = CampUnit(512)
+        assert unit.macs_per_instruction(CampMode.INT8) == 256
+        assert unit.macs_per_instruction(CampMode.INT4) == 512
+
+    def test_resource_counting(self):
+        unit = CampUnit(512)
+        a = pack_a_panel(np.ones((4, 16), np.int8), CampMode.INT8)
+        b = pack_b_panel(np.ones((16, 4), np.int8), CampMode.INT8)
+        unit.execute(np.zeros((4, 4), np.int32), a, b, CampMode.INT8)
+        # 256 int8 multiplies * 4 base blocks each
+        assert unit.total_base_multiplies() == 1024
+        assert unit.instructions_executed == 1
+        assert unit.total_inter_lane_adds() == 16 * 8
+
+    def test_multipliers_per_lane(self):
+        unit = CampUnit(512)
+        assert unit.multipliers_per_lane(CampMode.INT8) == 32
+        assert unit.multipliers_per_lane(CampMode.INT4) == 128

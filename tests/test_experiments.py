@@ -1,0 +1,151 @@
+"""Integration tests: every experiment runs and reproduces the paper's shape.
+
+These are the assertions DESIGN.md's per-experiment index promises:
+who wins, by roughly what factor, and where the qualitative knees are.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import (
+    exp_area,
+    exp_fig1_cache_miss,
+    exp_fig4_fu_busy,
+    exp_fig7_accuracy,
+    exp_fig12_riscv_smm,
+    exp_fig13_cnn,
+    exp_fig14_llm,
+    exp_fig15_stalls,
+    exp_fig16_energy,
+    exp_fig17_heatmap,
+    exp_fig18_mmla,
+    exp_table1,
+    exp_table4,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_runs_and_formats(name):
+    module = ALL_EXPERIMENTS[name]
+    results = module.run(fast=True)
+    text = module.format_results(results)
+    assert isinstance(text, str) and len(text) > 40
+
+
+class TestTable1Shape:
+    def test_camp_beats_fp32_on_both_platforms(self):
+        rows = exp_table1.run(fast=True)
+        for row in rows:
+            assert row.int8_speedup > 2.0
+            assert row.int4_speedup > row.int8_speedup
+
+
+class TestFig1Shape:
+    def test_blocked_far_below_naive(self):
+        rows = exp_fig1_cache_miss.run(fast=True)
+        for row in rows:
+            assert row.naive_miss_rate > 0.15
+        # blocked stays low for the steady-state workloads
+        assert min(r.blocked_miss_rate for r in rows) < 0.05
+
+
+class TestFig4Shape:
+    def test_baselines_keep_fus_busy(self):
+        rows = exp_fig4_fu_busy.run(fast=True)
+        for row in rows:
+            assert row.busy_rate > 0.6
+
+
+class TestFig7Shape:
+    def test_accuracy_knee_at_4_bits(self):
+        surface = exp_fig7_accuracy.run(fast=True)
+        assert surface.float_accuracy - surface.at(4, 4) < 0.08
+        assert surface.float_accuracy - surface.at(2, 2) > 0.15
+
+
+class TestAreaShape:
+    def test_paper_values(self):
+        rows = exp_area.run()
+        by_platform = {r.platform: r for r in rows}
+        assert by_platform["a64fx"].overhead == pytest.approx(0.01, rel=0.05)
+        assert by_platform["sargantana"].overhead == pytest.approx(0.04, rel=0.05)
+        assert exp_area.peak_power_increase() == pytest.approx(0.006, rel=0.15)
+
+
+class TestFig12Shape:
+    def test_riscv_speedups(self):
+        rows = exp_fig12_riscv_smm.run(fast=True)
+        for row in rows:
+            assert row.speedup_8bit > 5
+            # 4-bit tracks 8-bit at ~2x (the linear relationship)
+            ratio = row.speedup_4bit / row.speedup_8bit
+            assert 1.5 < ratio < 2.5
+            assert row.inst_reduction_8bit > 4
+
+
+class TestFig13Shape:
+    def test_method_ordering(self):
+        rows = exp_fig13_cnn.run(fast=True)
+        for row in rows:
+            speedups = {m: row.results[m]["speedup"] for m in row.results if m not in ("shape", "baseline")}
+            assert speedups["camp4"] > speedups["camp8"] > speedups["handv-int8"]
+            assert speedups["handv-int8"] > speedups["handv-int32"]
+
+    def test_camp_cuts_instruction_count(self):
+        rows = exp_fig13_cnn.run(fast=True)
+        for row in rows:
+            assert row.results["camp8"]["ic_ratio"] < 0.5
+
+
+class TestFig14Shape:
+    def test_llm_speedups(self):
+        rows = exp_fig14_llm.run(fast=True)
+        for row in rows:
+            assert row.results["camp4"]["speedup"] > 3
+            assert row.results["camp4"]["speedup"] > row.results["camp8"]["speedup"]
+
+
+class TestFig15Shape:
+    def test_busy_rate_collapses_with_camp(self):
+        rows = exp_fig15_stalls.run(fast=True)
+        for row in rows:
+            assert row.busy_rate < 0.3
+            # residual stalls are memory-side, not compute
+            assert row.stall_fu < 0.3
+            assert row.stall_write > 0.2
+
+
+class TestFig16Shape:
+    def test_energy_reduction(self):
+        rows = exp_fig16_energy.run(fast=True)
+        for row in rows:
+            assert row.camp8_fraction < 0.35
+            assert row.camp4_fraction < row.camp8_fraction
+
+
+class TestFig17Shape:
+    def test_alu_reduction_dominates(self):
+        rows = exp_fig17_heatmap.run(fast=True)
+        for row in rows:
+            # the ">8-fold" vector-ALU reduction of Section 6.2
+            assert row.fractions[("handv-int8", "alu")] < 0.125
+            assert row.fractions[("gemmlowp", "alu")] < 0.125
+
+
+class TestFig18Shape:
+    def test_ordering_and_mmla_band(self):
+        rows = exp_fig18_mmla.run(fast=True)
+        for row in rows:
+            assert row.camp4 > row.camp8 > row.mmla > 1.0
+            assert 1.5 < row.mmla < 3.5
+
+
+class TestTable4Shape:
+    def test_edge_throughput_band(self):
+        rows = exp_table4.run(fast=True)
+        for row in rows:
+            assert 5 < row.gops_8bit < 40
+            assert row.gops_4bit > row.gops_8bit
+            # efficiency in the hundreds of GOPS/W
+            assert 100 < row.gops_w_8bit < 700
+            assert row.gops_w_4bit > row.gops_w_8bit

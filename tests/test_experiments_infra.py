@@ -1,0 +1,61 @@
+"""Tests for the experiment infrastructure (report rendering, runner)."""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import (
+    A64FX_METHODS,
+    analyze_cached,
+    driver_for,
+    geometric_mean,
+    speedup_rows,
+)
+from repro.workloads.shapes import GemmShape
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("xyz", 0.001)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "xyz" in text and "0.001" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(123.456,), (1.234,), (0.1234,)])
+        assert "123" in text and "1.23" in text and "0.123" in text
+
+
+class TestRunner:
+    def test_driver_cached(self):
+        assert driver_for("camp8", "a64fx") is driver_for("camp8", "a64fx")
+
+    def test_distinct_per_machine(self):
+        assert driver_for("camp8", "a64fx") is not driver_for("camp8", "sargantana")
+
+    def test_analyze_cached(self):
+        shape = GemmShape(64, 64, 64)
+        execution = analyze_cached(shape, "camp8", "a64fx")
+        assert execution.macs == 64**3
+
+    def test_speedup_rows_structure(self):
+        shapes = [GemmShape(64, 64, 64, label="t")]
+        rows = speedup_rows(shapes, ["camp8", "openblas-fp32"], "a64fx",
+                            "openblas-fp32")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["openblas-fp32"]["speedup"] == pytest.approx(1.0)
+        assert row["camp8"]["speedup"] > 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([3]) == 3
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_method_list_contains_baseline(self):
+        assert "openblas-fp32" in A64FX_METHODS

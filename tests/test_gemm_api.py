@@ -1,0 +1,74 @@
+"""Tests for the public gemm()/analyze() API."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.api import analyze, gemm, make_driver, resolve_machine
+from repro.gemm.microkernel import kernel_names
+from repro.isa.instructions import FUClass
+from repro.simulator.config import a64fx_config
+
+
+class TestResolveMachine:
+    def test_default_is_a64fx(self):
+        config = resolve_machine(None, "camp8")
+        assert config.name.startswith("a64fx")
+        assert config.units_of(FUClass.MATRIX) == 1
+
+    def test_plain_kernel_gets_no_matrix_unit(self):
+        config = resolve_machine("a64fx", "openblas-fp32")
+        assert config.units_of(FUClass.MATRIX) == 0
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            resolve_machine("cray1", "camp8")
+
+    def test_explicit_config_checked_for_matrix_unit(self):
+        with pytest.raises(ValueError):
+            resolve_machine(a64fx_config(camp_enabled=False), "camp8")
+
+    def test_explicit_config_passthrough(self):
+        config = a64fx_config(camp_enabled=True)
+        assert resolve_machine(config, "camp8") is config
+
+
+class TestGemm:
+    def test_registry_has_all_methods(self):
+        names = kernel_names()
+        for expected in ("camp8", "camp4", "handv-int32", "handv-int8",
+                         "gemmlowp", "openblas-fp32", "blis-int32", "mmla"):
+            assert expected in names
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_driver("strassen")
+
+    def test_gemm_returns_result(self, rng):
+        a = rng.integers(-128, 128, size=(8, 16)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(16, 8)).astype(np.int8)
+        result = gemm(a, b, method="camp8")
+        assert np.array_equal(result.c, a.astype(np.int64) @ b.astype(np.int64))
+        assert result.cycles > 0
+        assert result.gops > 0
+
+    def test_float_operands_rejected_for_integer_kernel(self, rng):
+        a = rng.normal(size=(8, 16))
+        b = rng.normal(size=(16, 8))
+        with pytest.raises(TypeError):
+            gemm(a, b, method="camp8")
+
+    def test_out_of_range_rejected(self):
+        a = np.full((8, 16), 100, dtype=np.int8)
+        b = np.full((16, 8), 100, dtype=np.int8)
+        with pytest.raises(ValueError):
+            gemm(a, b, method="camp4")  # 100 does not fit int4
+
+    def test_analyze_only(self):
+        execution = analyze(64, 64, 64, method="camp8")
+        assert execution.kernel_name == "camp8"
+        assert execution.machine_name == "a64fx+camp"
+
+    def test_sargantana_machine(self):
+        execution = analyze(64, 64, 64, method="camp8", machine="sargantana")
+        assert execution.machine_name.startswith("sargantana")
+        assert execution.frequency_ghz == 1.0

@@ -1,0 +1,58 @@
+"""Tests for GotoBLAS blocking parameter selection."""
+
+import pytest
+
+from repro.gemm.blocking import BlockingParams, default_blocking
+from repro.isa.dtypes import DType
+from repro.simulator.config import a64fx_config, sargantana_config
+
+
+class TestBlockingParams:
+    def test_valid(self):
+        blk = BlockingParams(m_r=4, n_r=4, mc=64, kc=256, nc=512)
+        assert blk.kc == 256
+
+    def test_mc_multiple_of_mr(self):
+        with pytest.raises(ValueError):
+            BlockingParams(m_r=4, n_r=4, mc=66, kc=256, nc=512)
+
+    def test_nc_multiple_of_nr(self):
+        with pytest.raises(ValueError):
+            BlockingParams(m_r=4, n_r=16, mc=64, kc=256, nc=100)
+
+    def test_positive(self):
+        with pytest.raises(ValueError):
+            BlockingParams(m_r=4, n_r=4, mc=64, kc=0, nc=512)
+
+    def test_tiles_per_block(self):
+        blk = BlockingParams(m_r=4, n_r=4, mc=64, kc=256, nc=512)
+        assert blk.tiles_per_block(8, 8) == 4
+        assert blk.tiles_per_block(7, 9) == 6  # ceil division
+
+
+class TestDefaultBlocking:
+    def test_a64fx_int8(self):
+        blk = default_blocking(a64fx_config(), DType.INT8, 4, 4, k_step=16)
+        assert blk.kc % 16 == 0
+        # kc x n_r B panel fits comfortably in half of L1
+        assert blk.kc * blk.n_r <= 32 * 1024
+
+    def test_l2_constraint(self):
+        config = a64fx_config()
+        blk = default_blocking(config, DType.FP32, 8, 16)
+        l2 = config.cache_configs[1].size_bytes
+        assert blk.mc * blk.kc * 4 <= l2
+
+    def test_smaller_caches_give_smaller_blocks(self):
+        big = default_blocking(a64fx_config(), DType.INT32, 4, 16)
+        small = default_blocking(sargantana_config(), DType.INT32, 4, 4)
+        assert small.kc <= big.kc
+
+    def test_kc_respects_k_step(self):
+        blk = default_blocking(a64fx_config(), DType.INT4, 4, 4, k_step=32)
+        assert blk.kc % 32 == 0
+
+    def test_int4_density_allows_bigger_blocks(self):
+        int8 = default_blocking(sargantana_config(), DType.INT8, 4, 4, 16)
+        int4 = default_blocking(sargantana_config(), DType.INT4, 4, 4, 32)
+        assert int4.mc >= int8.mc

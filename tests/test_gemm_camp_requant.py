@@ -1,0 +1,99 @@
+"""Tests for the fused-requantization CAMP kernel (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gemm.kernels.camp_requant import requantize_int32_to_int8
+from repro.gemm.microkernel import (
+    A_PANEL_BASE,
+    B_PANEL_BASE,
+    C_TILE_BASE,
+    get_kernel,
+)
+from repro.simulator.executor import FlatMemory, FunctionalExecutor
+from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.config import a64fx_config
+
+
+class TestRequantizeMath:
+    def test_matches_float_formulation(self):
+        rng = np.random.default_rng(0)
+        tile = rng.integers(-(2**20), 2**20, size=(4, 4))
+        multiplier, shift = 1 << 14, 16
+        got = requantize_int32_to_int8(tile, multiplier, shift)
+        want = np.clip(np.round(tile * multiplier / 2.0**shift), -128, 127)
+        assert np.array_equal(got, want.astype(np.int8))
+
+    def test_saturation(self):
+        tile = np.array([[10**9, -(10**9), 0, 1]])
+        out = requantize_int32_to_int8(tile, 1 << 20, 16)
+        assert out[0, 0] == 127 and out[0, 1] == -128
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            requantize_int32_to_int8(np.zeros((4, 4)), 0, 16)
+        with pytest.raises(ValueError):
+            requantize_int32_to_int8(np.zeros((4, 4)), 1, 70)
+
+
+class TestKernel:
+    def test_trace_matches_semantics(self):
+        rng = np.random.default_rng(1)
+        kernel = get_kernel("camp8-requant", vector_length_bits=512)
+        kc = 32
+        a_panel = rng.integers(-128, 128, size=(4, kc)).astype(np.int8)
+        b_panel = rng.integers(-128, 128, size=(kc, 4)).astype(np.int8)
+        memory = FlatMemory(1 << 22)
+        memory.write_array(A_PANEL_BASE, a_panel.T.reshape(-1))
+        memory.write_array(B_PANEL_BASE, b_panel.reshape(-1))
+        program = kernel.build_call(kc)
+        FunctionalExecutor(memory).run(program)
+        got = memory.read_array(C_TILE_BASE, np.int8, 16).reshape(4, 4)
+        want = kernel.compute_tile(a_panel, b_panel)
+        assert np.array_equal(got, want)
+
+    def test_stores_quarter_the_bytes(self):
+        plain = get_kernel("camp8").build_call(64)
+        fused = get_kernel("camp8-requant").build_call(64)
+        assert fused.bytes_stored() * 4 == plain.bytes_stored()
+
+    def test_accumulate_variant_rejected(self):
+        kernel = get_kernel("camp8-requant")
+        with pytest.raises(ValueError):
+            kernel.build_call(32, first_k_block=False)
+        with pytest.raises(ValueError):
+            kernel.compute_tile(
+                np.zeros((4, 16), np.int8), np.zeros((16, 4), np.int8),
+                acc=np.zeros((4, 4), np.int32),
+            )
+
+    def test_timing_comparable_to_plain_camp(self):
+        config = a64fx_config(camp_enabled=True)
+        for name in ("camp8", "camp8-requant"):
+            kernel = get_kernel(name)
+            program = kernel.build_call(256)
+            stats = PipelineSimulator(config).run(
+                program, warm_addresses=kernel.warm_addresses(256)
+            )
+            if name == "camp8":
+                plain_cycles = stats.cycles
+            else:
+                # the fused tail costs only a few extra cycles
+                assert stats.cycles < plain_cycles * 1.3
+
+
+@settings(max_examples=25)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    multiplier=st.integers(1, 1 << 20),
+    shift=st.integers(0, 40),
+)
+def test_requantize_bounded_property(seed, multiplier, shift):
+    rng = np.random.default_rng(seed)
+    tile = rng.integers(-(2**30), 2**30, size=(4, 4))
+    out = requantize_int32_to_int8(tile, multiplier, shift)
+    assert out.min() >= -128 and out.max() <= 127
+    # sign is preserved (or the value rounds to zero)
+    nonzero = out != 0
+    assert np.all(np.sign(out[nonzero]) == np.sign(tile[nonzero]))

@@ -1,0 +1,107 @@
+"""Regression locks on each kernel's documented instruction recipe.
+
+The performance story of the whole reproduction rests on the per-k
+instruction mixes described in the kernel docstrings; these tests pin
+them down so a refactor cannot silently change the economics.
+"""
+
+import pytest
+
+from repro.gemm.microkernel import get_kernel
+from repro.isa.instructions import Opcode
+
+
+def per_k_count(kernel, opcode, kc=256):
+    program = kernel.build_call(kc)
+    return program.count(opcode) / kc
+
+
+class TestCampRecipe:
+    def test_camp8_one_matrix_op_per_k_step(self):
+        kernel = get_kernel("camp8", vector_length_bits=512)
+        program = kernel.build_call(256)
+        assert program.count(Opcode.CAMP) == 256 // kernel.k_step
+
+    def test_camp8_two_loads_per_camp(self):
+        kernel = get_kernel("camp8", vector_length_bits=512)
+        program = kernel.build_call(256)
+        # two operand loads per camp; the single C-tile handling adds none
+        assert program.count(Opcode.VLOAD) == 2 * program.count(Opcode.CAMP)
+
+    def test_camp4_half_the_instructions_of_camp8(self):
+        camp8 = get_kernel("camp8", vector_length_bits=512).build_call(256)
+        camp4 = get_kernel("camp4", vector_length_bits=512).build_call(256)
+        ratio = len(camp4) / len(camp8)
+        assert 0.4 < ratio < 0.65  # the "linear" int4 relationship
+
+    def test_no_pack_unpack_instructions_for_int4(self):
+        program = get_kernel("camp4", vector_length_bits=512).build_call(256)
+        assert program.count(Opcode.VWIDEN, Opcode.VNARROW, Opcode.VREINTERPRET) == 0
+
+    def test_single_store_per_call(self):
+        program = get_kernel("camp8", vector_length_bits=512).build_call(256)
+        assert program.count(Opcode.VSTORE) == 1
+
+
+class TestBaselineRecipes:
+    def test_handv_mla_per_k(self):
+        for name in ("handv-int32", "handv-int8"):
+            kernel = get_kernel(name, vector_length_bits=512)
+            assert per_k_count(kernel, Opcode.VMLA) == kernel.m_r
+
+    def test_handv_dup_per_k(self):
+        kernel = get_kernel("handv-int32", vector_length_bits=512)
+        assert per_k_count(kernel, Opcode.VDUP) == kernel.m_r
+
+    def test_handv_int8_has_no_widening(self):
+        """The paper's handv-int8 deliberately omits widening ops."""
+        program = get_kernel("handv-int8", vector_length_bits=512).build_call(64)
+        assert program.count(Opcode.VWIDEN, Opcode.VNARROW) == 0
+
+    def test_gemmlowp_pays_for_correctness(self):
+        """gemmlowp widens every k and issues two MLAs per row."""
+        kernel = get_kernel("gemmlowp", vector_length_bits=512)
+        assert per_k_count(kernel, Opcode.VWIDEN) == 1
+        assert per_k_count(kernel, Opcode.VMLA) == 2 * kernel.m_r
+
+    def test_openblas_fmla_per_k(self):
+        kernel = get_kernel("openblas-fp32", vector_length_bits=512)
+        assert per_k_count(kernel, Opcode.FMLA) == kernel.m_r
+
+    def test_mmla_sixteen_ops_per_k_step(self):
+        kernel = get_kernel("mmla", vector_length_bits=512)
+        program = kernel.build_call(64)
+        assert program.count(Opcode.MMLA) == 16 * (64 // kernel.k_step)
+
+    def test_mmla_pays_layout_shuffles(self):
+        """The GotoBLAS layout conflict costs reinterpret traffic."""
+        program = get_kernel("mmla", vector_length_bits=512).build_call(64)
+        assert program.count(Opcode.VREINTERPRET) > 0
+
+
+class TestCrossKernelEconomics:
+    """The headline per-MAC instruction ordering of the whole paper."""
+
+    @pytest.mark.parametrize("vl", [128, 512])
+    def test_instructions_per_mac_ordering(self, vl):
+        kc = 64
+        methods = ["camp4", "camp8", "handv-int8", "handv-int32"]
+        if vl >= 512:
+            methods.append("gemmlowp")
+        cost = {}
+        for name in methods:
+            kernel = get_kernel(name, vector_length_bits=vl)
+            kc_eff = kc + (-kc) % kernel.k_step
+            program = kernel.build_call(kc_eff)
+            cost[name] = len(program) / kernel.macs_per_call(kc_eff)
+        assert cost["camp4"] < cost["camp8"] < cost["handv-int8"]
+        assert cost["handv-int8"] < cost["handv-int32"]
+        if "gemmlowp" in cost:
+            assert cost["camp8"] < cost["gemmlowp"]
+
+    def test_vector_register_budget_respected(self):
+        """Every kernel must fit the 32-entry architectural file."""
+        for name in ("camp8", "camp4", "handv-int32", "handv-int8",
+                     "gemmlowp", "openblas-fp32", "mmla", "camp8-requant"):
+            kernel = get_kernel(name, vector_length_bits=512)
+            kernel.build_call(64)  # raises if the allocator runs out

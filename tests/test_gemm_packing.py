@@ -1,0 +1,76 @@
+"""Tests for panel packing."""
+
+import numpy as np
+import pytest
+
+from repro.gemm.packing import (
+    element_bytes,
+    emit_pack_trace,
+    pack_a_block,
+    pack_b_block,
+    packing_bytes,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Opcode
+
+
+class TestPackA:
+    def test_layout_column_major_per_panel(self):
+        a = np.arange(32).reshape(8, 4)  # mc=8, kc=4
+        packed = pack_a_block(a, m_r=4)
+        assert packed.shape == (2, 4, 4)
+        # panel 0, k=1 holds A[0:4, 1]
+        assert np.array_equal(packed[0, 1], a[0:4, 1])
+
+    def test_fringe_zero_padded(self):
+        a = np.arange(12).reshape(3, 4)
+        packed = pack_a_block(a, m_r=4)
+        assert packed.shape == (1, 4, 4)
+        assert (packed[0, :, 3] == 0).all()
+
+    def test_roundtrip_through_panels(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-10, 10, size=(8, 6))
+        packed = pack_a_block(a, m_r=4)
+        rebuilt = np.vstack([packed[p].T for p in range(2)])
+        assert np.array_equal(rebuilt, a)
+
+
+class TestPackB:
+    def test_layout_row_major_per_panel(self):
+        b = np.arange(32).reshape(4, 8)  # kc=4, nc=8
+        packed = pack_b_block(b, n_r=4)
+        assert packed.shape == (2, 4, 4)
+        assert np.array_equal(packed[1, 2], b[2, 4:8])
+
+    def test_fringe_zero_padded(self):
+        b = np.arange(12).reshape(4, 3)
+        packed = pack_b_block(b, n_r=4)
+        assert (packed[0, :, 3] == 0).all()
+
+
+class TestCostModel:
+    def test_element_bytes(self):
+        assert element_bytes(DType.INT8) == 1
+        assert element_bytes(DType.INT4) == 0.5
+        assert element_bytes(DType.FP32) == 4
+
+    def test_packing_bytes(self):
+        assert packing_bytes(64, 64, DType.INT8) == 4096
+        assert packing_bytes(64, 64, DType.INT4) == 2048
+
+    def test_emit_pack_trace_balanced(self):
+        builder = ProgramBuilder()
+        n = emit_pack_trace(builder, 0x1000, 0x2000, 4096, DType.INT8)
+        program = builder.build()
+        assert n == 64
+        hist = program.opcode_histogram()
+        assert hist[Opcode.VLOAD] == 64
+        assert hist[Opcode.VSTORE] == 64
+        assert hist[Opcode.VREINTERPRET] == 64
+
+    def test_emit_pack_trace_no_shuffle(self):
+        builder = ProgramBuilder()
+        emit_pack_trace(builder, 0, 0x1000, 128, DType.INT8, shuffle=False)
+        assert builder.build().count(Opcode.VREINTERPRET) == 0

@@ -1,0 +1,116 @@
+"""End-to-end integration: the full quantized-inference story.
+
+Chains calibration -> quantization -> im2col -> CAMP GEMM -> dequant
+and checks both numerics (against float reference) and the performance
+claims (against baseline kernels), across both platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gemm.api import analyze, gemm
+from repro.isa.dtypes import DType
+from repro.physical.energy import EnergyModel
+from repro.physical.technology import TSMC7
+from repro.quant.calibration import calibrate
+from repro.quant.quantize import quantize
+from repro.quant.schemes import choose_params
+from repro.workloads.im2col import conv_output_shape, im2col
+from repro.workloads.networks import NETWORKS
+
+
+class TestQuantizedConvPipeline:
+    @pytest.fixture(scope="class")
+    def conv_setup(self):
+        rng = np.random.default_rng(9)
+        image = rng.normal(size=(12, 12, 8))
+        filters = rng.normal(size=(16, 3, 3, 8)) / 3.0
+        patches = im2col(image, kernel=3, padding=1)
+        weights = filters.reshape(16, -1).T
+        return image, patches, weights
+
+    def test_int8_conv_accuracy(self, conv_setup):
+        _, patches, weights = conv_setup
+        a_params = calibrate([patches], strategy="absmax")
+        b_params = choose_params(weights, bits=8)
+        qa = quantize(patches, a_params)
+        qb = quantize(weights, b_params)
+        result = gemm(qa, qb, method="camp8")
+        out = result.c.astype(np.float64) * (a_params.scale * b_params.scale)
+        exact = patches @ weights
+        rel = np.linalg.norm(out - exact) / np.linalg.norm(exact)
+        assert rel < 0.03
+
+    def test_int4_conv_degrades_gracefully(self, conv_setup):
+        _, patches, weights = conv_setup
+        a_params = choose_params(patches, bits=4)
+        b_params = choose_params(weights, bits=4)
+        qa = quantize(patches, a_params)
+        qb = quantize(weights, b_params)
+        result = gemm(qa, qb, method="camp4")
+        out = result.c.astype(np.float64) * (a_params.scale * b_params.scale)
+        exact = patches @ weights
+        rel = np.linalg.norm(out - exact) / np.linalg.norm(exact)
+        assert 0.01 < rel < 0.30  # usable but visibly coarser than int8
+
+    def test_feature_map_reshape(self, conv_setup):
+        image, patches, weights = conv_setup
+        out_h, out_w = conv_output_shape(12, 12, 3, padding=1)
+        assert patches.shape[0] == out_h * out_w
+
+
+class TestCrossKernelConsistency:
+    """All exact kernels must agree bit-for-bit on the same problem."""
+
+    def test_exact_kernels_agree(self, rng):
+        a = rng.integers(-128, 128, size=(24, 40)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(40, 16)).astype(np.int8)
+        reference = a.astype(np.int64) @ b.astype(np.int64)
+        for method in ("camp8", "gemmlowp", "mmla"):
+            result = gemm(a, b, method=method)
+            assert np.array_equal(result.c, reference), method
+
+    def test_int32_kernels_agree(self, rng):
+        a = rng.integers(-1000, 1000, size=(16, 24)).astype(np.int32)
+        b = rng.integers(-1000, 1000, size=(24, 8)).astype(np.int32)
+        reference = (a.astype(np.int64) @ b.astype(np.int64)).astype(np.int32)
+        for method, machine in (("handv-int32", "a64fx"), ("blis-int32", "sargantana")):
+            result = gemm(a, b, method=method, machine=machine)
+            assert np.array_equal(result.c, reference), method
+
+
+class TestWholeNetworkAnalysis:
+    def test_alexnet_inference_speedup(self):
+        """Summing per-layer cycles over the real AlexNet conv stack."""
+        totals = {"camp8": 0.0, "openblas-fp32": 0.0}
+        for layer in NETWORKS["alexnet"]:
+            shape = layer.gemm_shape()
+            for method in totals:
+                totals[method] += analyze(
+                    shape.m, shape.n, shape.k, method=method, machine="a64fx"
+                ).cycles
+        speedup = totals["openblas-fp32"] / totals["camp8"]
+        assert 5 < speedup < 15
+
+    def test_network_energy_reduction(self):
+        model = EnergyModel(TSMC7)
+        layer = NETWORKS["alexnet"][2].gemm_shape()
+        base = analyze(layer.m, layer.n, layer.k, method="openblas-fp32")
+        camp = analyze(layer.m, layer.n, layer.k, method="camp8")
+        base_j = model.execution_energy(base, DType.FP32).total_j
+        camp_j = model.execution_energy(camp, DType.INT8).total_j
+        assert camp_j < 0.35 * base_j
+
+
+class TestPlatformConsistency:
+    def test_same_math_both_machines(self, rng):
+        a = rng.integers(-8, 8, size=(12, 32)).astype(np.int8)
+        b = rng.integers(-8, 8, size=(32, 8)).astype(np.int8)
+        c_a64fx = gemm(a, b, method="camp4", machine="a64fx").c
+        c_edge = gemm(a, b, method="camp4", machine="sargantana").c
+        assert np.array_equal(c_a64fx, c_edge)
+
+    def test_edge_slower_in_wall_clock(self):
+        server = analyze(128, 128, 128, method="camp8", machine="a64fx")
+        edge = analyze(128, 128, 128, method="camp8", machine="sargantana")
+        assert edge.seconds > server.seconds

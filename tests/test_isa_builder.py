@@ -1,0 +1,92 @@
+"""Unit tests for the program builder and register allocator."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder, RegisterAllocator
+from repro.isa.dtypes import DType
+from repro.isa.instructions import Opcode
+from repro.isa.registers import vreg
+
+
+class TestRegisterAllocator:
+    def test_alloc_free_cycle(self):
+        alloc = RegisterAllocator("v", 4)
+        regs = [alloc.alloc() for _ in range(4)]
+        assert len({r.index for r in regs}) == 4
+        alloc.free(regs[0])
+        again = alloc.alloc()
+        assert again.index == regs[0].index
+
+    def test_exhaustion_raises(self):
+        alloc = RegisterAllocator("v", 2)
+        alloc.alloc()
+        alloc.alloc()
+        with pytest.raises(RuntimeError, match="out of"):
+            alloc.alloc()
+
+    def test_reserved_never_handed_out(self):
+        alloc = RegisterAllocator("x", 4, reserved=(0,))
+        indices = {alloc.alloc().index for _ in range(3)}
+        assert 0 not in indices
+
+    def test_double_free_rejected(self):
+        alloc = RegisterAllocator("v", 2)
+        reg = alloc.alloc()
+        alloc.free(reg)
+        with pytest.raises(ValueError):
+            alloc.free(reg)
+
+    def test_live_count(self):
+        alloc = RegisterAllocator("v", 8)
+        a = alloc.alloc()
+        alloc.alloc()
+        assert alloc.live_count == 2
+        alloc.free(a)
+        assert alloc.live_count == 1
+
+
+class TestProgramBuilder:
+    def test_vload_default_size_matches_vl(self):
+        b = ProgramBuilder(vector_length_bits=128)
+        inst = b.vload(vreg(0), 0, DType.INT8)
+        assert inst.size == 16
+
+    def test_vdup_lane_metadata(self):
+        b = ProgramBuilder()
+        inst = b.vdup(vreg(1), vreg(0), DType.INT8, lane=5, elements=16)
+        assert inst.imm == 5
+        assert inst.meta["elements"] == 16
+
+    def test_camp_store_chunk(self):
+        b = ProgramBuilder()
+        acc = b.aregs.alloc()
+        inst = b.camp_store(vreg(0), acc, chunk=2)
+        assert inst.imm == 2
+        assert inst.opcode is Opcode.CAMP_STORE
+
+    def test_loop_overhead_two_instructions(self):
+        b = ProgramBuilder()
+        counter = b.xregs.alloc()
+        b.loop_overhead(counter)
+        prog = b.build()
+        assert len(prog) == 2
+        assert prog[1].opcode is Opcode.BRANCH
+
+    def test_vwiden_records_source_dtype(self):
+        b = ProgramBuilder()
+        inst = b.vwiden(vreg(1), vreg(0), DType.INT8, DType.INT16)
+        assert inst.dtype is DType.INT16
+        assert inst.meta["from_dtype"] is DType.INT8
+
+    def test_strided_load_metadata(self):
+        b = ProgramBuilder()
+        inst = b.vload_strided(vreg(0), 0x100, DType.INT32, stride=64)
+        assert inst.meta["stride"] == 64
+
+    def test_camp_operand_layout(self):
+        b = ProgramBuilder()
+        acc = b.aregs.alloc()
+        a, v = b.vregs.alloc(), b.vregs.alloc()
+        inst = b.camp(acc, a, v, DType.INT8)
+        assert inst.dst == (acc,)
+        assert inst.src == (acc, a, v)

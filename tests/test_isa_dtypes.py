@@ -1,0 +1,75 @@
+"""Unit tests for repro.isa.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.isa.dtypes import DType
+
+
+class TestBits:
+    def test_int4_bits(self):
+        assert DType.INT4.bits == 4
+
+    def test_int8_bits(self):
+        assert DType.INT8.bits == 8
+
+    def test_fp32_bits(self):
+        assert DType.FP32.bits == 32
+
+    def test_int64_bits(self):
+        assert DType.INT64.bits == 64
+
+
+class TestNumpyMapping:
+    def test_int8(self):
+        assert DType.INT8.numpy_dtype is np.int8
+
+    def test_int4_stored_as_int8(self):
+        assert DType.INT4.numpy_dtype is np.int8
+
+    def test_fp32(self):
+        assert DType.FP32.numpy_dtype is np.float32
+
+
+class TestRanges:
+    def test_int8_range(self):
+        assert DType.INT8.min_value == -128
+        assert DType.INT8.max_value == 127
+
+    def test_int4_range(self):
+        assert DType.INT4.min_value == -8
+        assert DType.INT4.max_value == 7
+
+    def test_fp32_range_unbounded(self):
+        assert DType.FP32.min_value == -np.inf
+        assert DType.FP32.max_value == np.inf
+
+    def test_integer_flag(self):
+        assert DType.INT8.is_integer
+        assert not DType.FP32.is_integer
+
+
+class TestElementsPerRegister:
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [
+            (DType.INT4, 128),
+            (DType.INT8, 64),
+            (DType.INT16, 32),
+            (DType.INT32, 16),
+            (DType.FP32, 16),
+        ],
+    )
+    def test_512_bits(self, dtype, expected):
+        assert dtype.elements_per_register(512) == expected
+
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [(DType.INT4, 32), (DType.INT8, 16), (DType.INT32, 4)],
+    )
+    def test_128_bits(self, dtype, expected):
+        assert dtype.elements_per_register(128) == expected
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            DType.INT32.elements_per_register(48)

@@ -1,0 +1,106 @@
+"""Round-trip tests for the binary instruction encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.isa.encoding import (
+    WORD_BYTES,
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import areg, vreg, xreg
+
+
+def roundtrip(inst):
+    return decode_instruction(encode_instruction(inst))
+
+
+class TestRoundTrip:
+    def test_vadd(self):
+        inst = Instruction(Opcode.VADD, (vreg(1),), (vreg(2), vreg(3)), dtype=DType.INT32)
+        assert roundtrip(inst) == inst
+
+    def test_vload_with_address(self):
+        inst = Instruction(
+            Opcode.VLOAD, (vreg(7),), (), dtype=DType.INT8, addr=0x123456, size=64
+        )
+        back = roundtrip(inst)
+        assert back.addr == 0x123456 and back.size == 64
+
+    def test_camp(self):
+        inst = Instruction(
+            Opcode.CAMP, (areg(0),), (areg(0), vreg(1), vreg(2)), dtype=DType.INT4
+        )
+        assert roundtrip(inst) == inst
+
+    def test_immediate(self):
+        inst = Instruction(Opcode.VDUP, (vreg(0),), (vreg(1),), dtype=DType.INT8, imm=13)
+        assert roundtrip(inst).imm == 13
+
+    def test_zero_immediate_preserved(self):
+        inst = Instruction(Opcode.VDUP, (vreg(0),), (vreg(1),), dtype=DType.INT8, imm=0)
+        assert roundtrip(inst).imm == 0
+
+    def test_negative_immediate(self):
+        inst = Instruction(Opcode.SALU, (xreg(1),), (xreg(2),), imm=-7)
+        assert roundtrip(inst).imm == -7
+
+
+class TestErrors:
+    def test_bad_blob_length(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(b"\x00" * (WORD_BYTES - 1))
+
+    def test_oversized_address(self):
+        inst = Instruction(
+            Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=1 << 60, size=64
+        )
+        with pytest.raises(EncodingError):
+            encode_instruction(inst)
+
+    def test_program_blob_alignment(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00" * (WORD_BYTES + 1))
+
+
+class TestProgramRoundTrip:
+    def test_whole_kernel_program(self):
+        from repro.gemm.microkernel import get_kernel
+
+        program = get_kernel("camp8").build_call(64)
+        blob = encode_program(program)
+        assert len(blob) == WORD_BYTES * len(program)
+        back = decode_program(blob)
+        assert len(back) == len(program)
+        for original, decoded in zip(program, back):
+            assert original.opcode == decoded.opcode
+            assert original.dst == decoded.dst
+            assert original.src == decoded.src
+            assert original.addr == decoded.addr
+
+
+@given(
+    opcode=st.sampled_from([Opcode.VADD, Opcode.VMUL, Opcode.VMOV, Opcode.VZERO]),
+    dst=st.integers(0, 31),
+    src1=st.integers(0, 31),
+    src2=st.integers(0, 31),
+    dtype=st.sampled_from([DType.INT8, DType.INT16, DType.INT32, DType.FP32]),
+)
+def test_roundtrip_property(opcode, dst, src1, src2, dtype):
+    n_src = {Opcode.VADD: 2, Opcode.VMUL: 2, Opcode.VMOV: 1, Opcode.VZERO: 0}[opcode]
+    src = tuple([vreg(src1), vreg(src2)][:n_src])
+    inst = Instruction(opcode, (vreg(dst),), src, dtype=dtype)
+    assert roundtrip(inst) == inst
+
+
+@given(addr=st.integers(0, (1 << 40) - 1), size=st.integers(1, 65535))
+def test_memory_roundtrip_property(addr, size):
+    inst = Instruction(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=addr, size=size)
+    back = roundtrip(inst)
+    assert back.addr == addr and back.size == size

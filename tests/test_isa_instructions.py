@@ -1,0 +1,70 @@
+"""Unit tests for instruction definitions."""
+
+import pytest
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import (
+    FUClass,
+    Instruction,
+    MEMORY_OPCODES,
+    OPCODE_FU,
+    Opcode,
+)
+from repro.isa.registers import areg, vreg, xreg
+
+
+class TestInstructionConstruction:
+    def test_memory_op_requires_addr(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8)
+
+    def test_camp_rejects_wide_dtypes(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.CAMP, (areg(0),), (areg(0), vreg(0), vreg(1)), dtype=DType.INT32
+            )
+
+    def test_camp_accepts_int4(self):
+        inst = Instruction(
+            Opcode.CAMP, (areg(0),), (areg(0), vreg(0), vreg(1)), dtype=DType.INT4
+        )
+        assert inst.fu_class is FUClass.MATRIX
+
+    def test_str_contains_opcode_and_regs(self):
+        inst = Instruction(Opcode.VADD, (vreg(1),), (vreg(2), vreg(3)), dtype=DType.INT32)
+        text = str(inst)
+        assert "vadd" in text and "v1" in text and "v3" in text
+
+
+class TestClassification:
+    def test_every_opcode_has_fu(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_FU
+
+    def test_loads(self):
+        inst = Instruction(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=0, size=64)
+        assert inst.is_load and inst.is_memory and not inst.is_store
+
+    def test_stores(self):
+        inst = Instruction(Opcode.VSTORE, (), (vreg(0),), dtype=DType.INT8, addr=0, size=64)
+        assert inst.is_store and inst.is_memory and not inst.is_load
+
+    def test_scalar_not_vector(self):
+        inst = Instruction(Opcode.SALU, (xreg(1),), (xreg(1),))
+        assert not inst.is_vector
+
+    def test_camp_is_vector(self):
+        inst = Instruction(
+            Opcode.CAMP, (areg(0),), (areg(0), vreg(0), vreg(1)), dtype=DType.INT8
+        )
+        assert inst.is_vector
+
+    def test_memory_opcode_set_consistent(self):
+        for opcode in MEMORY_OPCODES:
+            assert OPCODE_FU[opcode] in (FUClass.LOAD, FUClass.STORE)
+
+    def test_reads_and_writes(self):
+        inst = Instruction(Opcode.VMLA, (vreg(1),), (vreg(1), vreg(2), vreg(3)),
+                           dtype=DType.INT32)
+        assert inst.writes() == (vreg(1),)
+        assert vreg(2) in inst.reads()

@@ -1,0 +1,71 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.isa.instructions import FUClass, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import vreg, xreg
+
+
+def small_program():
+    b = ProgramBuilder(name="demo")
+    v0, v1, v2 = vreg(0), vreg(1), vreg(2)
+    b.vload(v0, 0x1000, DType.INT8)
+    b.vload(v1, 0x2000, DType.INT8)
+    b.vmla(v2, v0, v1, DType.INT8)
+    b.vstore(v2, 0x3000, DType.INT8)
+    b.salu(xreg(1), [xreg(1)])
+    b.branch(xreg(1))
+    return b.build()
+
+
+class TestProgram:
+    def test_len_and_iter(self):
+        prog = small_program()
+        assert len(prog) == 6
+        assert len(list(prog)) == 6
+
+    def test_append_type_check(self):
+        prog = Program()
+        with pytest.raises(TypeError):
+            prog.append("not an instruction")
+
+    def test_opcode_histogram(self):
+        hist = small_program().opcode_histogram()
+        assert hist[Opcode.VLOAD] == 2
+        assert hist[Opcode.VSTORE] == 1
+        assert hist[Opcode.BRANCH] == 1
+
+    def test_fu_histogram(self):
+        hist = small_program().fu_histogram()
+        assert hist[FUClass.LOAD] == 2
+        assert hist[FUClass.STORE] == 1
+
+    def test_count(self):
+        prog = small_program()
+        assert prog.count(Opcode.VLOAD, Opcode.VSTORE) == 3
+
+    def test_vector_scalar_split(self):
+        prog = small_program()
+        assert prog.vector_instruction_count == 4
+        assert prog.scalar_instruction_count == 2
+
+    def test_vector_mix(self):
+        mix = small_program().classify_vector_mix()
+        assert mix == {"read": 2, "write": 1, "alu": 1}
+
+    def test_bytes_loaded_stored(self):
+        prog = small_program()
+        assert prog.bytes_loaded() == 128
+        assert prog.bytes_stored() == 64
+
+    def test_str_has_name_and_instructions(self):
+        text = str(small_program())
+        assert "demo" in text
+        assert "vmla" in text
+
+    def test_getitem(self):
+        prog = small_program()
+        assert prog[0].opcode is Opcode.VLOAD

@@ -1,0 +1,108 @@
+"""Unit tests for register files."""
+
+import numpy as np
+import pytest
+
+from repro.isa.dtypes import DType
+from repro.isa.registers import (
+    AuxRegisterFile,
+    Reg,
+    ScalarRegisterFile,
+    VectorRegisterFile,
+    areg,
+    vreg,
+    xreg,
+)
+
+
+class TestReg:
+    def test_str(self):
+        assert str(vreg(3)) == "v3"
+        assert str(xreg(0)) == "x0"
+        assert str(areg(1)) == "a1"
+
+    def test_kind_predicates(self):
+        assert vreg(0).is_vector
+        assert xreg(0).is_scalar
+        assert areg(0).is_aux
+        assert not vreg(0).is_scalar
+
+
+class TestVectorRegisterFile:
+    def test_roundtrip(self):
+        rf = VectorRegisterFile()
+        rf.write(vreg(1), np.arange(64, dtype=np.int8))
+        assert np.array_equal(rf.read(vreg(1)), np.arange(64, dtype=np.int8))
+
+    def test_read_before_write_raises(self):
+        rf = VectorRegisterFile()
+        with pytest.raises(KeyError):
+            rf.read(vreg(5))
+
+    def test_dtype_size_check(self):
+        rf = VectorRegisterFile(vector_length_bits=512)
+        with pytest.raises(ValueError):
+            rf.write(vreg(0), np.arange(8, dtype=np.int8), dtype=DType.INT8)
+
+    def test_wrong_kind_rejected(self):
+        rf = VectorRegisterFile()
+        with pytest.raises(KeyError):
+            rf.write(xreg(1), np.arange(64, dtype=np.int8))
+
+    def test_out_of_range_rejected(self):
+        rf = VectorRegisterFile(count=32)
+        with pytest.raises(KeyError):
+            rf.write(vreg(32), np.arange(64, dtype=np.int8))
+
+    def test_expected_elements(self):
+        rf = VectorRegisterFile(vector_length_bits=512)
+        assert rf.expected_elements(DType.INT8) == 64
+
+    def test_is_written(self):
+        rf = VectorRegisterFile()
+        assert not rf.is_written(vreg(2))
+        rf.write(vreg(2), np.zeros(4))
+        assert rf.is_written(vreg(2))
+
+    def test_reset(self):
+        rf = VectorRegisterFile()
+        rf.write(vreg(2), np.zeros(4))
+        rf.reset()
+        assert not rf.is_written(vreg(2))
+
+
+class TestScalarRegisterFile:
+    def test_x0_hardwired_zero(self):
+        rf = ScalarRegisterFile()
+        rf.write(xreg(0), 42)
+        assert rf.read(xreg(0)) == 0
+
+    def test_write_read(self):
+        rf = ScalarRegisterFile()
+        rf.write(xreg(7), -3)
+        assert rf.read(xreg(7)) == -3
+
+    def test_value_coerced_to_int(self):
+        rf = ScalarRegisterFile()
+        rf.write(xreg(1), np.int64(9))
+        assert rf.read(xreg(1)) == 9
+        assert isinstance(rf.read(xreg(1)), int)
+
+
+class TestAuxRegisterFile:
+    def test_tile_shape_enforced(self):
+        rf = AuxRegisterFile()
+        with pytest.raises(ValueError):
+            rf.write(areg(0), np.zeros((2, 2)))
+
+    def test_zero(self):
+        rf = AuxRegisterFile()
+        rf.zero(areg(0))
+        assert np.array_equal(rf.read(areg(0)), np.zeros((4, 4), dtype=np.int32))
+
+    def test_write_copies(self):
+        rf = AuxRegisterFile()
+        tile = np.ones((4, 4), dtype=np.int32)
+        rf.write(areg(1), tile)
+        tile[0, 0] = 99
+        assert rf.read(areg(1))[0, 0] == 1

@@ -1,0 +1,111 @@
+"""Failure-injection / adversarial access-pattern tests for the caches.
+
+These lock in the cache model's behaviour under hostile patterns —
+the regimes the Figure 1 study depends on distinguishing.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def small_cache(ways=2, sets=8, line=64):
+    return Cache(CacheConfig("l1", line * ways * sets, line, ways, 4))
+
+
+class TestConflictThrashing:
+    def test_set_conflict_stride_always_misses(self):
+        """ways+1 addresses mapping to one set defeat LRU completely."""
+        cache = small_cache(ways=2, sets=8)
+        set_stride = 64 * 8  # same set every time
+        addresses = [i * set_stride for i in range(3)]
+        for _ in range(10):
+            for addr in addresses:
+                cache.lookup(addr)
+        # after warmup every access misses (classic thrash)
+        cache.stats.reset()
+        for _ in range(5):
+            for addr in addresses:
+                cache.lookup(addr)
+        assert cache.stats.miss_rate == 1.0
+
+    def test_same_footprint_different_stride_hits(self):
+        """The same 3 lines spread across sets are retained fine."""
+        cache = small_cache(ways=2, sets=8)
+        addresses = [i * 64 for i in range(3)]
+        for addr in addresses:
+            cache.lookup(addr)
+        cache.stats.reset()
+        for _ in range(5):
+            for addr in addresses:
+                cache.lookup(addr)
+        assert cache.stats.miss_rate == 0.0
+
+
+class TestPrefetcherPollution:
+    def test_random_traffic_defeats_prefetcher(self):
+        rng = np.random.default_rng(0)
+        h = MemoryHierarchy.from_configs(
+            [CacheConfig("l1", 4096, 64, 2, 4)], Dram(), prefetch=True
+        )
+        for _ in range(400):
+            h.access(int(rng.integers(0, 1 << 22)) & ~0x3F)
+        l1 = h.level("l1")
+        # prefetches may issue but hit rate stays near zero
+        assert l1.stats.prefetch_hits <= l1.stats.prefetch_fills
+        assert l1.stats.miss_rate > 0.9
+
+    def test_stream_after_pollution_recovers(self):
+        rng = np.random.default_rng(1)
+        h = MemoryHierarchy.from_configs(
+            [CacheConfig("l1", 4096, 64, 2, 4)], Dram(), prefetch=True
+        )
+        for _ in range(200):
+            h.access(int(rng.integers(0, 1 << 22)) & ~0x3F)
+        h.level("l1").stats.reset()
+        base = 1 << 23
+        for i in range(64):
+            h.access(base + i * 64)
+        assert h.level("l1").stats.miss_rate < 0.8  # prefetcher re-locks
+
+
+class TestWritebackPressure:
+    def test_dirty_working_set_writes_back_once_per_line(self):
+        cache = small_cache(ways=1, sets=4)
+        lines = 4
+        # dirty the whole cache, then stream a disjoint region
+        for i in range(lines):
+            cache.lookup(i * 64, is_write=True)
+        for i in range(lines):
+            cache.lookup((1 << 16) + i * 64)
+        assert cache.stats.writebacks == lines
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), ways=st.sampled_from([1, 2, 4]))
+def test_miss_rate_never_below_compulsory(seed, ways):
+    """Total misses >= distinct lines touched (compulsory bound)."""
+    rng = np.random.default_rng(seed)
+    cache = Cache(CacheConfig("l1", 64 * ways * 4, 64, ways, 4))
+    addresses = rng.integers(0, 1 << 14, size=200)
+    distinct_lines = {int(a) // 64 for a in addresses}
+    for addr in addresses:
+        cache.lookup(int(addr))
+    assert cache.stats.misses >= len(distinct_lines)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_bigger_cache_never_misses_more(seed):
+    """LRU inclusion property: doubling capacity cannot hurt."""
+    rng = np.random.default_rng(seed)
+    addresses = [int(a) for a in rng.integers(0, 1 << 13, size=300)]
+    small = Cache(CacheConfig("l1", 1024, 64, 2, 4))
+    big = Cache(CacheConfig("l1", 2048, 64, 4, 4))
+    for addr in addresses:
+        small.lookup(addr)
+        big.lookup(addr)
+    assert big.stats.misses <= small.stats.misses

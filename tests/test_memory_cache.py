@@ -1,0 +1,120 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheConfig
+
+
+def make_cache(size=1024, line=64, ways=2):
+    return Cache(CacheConfig("l1", size, line, ways, load_to_use=4))
+
+
+class TestConfig:
+    def test_n_sets(self):
+        assert CacheConfig("l1", 1024, 64, 2, 4).n_sets == 8
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("l1", 1000, 64, 2, 4)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("l1", 1024, 48, 2, 4)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x100)
+        assert cache.lookup(0x100)
+
+    def test_same_line_different_offsets_hit(self):
+        cache = make_cache(line=64)
+        cache.lookup(0x100)
+        assert cache.lookup(0x13F)
+
+    def test_adjacent_line_misses(self):
+        cache = make_cache(line=64)
+        cache.lookup(0x100)
+        assert not cache.lookup(0x140)
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.lookup(0)
+        cache.lookup(64)
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+class TestLru:
+    def test_true_lru_eviction(self):
+        cache = make_cache(size=256, line=64, ways=2)  # 2 sets
+        # set 0 holds lines 0, 128, 256...
+        cache.lookup(0)
+        cache.lookup(128)
+        cache.lookup(0)        # 0 becomes MRU, 128 is LRU
+        cache.lookup(256)      # evicts 128
+        assert cache.contains(0)
+        assert not cache.contains(128)
+
+    def test_working_set_fits_second_pass_hits(self):
+        cache = make_cache(size=1024, line=64, ways=2)
+        addresses = [i * 64 for i in range(16)]  # exactly the cache capacity
+        for addr in addresses:
+            cache.lookup(addr)
+        misses_before = cache.stats.misses
+        for addr in addresses:
+            assert cache.lookup(addr)
+        assert cache.stats.misses == misses_before
+
+
+class TestWriteback:
+    def test_dirty_eviction_counts_writeback(self):
+        cache = make_cache(size=128, line=64, ways=1)  # 2 sets, direct-mapped
+        cache.lookup(0, is_write=True)
+        cache.lookup(128)  # evicts the dirty line in set 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache(size=128, line=64, ways=1)
+        cache.lookup(0)
+        cache.lookup(128)
+        assert cache.stats.writebacks == 0
+
+
+class TestPrefetchInterface:
+    def test_prefetch_fill_then_hit(self):
+        cache = make_cache()
+        assert cache.prefetch(0x200)
+        assert cache.lookup(0x200)
+        assert cache.stats.prefetch_hits == 1
+
+    def test_prefetch_existing_line_noop(self):
+        cache = make_cache()
+        cache.lookup(0x200)
+        assert not cache.prefetch(0x200)
+
+    def test_contains_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.contains(0x300)
+        assert cache.stats.accesses == 0
+
+
+class TestMaintenance:
+    def test_invalidate_all(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.invalidate_all()
+        assert not cache.contains(0)
+
+    def test_occupancy(self):
+        cache = make_cache(size=1024, line=64, ways=2)
+        assert cache.occupancy == 0
+        cache.lookup(0)
+        assert cache.occupancy == pytest.approx(64 / 1024)
+
+    def test_stats_reset(self):
+        cache = make_cache()
+        cache.lookup(0)
+        cache.stats.reset()
+        assert cache.stats.misses == 0 and cache.stats.hits == 0

@@ -1,0 +1,39 @@
+"""Tests for the DRAM model."""
+
+import pytest
+
+from repro.memory.dram import Dram
+
+
+class TestDram:
+    def test_base_latency(self):
+        dram = Dram(base_latency=90, bytes_per_cycle=64)
+        assert dram.access(64, now_cycle=0) == 91
+
+    def test_bandwidth_queueing(self):
+        dram = Dram(base_latency=10, bytes_per_cycle=1)
+        first = dram.access(100, now_cycle=0)
+        second = dram.access(100, now_cycle=0)  # queued behind the first
+        assert second > first
+
+    def test_queue_drains_over_time(self):
+        dram = Dram(base_latency=10, bytes_per_cycle=1)
+        dram.access(100, now_cycle=0)
+        later = dram.access(100, now_cycle=1000)
+        assert later == pytest.approx(110, abs=1)
+
+    def test_bytes_counted(self):
+        dram = Dram()
+        dram.access(64)
+        dram.access(128)
+        assert dram.bytes_transferred == 192
+
+    def test_reset(self):
+        dram = Dram()
+        dram.access(64)
+        dram.reset()
+        assert dram.bytes_transferred == 0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Dram(bytes_per_cycle=0)

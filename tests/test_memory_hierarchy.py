@@ -1,0 +1,96 @@
+"""Tests for the multi-level memory hierarchy."""
+
+import pytest
+
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def make_hierarchy(prefetch=False):
+    return MemoryHierarchy.from_configs(
+        [
+            CacheConfig("l1", 1024, 64, 2, load_to_use=4),
+            CacheConfig("l2", 8192, 64, 4, load_to_use=20),
+        ],
+        Dram(base_latency=100, bytes_per_cycle=64),
+        prefetch=prefetch,
+    )
+
+
+class TestAccessPath:
+    def test_cold_access_goes_to_dram(self):
+        h = make_hierarchy()
+        result = h.access(0x1000)
+        assert result.hit_level == "dram"
+        assert result.latency > 100
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.access(0x1000)
+        result = h.access(0x1000)
+        assert result.hit_level == "l1"
+        assert result.latency == 4
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        h.access(0x0)
+        # blow out L1 set 0 (2 ways, 16 sets of 64B lines -> stride 1KB)
+        h.access(0x0 + 1024)
+        h.access(0x0 + 2048)
+        result = h.access(0x0)
+        assert result.hit_level == "l2"
+        assert result.latency == 20
+
+    def test_multi_line_access_charges_worst(self):
+        h = make_hierarchy()
+        h.access(0x1000)  # line resident
+        result = h.access(0x1000, size=128)  # spans a second, cold line
+        assert result.hit_level == "dram"
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_hierarchy().access(0, size=0)
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([], Dram())
+
+
+class TestPrefetching:
+    def test_stream_gets_prefetched(self):
+        h = make_hierarchy(prefetch=True)
+        # walk a stream; after confidence builds the next lines appear
+        for i in range(6):
+            h.access(i * 64)
+        l1 = h.level("l1")
+        assert l1.stats.prefetch_fills > 0
+
+    def test_prefetch_reduces_misses_on_stream(self):
+        cold = make_hierarchy(prefetch=False)
+        warm = make_hierarchy(prefetch=True)
+        for i in range(32):
+            cold.access(i * 64)
+            warm.access(i * 64)
+        assert warm.level("l1").stats.misses < cold.level("l1").stats.misses
+
+
+class TestAccounting:
+    def test_miss_rate_lookup(self):
+        h = make_hierarchy()
+        h.access(0)
+        h.access(0)
+        assert h.miss_rate("l1") == pytest.approx(0.5)
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            make_hierarchy().level("l3")
+
+    def test_reset(self):
+        h = make_hierarchy()
+        h.access(0)
+        h.reset()
+        assert h.demand_accesses == 0
+        assert h.level("l1").stats.accesses == 0
+        result = h.access(0)
+        assert result.hit_level == "dram"

@@ -1,0 +1,73 @@
+"""Tests for the stride prefetcher."""
+
+from repro.memory.prefetcher import StridePrefetcher
+
+
+class TestStrideDetection:
+    def test_no_prefetch_before_confidence(self):
+        pf = StridePrefetcher(confidence_threshold=2)
+        assert pf.observe(0x1000) == []
+        assert pf.observe(0x1040) == []  # stride learned, confidence 1
+
+    def test_prefetch_after_repeated_stride(self):
+        pf = StridePrefetcher(confidence_threshold=2, degree=2)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        targets = pf.observe(0x1080)
+        assert targets == [0x10C0, 0x1100]
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher(confidence_threshold=2)
+        pf.observe(0x1000)
+        pf.observe(0x1040)
+        pf.observe(0x1080)
+        assert pf.observe(0x1100) == []  # different stride (0x80)
+
+    def test_zero_stride_ignored(self):
+        pf = StridePrefetcher()
+        pf.observe(0x1000)
+        assert pf.observe(0x1000) == []
+
+    def test_negative_stride_supported(self):
+        pf = StridePrefetcher(confidence_threshold=2, degree=1)
+        # stay within one 4KB region so the stream entry persists
+        pf.observe(0x2FC0)
+        pf.observe(0x2F80)
+        targets = pf.observe(0x2F40)
+        assert targets == [0x2F00]
+
+    def test_negative_targets_dropped(self):
+        pf = StridePrefetcher(confidence_threshold=1, degree=2)
+        pf.observe(0x40)
+        targets = pf.observe(0x0)
+        assert all(t >= 0 for t in targets)
+
+
+class TestTableManagement:
+    def test_independent_regions(self):
+        pf = StridePrefetcher(confidence_threshold=2, region_bits=12)
+        # interleave two streams in different 4KB regions
+        for i in range(4):
+            pf.observe(0x10000 + i * 64)
+            pf.observe(0x90000 + i * 128)
+        t1 = pf.observe(0x10000 + 4 * 64)
+        assert 0x10000 + 5 * 64 in t1
+
+    def test_table_eviction(self):
+        pf = StridePrefetcher(table_size=2, region_bits=12)
+        pf.observe(0x1000)
+        pf.observe(0x200000)
+        pf.observe(0x400000)  # evicts the first region
+        assert len(pf._table) == 2
+
+    def test_reset(self):
+        pf = StridePrefetcher()
+        pf.observe(0x1000)
+        pf.reset()
+        assert len(pf._table) == 0 and pf.issued == 0
+
+    def test_issued_counter(self):
+        pf = StridePrefetcher(confidence_threshold=1, degree=3)
+        pf.observe(0)
+        pf.observe(64)
+        assert pf.issued == 3

@@ -1,0 +1,96 @@
+"""Tests for the area / energy models against the paper's published values."""
+
+import pytest
+
+from repro.gemm.api import analyze
+from repro.isa.dtypes import DType
+from repro.physical.area import camp_area_report, camp_unit_gates
+from repro.physical.energy import EnergyBreakdown, EnergyModel
+from repro.physical.technology import (
+    A64FX_CHIP_PEAK_W,
+    GF22FDX,
+    TSMC7,
+)
+
+
+class TestAreaModel:
+    def test_gates_scale_with_lanes(self):
+        assert camp_unit_gates(512) > 3.5 * camp_unit_gates(128)
+
+    def test_block_size_ablation(self):
+        # larger building blocks reduce recombination adders
+        assert camp_unit_gates(512, block_bits=8) != camp_unit_gates(512, block_bits=4)
+
+    def test_a64fx_area_matches_paper(self):
+        report = camp_area_report("a64fx")
+        assert report.area_mm2 == pytest.approx(0.027263, rel=0.03)
+        assert report.overhead_fraction == pytest.approx(0.01, rel=0.05)
+
+    def test_sargantana_area_matches_paper(self):
+        report = camp_area_report("sargantana")
+        assert report.area_mm2 == pytest.approx(0.0782, rel=0.03)
+        assert report.overhead_fraction == pytest.approx(0.04, rel=0.05)
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            camp_area_report("m4")
+
+
+class TestEnergyModel:
+    def test_mac_energy_ordering(self):
+        model = EnergyModel(TSMC7)
+        assert (
+            model.mac_energy_pj(DType.INT4)
+            < model.mac_energy_pj(DType.INT8)
+            < model.mac_energy_pj(DType.INT32)
+            < model.mac_energy_pj(DType.FP32)
+        )
+
+    def test_breakdown_totals(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.total_j == 10.0
+
+    def test_execution_energy_positive(self):
+        model = EnergyModel(TSMC7)
+        execution = analyze(64, 64, 64, method="camp8", machine="a64fx")
+        breakdown = model.execution_energy(execution, DType.INT8)
+        assert breakdown.total_j > 0
+        assert breakdown.compute_j > 0
+        assert breakdown.frontend_j > 0
+
+    def test_camp_energy_far_below_baseline(self):
+        """The paper's >80% energy-reduction claim."""
+        model = EnergyModel(TSMC7)
+        size = 256
+        baseline = analyze(size, size, size, method="openblas-fp32", machine="a64fx")
+        camp8 = analyze(size, size, size, method="camp8", machine="a64fx")
+        base_j = model.execution_energy(baseline, DType.FP32).total_j
+        camp_j = model.execution_energy(camp8, DType.INT8).total_j
+        assert camp_j / base_j < 0.35
+
+    def test_riscv_efficiency_band(self):
+        """Section 6.2: 270 / 405 GOPS/W for 8-/4-bit SMM (we accept a
+        factor-of-two band — the model is cycle-approximate)."""
+        model = EnergyModel(GF22FDX)
+        e8 = analyze(256, 256, 256, method="camp8", machine="sargantana")
+        e4 = analyze(256, 256, 256, method="camp4", machine="sargantana")
+        gw8 = model.gops_per_watt(e8, DType.INT8)
+        gw4 = model.gops_per_watt(e4, DType.INT4)
+        assert 135 < gw8 < 540
+        assert 200 < gw4 < 810
+        assert gw4 > gw8
+
+    def test_peak_power_matches_paper(self):
+        model = EnergyModel(TSMC7)
+        increase = model.camp_peak_power_w(512) / A64FX_CHIP_PEAK_W
+        assert increase == pytest.approx(0.006, rel=0.15)
+
+    def test_average_power_sane(self):
+        model = EnergyModel(GF22FDX)
+        execution = analyze(128, 128, 128, method="camp8", machine="sargantana")
+        power = model.average_power_w(execution, DType.INT8)
+        assert 0.005 < power < 2.0  # an edge SoC, not a server
+
+    def test_rejects_non_technode(self):
+        with pytest.raises(TypeError):
+            EnergyModel("7nm")

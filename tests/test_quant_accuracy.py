@@ -1,0 +1,60 @@
+"""Tests for the Figure 7 accuracy-vs-bit-width study."""
+
+import pytest
+
+from repro.quant.accuracy import (
+    make_dataset,
+    quantized_accuracy,
+    sweep_accuracy,
+    train_mlp,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, labels = make_dataset(n_samples=1200, seed=11)
+    split = 960
+    model = train_mlp(x[:split], labels[:split], epochs=40)
+    return model, x[split:], labels[split:]
+
+
+class TestTraining:
+    def test_model_learns(self, trained):
+        model, x_test, y_test = trained
+        assert model.accuracy(x_test, y_test) > 0.85
+
+    def test_dataset_shapes(self):
+        x, labels = make_dataset(n_samples=100, n_features=8, n_classes=3)
+        assert x.shape == (100, 8)
+        assert labels.min() >= 0 and labels.max() < 3
+
+
+class TestQuantizedAccuracy:
+    def test_8bit_near_float(self, trained):
+        model, x_test, y_test = trained
+        float_acc = model.accuracy(x_test, y_test)
+        q_acc = quantized_accuracy(model, x_test, y_test, 8, 8)
+        assert abs(float_acc - q_acc) < 0.05
+
+    def test_4bit_still_works(self, trained):
+        model, x_test, y_test = trained
+        float_acc = model.accuracy(x_test, y_test)
+        q_acc = quantized_accuracy(model, x_test, y_test, 4, 4)
+        assert float_acc - q_acc < 0.10
+
+    def test_2bit_collapses(self, trained):
+        model, x_test, y_test = trained
+        float_acc = model.accuracy(x_test, y_test)
+        q_acc = quantized_accuracy(model, x_test, y_test, 2, 2)
+        assert float_acc - q_acc > 0.10
+
+
+class TestSweep:
+    def test_knee_shape(self):
+        surface = sweep_accuracy(bit_widths=(2, 4, 6, 8), n_samples=1500)
+        assert surface.knee_holds()
+
+    def test_grid_complete(self):
+        surface = sweep_accuracy(bit_widths=(2, 4), n_samples=600)
+        assert set(surface.grid) == {(2, 2), (2, 4), (4, 2), (4, 4)}
+        assert surface.at(4, 4) == surface.grid[(4, 4)]

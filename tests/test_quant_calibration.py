@@ -1,0 +1,73 @@
+"""Tests for activation calibration."""
+
+import numpy as np
+import pytest
+
+from repro.quant.calibration import Calibrator, calibrate, clipping_error
+
+
+@pytest.fixture
+def batches():
+    rng = np.random.default_rng(0)
+    return [rng.normal(0, 1.0, size=512) for _ in range(8)]
+
+
+class TestCalibrator:
+    def test_absmax_covers_everything(self, batches):
+        params = calibrate(batches, strategy="absmax")
+        peak = max(float(np.abs(b).max()) for b in batches)
+        assert params.scale * params.qmax >= peak - 1e-9
+
+    def test_percentile_clips_outliers(self, batches):
+        spiked = batches + [np.array([50.0] + [0.1] * 511)]
+        absmax = calibrate(spiked, strategy="absmax")
+        pct = calibrate(spiked, strategy="percentile", percentile=99.0)
+        assert pct.scale < absmax.scale  # outlier ignored -> finer grid
+
+    def test_moving_average_between_min_and_max(self, batches):
+        calibrator = Calibrator(strategy="moving_average")
+        for batch in batches:
+            calibrator.observe(batch)
+        estimate = calibrator.range_estimate()
+        absmaxes = [float(np.abs(b).max()) for b in batches]
+        assert min(absmaxes) * 0.5 <= estimate <= max(absmaxes)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Calibrator().observe(np.array([]))
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(RuntimeError):
+            Calibrator().range_estimate()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            Calibrator(strategy="magic")
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            Calibrator(percentile=10.0)
+
+    def test_observed_batches_counter(self, batches):
+        calibrator = Calibrator()
+        for batch in batches:
+            calibrator.observe(batch)
+        assert calibrator.observed_batches == len(batches)
+
+    def test_params_symmetric_int8(self, batches):
+        params = calibrate(batches)
+        assert params.zero_point == 0
+        assert params.bits == 8
+
+
+class TestClippingError:
+    def test_no_clipping_within_range(self, batches):
+        params = calibrate(batches, strategy="absmax")
+        frac, mass = clipping_error(np.concatenate(batches), params)
+        assert frac == 0.0 and mass == 0.0
+
+    def test_percentile_clips_small_fraction(self, batches):
+        params = calibrate(batches, strategy="percentile", percentile=95.0)
+        frac, mass = clipping_error(np.concatenate(batches), params)
+        assert 0.0 < frac < 0.12
+        assert 0.0 < mass < 0.5

@@ -1,0 +1,60 @@
+"""Tests for int4 nibble packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.quant.packing import INT4_MAX, INT4_MIN, pack_int4, unpack_int4
+
+
+class TestPacking:
+    def test_basic_roundtrip(self):
+        values = np.array([-8, 7, 0, -1, 3, -5], dtype=np.int64)
+        assert np.array_equal(unpack_int4(pack_int4(values)), values.astype(np.int8))
+
+    def test_packs_two_per_byte(self):
+        packed = pack_int4([1, 2, 3, 4])
+        assert packed.size == 2
+
+    def test_low_nibble_first(self):
+        packed = pack_int4([1, 2])
+        assert packed[0] == (1 | (2 << 4))
+
+    def test_negative_encoding(self):
+        packed = pack_int4([-1, -8])
+        assert packed[0] == (0xF | (0x8 << 4))
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValueError):
+            pack_int4([1, 2, 3])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_int4([8, 0])
+        with pytest.raises(ValueError):
+            pack_int4([-9, 0])
+
+    def test_empty(self):
+        assert pack_int4([]).size == 0
+        assert unpack_int4([]).size == 0
+
+    def test_unpack_sign_extension(self):
+        assert np.array_equal(unpack_int4(np.array([0xFF], dtype=np.uint8)),
+                              np.array([-1, -1], dtype=np.int8))
+
+
+@given(
+    st.lists(st.integers(INT4_MIN, INT4_MAX), min_size=2, max_size=256).filter(
+        lambda v: len(v) % 2 == 0
+    )
+)
+def test_roundtrip_property(values):
+    assert np.array_equal(
+        unpack_int4(pack_int4(values)), np.array(values, dtype=np.int8)
+    )
+
+
+@given(st.binary(min_size=0, max_size=128))
+def test_unpack_pack_inverse(raw):
+    data = np.frombuffer(raw, dtype=np.uint8)
+    assert np.array_equal(pack_int4(unpack_int4(data)), data)

@@ -1,0 +1,73 @@
+"""Tests for quantize / dequantize and the quantized matmul."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.quantize import (
+    dequantize,
+    quantization_error,
+    quantize,
+    quantized_matmul,
+)
+from repro.quant.schemes import choose_params
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(size=100)
+        params = choose_params(tensor, bits=8)
+        q = quantize(tensor, params)
+        back = dequantize(q, params)
+        assert np.abs(back - tensor).max() <= params.scale / 2 + 1e-12
+
+    def test_clipping(self):
+        params = choose_params(np.array([1.0]), bits=8)
+        q = quantize(np.array([100.0]), params)
+        assert q[0] == params.qmax
+
+    def test_int4_grid(self):
+        tensor = np.linspace(-1, 1, 9)
+        params = choose_params(tensor, bits=4)
+        q = quantize(tensor, params)
+        assert q.min() >= -8 and q.max() <= 7
+
+
+class TestQuantizedMatmul:
+    def test_int8_accuracy(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(16, 32))
+        b = rng.normal(size=(32, 8))
+        approx, c_int, _, _ = quantized_matmul(a, b, bits=8)
+        exact = a @ b
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert rel < 0.05
+        assert c_int.dtype == np.int32
+
+    def test_int4_worse_than_int8(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(16, 32))
+        b = rng.normal(size=(32, 8))
+        assert quantization_error(a, b, 4) > quantization_error(a, b, 8)
+
+    def test_zero_matrices(self):
+        a = np.zeros((4, 4))
+        assert quantization_error(a, a, 8) == 0.0
+
+    def test_overflow_guard(self):
+        # enormous K with adversarial values would exceed int32
+        a = np.full((1, 70000), 1.0)
+        b = np.full((70000, 1), 1.0)
+        with pytest.raises(OverflowError):
+            quantized_matmul(a, b, bits=16)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(0, 2**31 - 1), bits=st.sampled_from([4, 6, 8]))
+def test_error_decreases_with_bits_property(seed, bits):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(8, 16))
+    b = rng.normal(size=(16, 4))
+    if bits < 8:
+        assert quantization_error(a, b, bits) >= quantization_error(a, b, 8) - 1e-9

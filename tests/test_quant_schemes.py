@@ -1,0 +1,51 @@
+"""Tests for quantization parameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.quant.schemes import QuantParams, choose_params
+
+
+class TestQuantParams:
+    def test_range_int8(self):
+        params = QuantParams(scale=0.1, zero_point=0, bits=8)
+        assert params.qmin == -128 and params.qmax == 127
+
+    def test_range_int4(self):
+        params = QuantParams(scale=0.1, zero_point=0, bits=4)
+        assert params.qmin == -8 and params.qmax == 7
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, zero_point=0, bits=8)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=0, bits=1)
+
+
+class TestChooseParams:
+    def test_symmetric_zero_point(self):
+        params = choose_params(np.array([-2.0, 1.0]), bits=8)
+        assert params.zero_point == 0
+        assert params.scale == pytest.approx(2.0 / 127)
+
+    def test_symmetric_covers_absmax(self):
+        tensor = np.array([-5.0, 3.0])
+        params = choose_params(tensor, bits=8)
+        assert params.scale * params.qmax >= 5.0 - 1e-9
+
+    def test_asymmetric_covers_range(self):
+        tensor = np.array([0.0, 10.0])
+        params = choose_params(tensor, bits=8, symmetric=False)
+        lo = (params.qmin - params.zero_point) * params.scale
+        hi = (params.qmax - params.zero_point) * params.scale
+        assert lo <= 0.0 and hi >= 10.0 - 1e-6
+
+    def test_all_zero_tensor(self):
+        params = choose_params(np.zeros(4), bits=8)
+        assert params.scale == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choose_params(np.array([]), bits=8)

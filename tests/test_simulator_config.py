@@ -1,0 +1,63 @@
+"""Tests for machine configurations."""
+
+import pytest
+
+from repro.isa.dtypes import DType
+from repro.isa.instructions import FUClass, Instruction, Opcode
+from repro.isa.registers import vreg
+from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
+
+
+class TestA64fx:
+    def test_table2_parameters(self):
+        config = a64fx_config()
+        assert config.frequency_ghz == 2.0
+        assert config.vector_length_bits == 512
+        l1, l2 = config.cache_configs
+        assert l1.size_bytes == 64 * 1024 and l1.load_to_use == 4
+        assert l2.size_bytes == 8 * 1024 * 1024 and l2.load_to_use == 37
+
+    def test_camp_toggle(self):
+        assert a64fx_config(camp_enabled=False).units_of(FUClass.MATRIX) == 0
+        assert a64fx_config(camp_enabled=True).units_of(FUClass.MATRIX) == 1
+
+    def test_with_camp_copies(self):
+        base = a64fx_config()
+        enabled = base.with_camp(True)
+        assert enabled.camp_enabled and not base.camp_enabled
+
+    def test_n_lanes(self):
+        assert a64fx_config().n_lanes == 8
+        assert sargantana_config().n_lanes == 2
+
+    def test_name_reflects_camp(self):
+        assert a64fx_config(True).name == "a64fx+camp"
+
+
+class TestSargantana:
+    def test_in_order_single_issue(self):
+        config = sargantana_config()
+        assert config.issue_width == 1
+        assert config.window == 1
+        assert config.frequency_ghz == 1.0
+        assert config.vector_length_bits == 128
+
+    def test_vmul_not_fully_pipelined(self):
+        config = sargantana_config()
+        assert config.interval_of(FUClass.VMUL) == 2
+        assert config.interval_of(FUClass.VALU) == 1
+
+
+class TestLatencyLookup:
+    def test_opcode_override_beats_class_default(self):
+        config = a64fx_config()
+        fmla = Instruction(Opcode.FMLA, (vreg(0),), (vreg(0), vreg(1), vreg(2)),
+                           dtype=DType.FP32)
+        vmla = Instruction(Opcode.VMLA, (vreg(0),), (vreg(0), vreg(1), vreg(2)),
+                           dtype=DType.INT32)
+        assert config.latency_of(fmla) == 9
+        assert config.latency_of(vmla) == config.fu_latency[FUClass.VMUL]
+
+    def test_units_of_missing_class(self):
+        config = a64fx_config()
+        assert config.units_of(FUClass.MATRIX) == 0

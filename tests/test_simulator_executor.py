@@ -1,0 +1,219 @@
+"""Tests for the functional executor (bit-accurate instruction semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.isa.registers import vreg, xreg
+from repro.quant.packing import pack_int4
+from repro.simulator.executor import FlatMemory, FunctionalExecutor
+
+
+@pytest.fixture
+def memory():
+    return FlatMemory(1 << 22)
+
+
+def execute(builder, memory, vl=512):
+    ex = FunctionalExecutor(memory, vector_length_bits=vl)
+    return ex.run(builder.build())
+
+
+class TestFlatMemory:
+    def test_roundtrip(self, memory):
+        memory.write_array(0x100, np.arange(16, dtype=np.int32))
+        back = memory.read_array(0x100, np.int32, 16)
+        assert np.array_equal(back, np.arange(16, dtype=np.int32))
+
+    def test_bounds_checked(self, memory):
+        with pytest.raises(IndexError):
+            memory.read(memory.size_bytes - 2, 4)
+        with pytest.raises(IndexError):
+            memory.write(-1, [0])
+
+
+class TestVectorMemoryOps:
+    def test_vload_int8(self, memory):
+        data = np.arange(64, dtype=np.int8) - 32
+        memory.write_array(0x1000, data)
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT8)
+        ex = execute(b, memory)
+        assert np.array_equal(ex.vregs.read(vreg(0)), data)
+
+    def test_vload_int4_unpacks(self, memory):
+        values = np.arange(-8, 8, dtype=np.int64).tolist() * 8  # 128 nibbles
+        memory.write(0x1000, pack_int4(values))
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT4)
+        ex = execute(b, memory)
+        assert np.array_equal(ex.vregs.read(vreg(0)), np.array(values, dtype=np.int8))
+
+    def test_vstore_roundtrip(self, memory):
+        data = np.arange(16, dtype=np.int32)
+        memory.write_array(0x1000, data)
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT32)
+        b.vstore(vreg(0), 0x2000, DType.INT32)
+        execute(b, memory)
+        assert np.array_equal(memory.read_array(0x2000, np.int32, 16), data)
+
+    def test_vload_strided(self, memory):
+        for i in range(16):
+            memory.write_array(0x1000 + 128 * i, np.array([i], dtype=np.int32))
+        b = ProgramBuilder()
+        b.vload_strided(vreg(0), 0x1000, DType.INT32, stride=128)
+        ex = execute(b, memory)
+        assert np.array_equal(ex.vregs.read(vreg(0)), np.arange(16, dtype=np.int32))
+
+
+class TestArithmetic:
+    def test_vadd_wraps(self, memory):
+        a = np.full(64, 127, dtype=np.int8)
+        memory.write_array(0x1000, a)
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT8)
+        b.vadd(vreg(1), vreg(0), vreg(0), DType.INT8)
+        ex = execute(b, memory)
+        assert (ex.vregs.read(vreg(1)) == -2).all()
+
+    def test_vmla(self, memory):
+        memory.write_array(0x1000, np.full(16, 3, dtype=np.int32))
+        memory.write_array(0x2000, np.full(16, 5, dtype=np.int32))
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT32)
+        b.vload(vreg(1), 0x2000, DType.INT32)
+        b.vzero(vreg(2), DType.INT32)
+        b.vmla(vreg(2), vreg(0), vreg(1), DType.INT32)
+        b.vmla(vreg(2), vreg(0), vreg(1), DType.INT32)
+        ex = execute(b, memory)
+        assert (ex.vregs.read(vreg(2)) == 30).all()
+
+    def test_vdup_from_scalar(self, memory):
+        b = ProgramBuilder()
+        b.salu(xreg(1), [], imm=9)
+        b.vdup(vreg(0), xreg(1), DType.INT32)
+        ex = execute(b, memory)
+        assert (ex.vregs.read(vreg(0)) == 9).all()
+
+    def test_vdup_from_vector_lane(self, memory):
+        memory.write_array(0x1000, np.arange(16, dtype=np.int32))
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT32)
+        b.vdup(vreg(1), vreg(0), DType.INT32, lane=5, elements=8)
+        ex = execute(b, memory)
+        out = ex.vregs.read(vreg(1))
+        assert out.size == 8 and (out == 5).all()
+
+    def test_vreduce(self, memory):
+        memory.write_array(0x1000, np.arange(16, dtype=np.int32))
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT32)
+        b.vreduce(xreg(1), vreg(0), DType.INT32)
+        ex = execute(b, memory)
+        assert ex.xregs.read(xreg(1)) == 120
+
+    def test_fmla_float(self, memory):
+        memory.write_array(0x1000, np.full(16, 1.5, dtype=np.float32))
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.FP32)
+        b.vzero(vreg(1), DType.FP32)
+        b.fmla(vreg(1), vreg(0), vreg(0))
+        ex = execute(b, memory)
+        assert np.allclose(ex.vregs.read(vreg(1)), 2.25)
+
+    def test_vwiden_halves(self, memory):
+        memory.write_array(0x1000, np.arange(64, dtype=np.int8) - 32)
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT8)
+        low = b.vwiden(vreg(1), vreg(0), DType.INT8, DType.INT16)
+        high = b.vwiden(vreg(2), vreg(0), DType.INT8, DType.INT16)
+        high.meta["half"] = "high"
+        ex = execute(b, memory)
+        assert np.array_equal(
+            ex.vregs.read(vreg(1)), (np.arange(32) - 32).astype(np.int16)
+        )
+        assert np.array_equal(
+            ex.vregs.read(vreg(2)), np.arange(32, dtype=np.int16)
+        )
+
+
+class TestCampOps:
+    def test_camp_chain_matches_matmul(self, memory):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=(4, 32)).astype(np.int8)
+        b_mat = rng.integers(-128, 128, size=(32, 4)).astype(np.int8)
+        # two k-slices of 16 packed back to back
+        memory.write_array(0x1000, a[:, :16].T.reshape(-1))
+        memory.write_array(0x1040, a[:, 16:].T.reshape(-1))
+        memory.write_array(0x2000, b_mat[:16].reshape(-1))
+        memory.write_array(0x2040, b_mat[16:].reshape(-1))
+        b = ProgramBuilder()
+        acc = b.aregs.alloc()
+        b.vzero(acc)
+        for it in range(2):
+            b.vload(vreg(0), 0x1000 + 64 * it, DType.INT8)
+            b.vload(vreg(1), 0x2000 + 64 * it, DType.INT8)
+            b.camp(acc, vreg(0), vreg(1), DType.INT8)
+        b.camp_store(vreg(2), acc)
+        b.vstore(vreg(2), 0x3000, DType.INT32, size=64)
+        execute(b, memory)
+        got = memory.read_array(0x3000, np.int32, 16).reshape(4, 4)
+        assert np.array_equal(got, a.astype(np.int64) @ b_mat.astype(np.int64))
+
+    def test_camp_store_chunks_at_narrow_vl(self, memory):
+        b = ProgramBuilder(vector_length_bits=128)
+        acc = b.aregs.alloc()
+        b.vzero(acc)
+        a = np.arange(16, dtype=np.int64) % 8 - 4
+        bb = (np.arange(16, dtype=np.int64) % 16) - 8
+        memory.write_array(0x1000, a.astype(np.int8))
+        memory.write_array(0x2000, bb.astype(np.int8))
+        b.vload(vreg(0), 0x1000, DType.INT8, size=16)
+        b.vload(vreg(1), 0x2000, DType.INT8, size=16)
+        b.camp(acc, vreg(0), vreg(1), DType.INT8)
+        for chunk in range(4):
+            b.camp_store(vreg(2), acc, chunk=chunk)
+            b.vstore(vreg(2), 0x3000 + 16 * chunk, DType.INT32, size=16)
+        execute(b, memory, vl=128)
+        got = memory.read_array(0x3000, np.int32, 16).reshape(4, 4)
+        a_mat = a.reshape(4, 4).T
+        b_mat = bb.reshape(4, 4)
+        assert np.array_equal(got, a_mat @ b_mat)
+
+    def test_mmla_quadwords(self, memory):
+        rng = np.random.default_rng(1)
+        a = rng.integers(-128, 128, size=64).astype(np.int8)
+        bb = rng.integers(-128, 128, size=64).astype(np.int8)
+        memory.write_array(0x1000, a)
+        memory.write_array(0x2000, bb)
+        b = ProgramBuilder()
+        b.vload(vreg(0), 0x1000, DType.INT8)
+        b.vload(vreg(1), 0x2000, DType.INT8)
+        b.vzero(vreg(2), DType.INT32)
+        b.mmla(vreg(2), vreg(0), vreg(1), DType.INT8)
+        ex = execute(b, memory)
+        out = ex.vregs.read(vreg(2))
+        for q in range(4):
+            a_tile = a[16 * q : 16 * q + 16].astype(np.int64).reshape(2, 8)
+            b_tile = bb[16 * q : 16 * q + 16].astype(np.int64).reshape(2, 8)
+            expected = a_tile @ b_tile.T
+            assert np.array_equal(out[4 * q : 4 * q + 4].reshape(2, 2), expected)
+
+
+class TestScalarOps:
+    def test_salu_sum_and_imm(self, memory):
+        b = ProgramBuilder()
+        b.salu(xreg(1), [], imm=5)
+        b.salu(xreg(2), [xreg(1), xreg(1)], imm=1)
+        ex = execute(b, memory)
+        assert ex.xregs.read(xreg(2)) == 11
+
+    def test_sload_sstore(self, memory):
+        b = ProgramBuilder()
+        b.salu(xreg(1), [], imm=-42)
+        b.sstore(xreg(1), 0x4000)
+        b.sload(xreg(2), 0x4000)
+        ex = execute(b, memory)
+        assert ex.xregs.read(xreg(2)) == -42

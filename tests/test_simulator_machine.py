@@ -1,0 +1,57 @@
+"""Tests for the Machine facade."""
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.isa.registers import vreg
+from repro.simulator.config import a64fx_config
+from repro.simulator.machine import Machine
+
+
+def simple_program(machine):
+    machine.memory.write_array(0x1000, np.arange(16, dtype=np.int32))
+    b = ProgramBuilder()
+    b.vload(vreg(0), 0x1000, DType.INT32)
+    b.vadd(vreg(1), vreg(0), vreg(0), DType.INT32)
+    b.vstore(vreg(1), 0x2000, DType.INT32)
+    return b.build()
+
+
+class TestMachine:
+    def test_execute_functional(self):
+        machine = Machine(a64fx_config())
+        program = simple_program(machine)
+        machine.execute(program)
+        out = machine.memory.read_array(0x2000, np.int32, 16)
+        assert np.array_equal(out, 2 * np.arange(16))
+
+    def test_simulate_returns_stats(self):
+        machine = Machine(a64fx_config())
+        program = simple_program(machine)
+        stats = machine.simulate(program)
+        assert stats.instructions == 3
+        assert stats.cycles > 0
+
+    def test_run_combines_both(self):
+        machine = Machine(a64fx_config())
+        program = simple_program(machine)
+        executor, stats = machine.run(program)
+        assert stats.loads == 1
+        assert np.array_equal(
+            executor.vregs.read(vreg(1)), 2 * np.arange(16, dtype=np.int32)
+        )
+
+    def test_keep_state_warms_caches(self):
+        machine = Machine(a64fx_config())
+        program = simple_program(machine)
+        cold = machine.simulate(program, keep_state=True)
+        warm = machine.simulate(program, keep_state=True)
+        assert warm.cycles < cold.cycles
+
+    def test_fresh_state_by_default(self):
+        machine = Machine(a64fx_config())
+        program = simple_program(machine)
+        first = machine.simulate(program)
+        second = machine.simulate(program)
+        assert first.cycles == second.cycles

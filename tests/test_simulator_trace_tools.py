@@ -1,0 +1,100 @@
+"""Tests for static trace analysis (critical path, bounds)."""
+
+import pytest
+
+from repro.gemm.microkernel import get_kernel
+from repro.isa.builder import ProgramBuilder
+from repro.isa.dtypes import DType
+from repro.isa.instructions import FUClass
+from repro.isa.registers import vreg
+from repro.simulator.config import a64fx_config, sargantana_config
+from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.trace_tools import analyze_trace, efficiency_report
+
+
+class TestCriticalPath:
+    def test_chain_latency_sums(self):
+        config = a64fx_config()
+        b = ProgramBuilder()
+        b.vzero(vreg(0), DType.INT32)
+        prev = vreg(0)
+        for i in range(1, 5):
+            b.vadd(vreg(i), prev, prev, DType.INT32)
+            prev = vreg(i)
+        analysis = analyze_trace(b.build(), config)
+        # vzero(2) + 4 chained vadds at latency 2
+        assert analysis.critical_path_cycles == 2 + 4 * 2
+
+    def test_independent_ops_short_path(self):
+        config = a64fx_config()
+        b = ProgramBuilder()
+        for i in range(8):
+            b.vzero(vreg(i), DType.INT32)
+        analysis = analyze_trace(b.build(), config)
+        assert analysis.critical_path_cycles == 2
+
+    def test_empty_trace(self):
+        analysis = analyze_trace(ProgramBuilder().build(), a64fx_config())
+        assert analysis.critical_path_cycles == 0
+        assert analysis.latency_bound == 0
+
+
+class TestBounds:
+    def test_fu_bound(self):
+        config = sargantana_config()  # 1 VMUL unit at interval 2
+        b = ProgramBuilder()
+        b.vzero(vreg(0), DType.INT32)
+        for i in range(1, 9):
+            b.vmul(vreg(i), vreg(0), vreg(0), DType.INT32)
+        analysis = analyze_trace(b.build(), config)
+        assert analysis.fu_bound_cycles >= 16
+
+    def test_issue_bound(self):
+        config = a64fx_config()  # issue width 2
+        b = ProgramBuilder()
+        for i in range(10):
+            b.vzero(vreg(i % 8), DType.INT32)
+        analysis = analyze_trace(b.build(), config)
+        assert analysis.issue_bound_cycles == 5
+
+    def test_missing_unit_raises(self):
+        config = a64fx_config(camp_enabled=False)
+        b = ProgramBuilder()
+        acc = b.aregs.alloc()
+        b.vzero(acc)
+        b.camp(acc, vreg(0), vreg(1), DType.INT8)
+        with pytest.raises(ValueError):
+            analyze_trace(b.build(), config)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("name", ["camp8", "openblas-fp32", "handv-int8"])
+    def test_simulation_never_beats_lower_bound(self, name):
+        config = a64fx_config(camp_enabled=True)
+        kernel = get_kernel(name, vector_length_bits=512)
+        kc = 4 * max(kernel.k_step, 16)
+        program = kernel.build_call(kc)
+        analysis = analyze_trace(program, config)
+        sim = PipelineSimulator(config)
+        stats = sim.run(program, warm_addresses=kernel.warm_addresses(kc))
+        assert stats.cycles >= analysis.latency_bound
+
+    def test_efficiency_report(self):
+        config = a64fx_config(camp_enabled=True)
+        kernel = get_kernel("camp8")
+        program = kernel.build_call(64)
+        sim = PipelineSimulator(config)
+        stats = sim.run(program, warm_addresses=kernel.warm_addresses(64))
+        report = efficiency_report(program, config, stats.cycles)
+        assert 0 < report["efficiency"] <= 1.0
+        assert report["binding_constraint"] in (
+            "dependency-chain", "functional-units", "issue-width"
+        )
+
+    def test_arithmetic_intensity(self):
+        kernel = get_kernel("camp8")
+        program = kernel.build_call(64)
+        analysis = analyze_trace(program, a64fx_config(camp_enabled=True))
+        macs = kernel.macs_per_call(64)
+        # camp8 moves ~0.5 bytes per MAC
+        assert 1.0 < analysis.arithmetic_intensity(macs) < 4.0

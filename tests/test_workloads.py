@@ -1,0 +1,118 @@
+"""Tests for workload shape tables and im2col."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.im2col import (
+    conv2d_via_gemm,
+    conv_output_shape,
+    conv_to_gemm_shape,
+    im2col,
+)
+from repro.workloads.shapes import (
+    CNN_LAYERS,
+    LLM_LAYERS,
+    cnn_benchmarks,
+    edge_conv_shape,
+    llm_benchmarks,
+    smm_shapes,
+)
+
+
+class TestShapeTables:
+    def test_table3_layer_counts(self):
+        assert len(CNN_LAYERS["alexnet"]) == 5
+        assert len(CNN_LAYERS["resnet"]) == 8
+        assert len(CNN_LAYERS["vgg"]) == 9
+        assert len(CNN_LAYERS["mobilenet"]) == 10
+
+    def test_table3_spot_values(self):
+        l1 = CNN_LAYERS["alexnet"][0]
+        assert (l1.m, l1.n, l1.k) == (169, 256, 3456)
+        r1 = CNN_LAYERS["resnet"][0]
+        assert (r1.m, r1.n, r1.k) == (12544, 64, 147)
+
+    def test_macs(self):
+        shape = CNN_LAYERS["alexnet"][0]
+        assert shape.macs == 169 * 256 * 3456
+
+    def test_llm_models_present(self):
+        assert set(LLM_LAYERS) == {"bert-base", "bert-large", "gpt2-large", "gpt3-small"}
+
+    def test_llm_ff_expansion(self):
+        ff = LLM_LAYERS["bert-base"]["ff"]
+        sa = LLM_LAYERS["bert-base"]["sa"]
+        assert ff.n == 4 * sa.n
+        assert ff.k == sa.k == 768
+
+    def test_benchmark_iterators(self):
+        assert sum(1 for _ in cnn_benchmarks()) == 32
+        assert sum(1 for _ in llm_benchmarks()) == 8
+
+    def test_smm_shapes(self):
+        shapes = smm_shapes((32, 64))
+        assert shapes[0].m == shapes[0].n == shapes[0].k == 32
+
+    def test_edge_conv_shape(self):
+        shape = edge_conv_shape()
+        # 16x16 input, 3x3 kernel, pad 1 -> 256 output pixels
+        assert shape.m == 256
+        assert shape.n == 64
+        assert shape.k == 9 * 32
+
+    def test_labels_unique(self):
+        labels = [s.label for layers in CNN_LAYERS.values() for s in layers]
+        assert len(labels) == len(set(labels))
+
+
+class TestConvShapes:
+    def test_output_shape(self):
+        assert conv_output_shape(16, 16, 3, padding=1) == (16, 16)
+        assert conv_output_shape(8, 8, 3) == (6, 6)
+
+    def test_stride(self):
+        assert conv_output_shape(8, 8, 3, stride=2) == (3, 3)
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 5)
+
+    def test_gemm_shape(self):
+        m, n, k = conv_to_gemm_shape(16, 16, 32, 64, 3, padding=1)
+        assert (m, n, k) == (256, 64, 288)
+
+
+class TestIm2col:
+    def test_patch_matrix_shape(self):
+        image = np.arange(4 * 4 * 2).reshape(4, 4, 2)
+        patches = im2col(image, kernel=3)
+        assert patches.shape == (4, 18)
+
+    def test_patch_contents(self):
+        image = np.arange(9).reshape(3, 3, 1)
+        patches = im2col(image, kernel=3)
+        assert np.array_equal(patches[0], np.arange(9))
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((4, 4)), kernel=3)
+
+    def test_conv_via_gemm_matches_direct(self):
+        rng = np.random.default_rng(5)
+        image = rng.integers(-8, 8, size=(6, 6, 3))
+        filters = rng.integers(-8, 8, size=(4, 3, 3, 3))
+        out = conv2d_via_gemm(image, filters, padding=1)
+        assert out.shape == (6, 6, 4)
+        # direct convolution cross-check at a few positions
+        padded = np.pad(image, ((1, 1), (1, 1), (0, 0)))
+        for (i, j, f) in [(0, 0, 0), (3, 2, 1), (5, 5, 3)]:
+            window = padded[i : i + 3, j : j + 3, :]
+            expected = int((window.astype(np.int64) * filters[f]).sum())
+            assert out[i, j, f] == expected
+
+    def test_float_path(self):
+        rng = np.random.default_rng(6)
+        image = rng.normal(size=(5, 5, 2))
+        filters = rng.normal(size=(3, 3, 3, 2))
+        out = conv2d_via_gemm(image, filters)
+        assert out.shape == (3, 3, 3)
