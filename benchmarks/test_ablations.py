@@ -1,6 +1,6 @@
 """Ablation benches: the design-choice studies DESIGN.md calls out."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import (
     ablation_blocking,

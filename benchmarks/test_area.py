@@ -1,6 +1,6 @@
 """Section 6.1 / Figure 11: CAMP physical design (area, peak power)."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 import pytest
 

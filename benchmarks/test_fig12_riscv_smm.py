@@ -1,6 +1,6 @@
 """Figure 12: edge RISC-V SMM speedup & instruction reduction."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig12_riscv_smm
 

@@ -1,6 +1,6 @@
 """Figure 13: per-layer CNN speedups and instruction counts (A64FX)."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig13_cnn
 

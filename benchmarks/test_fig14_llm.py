@@ -1,6 +1,6 @@
 """Figure 14: LLM feed-forward / self-attention speedups (A64FX)."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig14_llm
 

@@ -1,6 +1,6 @@
 """Figure 15: CAMP busy rate and the FU/read/write stall taxonomy."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig15_stalls
 

@@ -1,6 +1,6 @@
 """Figure 16: CAMP energy relative to the A64FX baseline (<= ~30%)."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig16_energy
 

@@ -6,7 +6,7 @@ the read/write columns sit higher than the paper's 27-48%; the ALU
 column reproduces the ">8-fold reduction" claim directly.
 """
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig17_heatmap
 

@@ -1,6 +1,6 @@
 """Figure 18: CAMP vs ARM MMLA vs OpenBLAS across matrix sizes."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig18_mmla
 

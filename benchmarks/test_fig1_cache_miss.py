@@ -1,6 +1,6 @@
 """Figure 1: cache miss rate of naive vs ulmBLAS-blocked GEMM."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig1_cache_miss
 

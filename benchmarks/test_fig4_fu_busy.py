@@ -1,6 +1,6 @@
 """Figure 4: baseline functional-unit busy rate (>90% in the paper)."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig4_fu_busy
 

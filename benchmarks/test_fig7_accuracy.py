@@ -1,6 +1,6 @@
 """Figure 7: accuracy vs quantization bit-width (knee at 4 bits)."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_fig7_accuracy
 

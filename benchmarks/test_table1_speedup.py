@@ -1,6 +1,6 @@
 """Table 1: Int8/Int4 speedup over FP32 (512x512) on both platforms."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_table1
 

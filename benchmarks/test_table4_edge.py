@@ -1,6 +1,6 @@
 """Table 4 + Section 6.2: edge throughput/efficiency comparison."""
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 from repro.experiments import exp_table4
 

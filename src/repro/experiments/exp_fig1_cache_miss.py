@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 from repro.experiments.report import format_table
 from repro.gemm.blocking import BlockingParams
-from repro.gemm.naive import naive_address_stream
-from repro.gemm.traces import blocked_address_stream, miss_rate_of
+from repro.gemm.naive import naive_address_chunks
+from repro.gemm.traces import batch_miss_rate_of, blocked_address_chunks
 from repro.isa.dtypes import DType
 from repro.memory.cache import CacheConfig
 from repro.memory.dram import Dram
@@ -60,14 +60,14 @@ def run(fast=False, max_accesses=None):
         max_accesses = 120_000 if fast else 400_000
     rows = []
     for shape in _shapes(fast):
-        naive = miss_rate_of(
-            naive_address_stream(
+        naive = batch_miss_rate_of(
+            naive_address_chunks(
                 shape.m, shape.n, shape.k, DType.INT64, max_accesses=max_accesses
             ),
             _hierarchy(),
         )
-        blocked = miss_rate_of(
-            blocked_address_stream(
+        blocked = batch_miss_rate_of(
+            blocked_address_chunks(
                 shape.m, shape.n, shape.k, _BLOCKING, DType.INT64,
                 max_accesses=max_accesses,
             ),

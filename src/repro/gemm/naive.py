@@ -19,9 +19,9 @@ def naive_matmul(a, b):
     return a.astype(np.int64) @ b.astype(np.int64)
 
 
-def naive_address_stream(m, n, k, dtype=DType.FP32, a_base=0x0,
+def naive_address_chunks(m, n, k, dtype=DType.FP32, a_base=0x0,
                          b_base=None, c_base=None, max_accesses=None):
-    """Yield (address, is_write) for the naive ijk loop.
+    """Yield (addresses, is_write) numpy chunks for the naive ijk loop.
 
     A is row-major (A[i, l] at ``a_base + (i*k + l) * elem``), B is
     row-major but walked down columns (``b_base + (l*n + j) * elem``) —
@@ -30,25 +30,61 @@ def naive_address_stream(m, n, k, dtype=DType.FP32, a_base=0x0,
     as the direct compiler translation of ``C[i][j] += A[i][l] *
     B[l][j]`` does without register promotion.
 
-    ``max_accesses`` truncates the stream for sampling large problems;
-    the miss rate is steady-state after the first few rows of C, so a
-    prefix is representative (validated in the tests against full runs
-    on small sizes).
+    Each chunk is an int64 address array plus a matching bool write
+    array, in exact program order; concatenating the chunks reproduces
+    the scalar :func:`naive_address_stream` sequence access for access
+    (including ``max_accesses`` truncation, which rounds up to a whole
+    A/B/C-read/C-write group of 4). Chunks are the replay unit of
+    :func:`repro.gemm.traces.replay_batch`.
     """
     elem = dtype.bits // 8
     if b_base is None:
         b_base = a_base + m * k * elem
     if c_base is None:
         c_base = b_base + k * n * elem
-    emitted = 0
+    if m <= 0 or n <= 0 or k <= 0:
+        return  # degenerate problem: the ijk loop bodies never run
+    # one group of 4 accesses per (i, j, l); truncation is group-granular
+    # (the scalar loop checked the budget only after a full group)
+    groups_left = None if max_accesses is None else max(1, -(-max_accesses // 4))
+    l_addr = np.arange(k, dtype=np.int64)
+    write_pattern = np.array([False, False, False, True])
+    j_slab = max(1, (1 << 16) // max(k, 1))  # ~256K accesses per chunk
     for i in range(m):
-        for j in range(n):
-            c_addr = c_base + (i * n + j) * elem
-            for l in range(k):
-                yield a_base + (i * k + l) * elem, False
-                yield b_base + (l * n + j) * elem, False
-                yield c_addr, False
-                yield c_addr, True
-                emitted += 4
-                if max_accesses is not None and emitted >= max_accesses:
+        a_row = a_base + (i * k + l_addr) * elem
+        for j0 in range(0, n, j_slab):
+            j1 = min(n, j0 + j_slab)
+            if groups_left is not None:
+                # build only as many j-rows as the remaining budget needs
+                j1 = min(j1, j0 + -(-groups_left // k))
+            j_idx = np.arange(j0, j1, dtype=np.int64)[:, None]
+            block = np.empty((j1 - j0, k, 4), dtype=np.int64)
+            block[:, :, 0] = a_row[None, :]
+            block[:, :, 1] = b_base + (l_addr[None, :] * n + j_idx) * elem
+            c_col = c_base + (i * n + j_idx) * elem
+            block[:, :, 2] = c_col
+            block[:, :, 3] = c_col
+            groups = block.reshape(-1, 4)
+            if groups_left is not None and len(groups) > groups_left:
+                groups = groups[:groups_left]
+            flat = groups.reshape(-1)
+            yield flat, np.tile(write_pattern, len(groups))
+            if groups_left is not None:
+                groups_left -= len(groups)
+                if groups_left <= 0:
                     return
+
+
+def naive_address_stream(m, n, k, dtype=DType.FP32, a_base=0x0,
+                         b_base=None, c_base=None, max_accesses=None):
+    """Yield (address, is_write) scalars for the naive ijk loop.
+
+    Thin compatibility wrapper over :func:`naive_address_chunks`; see
+    there for the stream layout and truncation semantics.
+    """
+    for addrs, writes in naive_address_chunks(
+        m, n, k, dtype, a_base=a_base, b_base=b_base, c_base=c_base,
+        max_accesses=max_accesses,
+    ):
+        for addr, is_write in zip(addrs.tolist(), writes.tolist()):
+            yield addr, is_write

@@ -6,22 +6,43 @@ panels; the micro-kernel then streams those panels sequentially with
 heavy reuse. Replaying either stream through
 :class:`repro.memory.MemoryHierarchy` yields the L1 miss rates the
 paper plots.
+
+Streams come in two granularities:
+
+- ``*_address_chunks`` generators yield ``(addresses, is_write)``
+  numpy array pairs in exact program order — the input unit of
+  :func:`replay_batch`, which drives the vectorized batch cache engine
+  (:mod:`repro.memory.batch`) via
+  :meth:`~repro.memory.hierarchy.MemoryHierarchy.access_batch`.
+- ``*_address_stream`` wrappers flatten those chunks into the legacy
+  scalar ``(address, is_write)`` tuples for one-at-a-time replay.
+
+Both spellings produce the identical access sequence, so miss rates
+from :func:`replay` and :func:`replay_batch` agree exactly.
 """
 
-from repro.gemm.blocking import BlockingParams
-from repro.gemm.naive import naive_address_stream
+import numpy as np
+
+from repro.gemm.naive import naive_address_chunks, naive_address_stream
 from repro.isa.dtypes import DType
+from repro.memory.batch import coalesce_chunks
 
 
-def blocked_address_stream(m, n, k, blocking, dtype=DType.FP32, a_base=0x0,
+def blocked_address_chunks(m, n, k, blocking, dtype=DType.FP32, a_base=0x0,
                            b_base=None, c_base=None, packed_base=None,
                            max_accesses=None):
-    """Yield (address, is_write) for GotoBLAS-blocked GEMM.
+    """Yield (addresses, is_write) numpy chunks for GotoBLAS-blocked GEMM.
 
     Element-granular like the naive stream so miss rates are directly
     comparable. Packing touches the source block once (A column-walks
     within an mc-row band — short strides — and B row-walks); the
     micro-kernel then reads the packed panels sequentially.
+
+    ``max_accesses`` truncates at the same boundaries the scalar
+    generator checked: after any pack read/write pair, after each
+    micro-kernel k-step (``m_r + n_r`` panel reads), and after a whole
+    C tile — so chunked and scalar streams stay identical access for
+    access.
     """
     elem = dtype.bits // 8
     if b_base is None:
@@ -33,82 +54,158 @@ def blocked_address_stream(m, n, k, blocking, dtype=DType.FP32, a_base=0x0,
     packed_a = packed_base
     packed_b = packed_base + blocking.mc * blocking.kc * elem
 
+    m_r, n_r = blocking.m_r, blocking.n_r
     count = 0
 
-    def emit(addr, is_write):
-        nonlocal count
-        count += 1
-        return addr, is_write
+    def take(addrs, writes, unit):
+        """Truncate a block to whole ``unit``-sized groups of budget left.
 
-    m_r, n_r = blocking.m_r, blocking.n_r
+        Returns (addresses, writes, done); mirrors the scalar
+        generator, which stopped at the first ``unit`` boundary where
+        the running count reached ``max_accesses``.
+        """
+        nonlocal count
+        if max_accesses is None:
+            count += addrs.size
+            return addrs, writes, False
+        units_wanted = -(-(max_accesses - count) // unit)
+        units_have = addrs.size // unit
+        if units_wanted < units_have:
+            addrs = addrs[: units_wanted * unit]
+            writes = writes[: units_wanted * unit]
+        count += addrs.size
+        return addrs, writes, count >= max_accesses
+
+    pair_writes = np.array([False, True])
+
     for jc in range(0, n, blocking.nc):
         nc = min(blocking.nc, n - jc)
         for pc in range(0, k, blocking.kc):
             kc = min(blocking.kc, k - pc)
+            l_idx = np.arange(kc, dtype=np.int64)[:, None]
             # pack B(kc x nc) panel-major: each n_r-wide panel is stored
             # contiguously (kc rows of n_r elements)
             for p in range(0, nc, n_r):
                 panel_base = packed_b + p * kc * elem
-                for l in range(kc):
-                    for j in range(min(n_r, nc - p)):
-                        yield emit(b_base + ((pc + l) * n + jc + p + j) * elem, False)
-                        yield emit(panel_base + (l * n_r + j) * elem, True)
-                        if max_accesses is not None and count >= max_accesses:
-                            return
+                jn = min(n_r, nc - p)
+                j_idx = np.arange(jn, dtype=np.int64)[None, :]
+                block = np.empty((kc, jn, 2), dtype=np.int64)
+                block[:, :, 0] = b_base + ((pc + l_idx) * n + jc + p + j_idx) * elem
+                block[:, :, 1] = panel_base + (l_idx * n_r + j_idx) * elem
+                addrs, writes, done = take(
+                    block.reshape(-1), np.tile(pair_writes, kc * jn), 2
+                )
+                yield addrs, writes
+                if done:
+                    return
             for ic in range(0, m, blocking.mc):
                 mc = min(blocking.mc, m - ic)
                 # pack A(mc x kc) panel-major: m_r-row panels stored
                 # column-major (m_r consecutive elements per k)
                 for p in range(0, mc, m_r):
                     panel_base = packed_a + p * kc * elem
-                    for l in range(kc):
-                        for i in range(min(m_r, mc - p)):
-                            yield emit(
-                                a_base + ((ic + p + i) * k + pc + l) * elem, False
-                            )
-                            yield emit(panel_base + (l * m_r + i) * elem, True)
-                            if max_accesses is not None and count >= max_accesses:
-                                return
+                    im = min(m_r, mc - p)
+                    i_idx = np.arange(im, dtype=np.int64)[None, :]
+                    block = np.empty((kc, im, 2), dtype=np.int64)
+                    block[:, :, 0] = a_base + ((ic + p + i_idx) * k + pc + l_idx) * elem
+                    block[:, :, 1] = panel_base + (l_idx * m_r + i_idx) * elem
+                    addrs, writes, done = take(
+                        block.reshape(-1), np.tile(pair_writes, kc * im), 2
+                    )
+                    yield addrs, writes
+                    if done:
+                        return
                 # micro-kernel sweep: stream the packed panels (both
                 # contiguous by construction) and touch the C tile
+                a_lane = np.arange(m_r, dtype=np.int64)[None, :]
+                b_lane = np.arange(n_r, dtype=np.int64)[None, :]
                 for jr in range(0, nc, n_r):
                     b_panel = packed_b + jr * kc * elem
                     for ir in range(0, mc, m_r):
                         a_panel = packed_a + ir * kc * elem
-                        for l in range(kc):
-                            for i in range(m_r):
-                                yield emit(a_panel + (l * m_r + i) * elem, False)
-                            for j in range(n_r):
-                                yield emit(b_panel + (l * n_r + j) * elem, False)
-                            if max_accesses is not None and count >= max_accesses:
-                                return
-                        for i in range(m_r):
-                            for j in range(n_r):
-                                addr = c_base + (
-                                    (ic + ir + i) * n + jc + jr + j
-                                ) * elem
-                                yield emit(addr, False)
-                                yield emit(addr, True)
-                        if max_accesses is not None and count >= max_accesses:
+                        block = np.empty((kc, m_r + n_r), dtype=np.int64)
+                        block[:, :m_r] = a_panel + (l_idx * m_r + a_lane) * elem
+                        block[:, m_r:] = b_panel + (l_idx * n_r + b_lane) * elem
+                        addrs, writes, done = take(
+                            block.reshape(-1),
+                            np.zeros(kc * (m_r + n_r), dtype=bool),
+                            m_r + n_r,
+                        )
+                        yield addrs, writes
+                        if done:
+                            return
+                        tile = np.empty((m_r, n_r, 2), dtype=np.int64)
+                        tile[:, :, 0] = c_base + (
+                            (ic + ir + np.arange(m_r, dtype=np.int64)[:, None]) * n
+                            + jc + jr + np.arange(n_r, dtype=np.int64)[None, :]
+                        ) * elem
+                        tile[:, :, 1] = tile[:, :, 0]
+                        addrs, writes, done = take(
+                            tile.reshape(-1),
+                            np.tile(pair_writes, m_r * n_r),
+                            2 * m_r * n_r,
+                        )
+                        yield addrs, writes
+                        if done:
                             return
 
 
+def blocked_address_stream(m, n, k, blocking, dtype=DType.FP32, a_base=0x0,
+                           b_base=None, c_base=None, packed_base=None,
+                           max_accesses=None):
+    """Yield (address, is_write) scalars for GotoBLAS-blocked GEMM.
+
+    Thin compatibility wrapper over :func:`blocked_address_chunks`; see
+    there for the stream layout and truncation semantics.
+    """
+    for addrs, writes in blocked_address_chunks(
+        m, n, k, blocking, dtype, a_base=a_base, b_base=b_base,
+        c_base=c_base, packed_base=packed_base, max_accesses=max_accesses,
+    ):
+        for addr, is_write in zip(addrs.tolist(), writes.tolist()):
+            yield addr, is_write
+
+
 def replay(stream, hierarchy):
-    """Feed an address stream through a memory hierarchy."""
+    """Feed a scalar (address, is_write) stream through a hierarchy."""
     for addr, is_write in stream:
         hierarchy.access(addr, 1, is_write=is_write)
     return hierarchy
 
 
+def replay_batch(chunks, hierarchy):
+    """Feed an (addresses, is_write) chunk stream through a hierarchy.
+
+    Equivalent to :func:`replay` on the flattened stream but runs
+    through the vectorized batch cache engine; identical hit/miss/
+    eviction/writeback counts, an order of magnitude faster on the
+    element-granular GEMM streams. Chunks are coalesced to amortize
+    the per-batch numpy fixed costs (the access sequence is unchanged).
+    """
+    for addrs, writes in coalesce_chunks(chunks, target=1 << 18):
+        hierarchy.access_batch(addrs, writes)
+    return hierarchy
+
+
 def miss_rate_of(stream, hierarchy, level="l1"):
-    """L1 (or named level) miss rate after replaying ``stream``."""
+    """L1 (or named level) miss rate after replaying a scalar ``stream``."""
     replay(stream, hierarchy)
     return hierarchy.miss_rate(level)
 
 
+def batch_miss_rate_of(chunks, hierarchy, level="l1"):
+    """L1 (or named level) miss rate after batch-replaying ``chunks``."""
+    replay_batch(chunks, hierarchy)
+    return hierarchy.miss_rate(level)
+
+
 __all__ = [
+    "naive_address_chunks",
     "naive_address_stream",
+    "blocked_address_chunks",
     "blocked_address_stream",
     "replay",
+    "replay_batch",
     "miss_rate_of",
+    "batch_miss_rate_of",
 ]

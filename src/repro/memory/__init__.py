@@ -6,6 +6,7 @@ bandwidth-limited DRAM. Used for the Figure 1 cache-miss-rate study and
 to supply load latencies to the pipeline simulator.
 """
 
+from repro.memory.batch import batch_lookup, coalesce_chunks
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.prefetcher import StridePrefetcher
 from repro.memory.dram import Dram
@@ -18,4 +19,6 @@ __all__ = [
     "Dram",
     "AccessResult",
     "MemoryHierarchy",
+    "batch_lookup",
+    "coalesce_chunks",
 ]

@@ -28,6 +28,20 @@ class Dram:
         queue_delay = start - float(now_cycle)
         return int(round(self.base_latency + queue_delay + service))
 
+    def access_batch(self, size_bytes, count, now_cycle=0):
+        """Account ``count`` back-to-back accesses of ``size_bytes`` each.
+
+        State-equivalent to ``count`` sequential :meth:`access` calls
+        issued at the same ``now_cycle`` (the batch replay path ignores
+        the returned latencies, so none are computed).
+        """
+        if count <= 0:
+            return
+        service = size_bytes / self.bytes_per_cycle
+        start = max(float(now_cycle), self._next_free_cycle)
+        self._next_free_cycle = start + service * count
+        self.bytes_transferred += size_bytes * count
+
     def reset(self):
         self.bytes_transferred = 0
         self._next_free_cycle = 0.0

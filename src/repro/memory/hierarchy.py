@@ -1,8 +1,10 @@
 """Multi-level memory hierarchy tying caches, prefetchers and DRAM."""
 
 from dataclasses import dataclass
-from typing import Optional
 
+import numpy as np
+
+from repro.memory.batch import batch_lookup
 from repro.memory.cache import Cache
 from repro.memory.prefetcher import StridePrefetcher
 
@@ -75,6 +77,53 @@ class MemoryHierarchy:
                 worst_latency, worst_level = latency, level
             line += line_bytes
         return AccessResult(worst_latency, worst_level, size)
+
+    def access_batch(self, addrs, is_write=False):
+        """Replay single-line demand accesses given as a numpy array.
+
+        Equivalent to ``for a, w in zip(addrs, is_write):
+        self.access(a, 1, is_write=w)`` but vectorized through
+        :func:`repro.memory.batch.batch_lookup`: each level consumes
+        the previous level's miss subsequence in original order, and
+        last-level misses are charged to DRAM in one batched call.
+        Latencies are not returned — this is the replay path for cache
+        *statistics* (Figure 1/17 studies, pipeline warm-up), where
+        per-access latency is unused.
+
+        Hierarchies with prefetchers enabled fall back to the scalar
+        walk (stride-table updates are sequential by nature), so
+        results are identical either way.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return
+        writes = np.broadcast_to(np.asarray(is_write, dtype=bool), addrs.shape)
+        if any(p is not None for p in self.prefetchers):
+            for addr, write in zip(addrs.tolist(), writes.tolist()):
+                self.access(addr, 1, is_write=write)
+            return
+        self.demand_accesses += int(addrs.size)
+        line_bytes = self.caches[0].config.line_bytes
+        level_addrs = (addrs // line_bytes) * line_bytes
+        level_writes = writes
+        last = len(self.caches) - 1
+        n_llc_misses = 0
+        for level, cache in enumerate(self.caches):
+            if level_addrs.size == 0:
+                return
+            misses_before = cache.stats.misses
+            miss_idx = batch_lookup(
+                cache, level_addrs, level_writes, collect_misses=level < last
+            )
+            if level == last:
+                n_llc_misses = cache.stats.misses - misses_before
+            else:
+                level_addrs = level_addrs[miss_idx]
+                level_writes = level_writes[miss_idx]
+        if n_llc_misses:
+            self.dram.access_batch(
+                self.caches[-1].config.line_bytes, n_llc_misses
+            )
 
     def level(self, name):
         """The :class:`Cache` whose config has the given name."""

@@ -188,3 +188,54 @@ class TestMergeScaled:
         assert total.instructions == 3 * stats.instructions
         assert total.loads == 3 * stats.loads
         assert total.cycles == 3 * stats.cycles
+
+
+class TestCacheStatsIsolation:
+    """Reported cache_miss_rates cover only the current run's accesses."""
+
+    def _load_program(self, addr=0x9000, count=4):
+        b = ProgramBuilder()
+        for i in range(count):
+            b.vload(vreg(i % 8), addr + 64 * i, DType.INT8)
+        return b
+
+    def test_warm_up_accesses_excluded_from_miss_rates(self):
+        config = a64fx_config()
+        b = self._load_program()
+        # warm every line the loads touch: the run itself then hits L1
+        # on every access, so the reported rate must be exactly 0 —
+        # the warm-up's own cold misses must not pollute it
+        warm = range(0x9000 - 256, 0x9000 + 1024, 64)
+        stats = PipelineSimulator(config).run(
+            b.build(), warm_addresses=list(warm)
+        )
+        assert stats.cache_miss_rates["l1"] == 0.0
+
+    def test_cold_run_still_reports_misses(self):
+        config = a64fx_config()
+        stats = PipelineSimulator(config).run(self._load_program(count=1).build())
+        assert stats.cache_miss_rates["l1"] > 0.0
+
+    def test_keep_state_runs_report_per_run_deltas(self):
+        from repro.simulator.machine import Machine
+
+        machine = Machine(a64fx_config())
+        program = self._load_program().build()
+        cold = machine.simulate(program, keep_state=True)
+        warm = machine.simulate(program, keep_state=True)
+        assert cold.cache_miss_rates["l1"] > 0.0
+        # second run hits the warmed cache; with cumulative (seed)
+        # accounting this would still report ~half the cold rate
+        assert warm.cache_miss_rates["l1"] == 0.0
+
+    def test_store_buffer_pruning_keeps_backpressure(self):
+        # store-heavy program on the small in-order buffer: pruning
+        # drained entries must not lift the capacity backpressure
+        config = sargantana_config()
+        b = ProgramBuilder()
+        b.vzero(vreg(0), DType.INT32)
+        for i in range(64):
+            b.vstore(vreg(0), 0x1000 + 64 * i, DType.INT32)
+        stats = run(b, config)
+        assert stats.stores == 64
+        assert stats.stall_cycles_write > 0
