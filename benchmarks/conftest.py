@@ -5,9 +5,52 @@ Each benchmark regenerates one of the paper's tables/figures in full
 reports. Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Benchmarks publish their results through the orchestrator's artifact
+path (JSON + CSV per experiment, same schema as ``repro-camp
+experiment --out``) into ``$REPRO_ARTIFACTS_DIR`` — default
+``artifacts/benchmarks`` under the current directory.
 """
+
+import os
+import time
+from pathlib import Path
+
+
+def artifacts_dir():
+    return Path(os.environ.get("REPRO_ARTIFACTS_DIR", "artifacts/benchmarks"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a whole-experiment function with a single execution."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_and_publish(benchmark, name, **kwargs):
+    """Run one registered experiment, print its table, persist artifacts.
+
+    Returns the live row objects so the benchmark's shape assertions
+    keep operating on dataclasses, while the records go through the
+    same :mod:`repro.experiments.artifacts` path the CLI uses.
+    """
+    from repro.experiments import artifacts, orchestrator
+
+    spec = orchestrator.REGISTRY[name]
+    module = spec.load()
+    start = time.perf_counter()
+    rows = run_once(benchmark, module.run, **kwargs)
+    elapsed = time.perf_counter() - start
+    result = orchestrator.ExperimentResult(
+        name=name,
+        kind=spec.kind,
+        fast=kwargs.get("fast", False),
+        records=module.to_records(rows),
+        text=module.format_results(rows),
+        from_cache=False,
+        elapsed_s=elapsed,
+        rows=rows,
+    )
+    artifacts.write_result(artifacts_dir(), result)
+    print()
+    print(result.text)
+    return rows

@@ -1,44 +1,29 @@
 """Ablation benches: the design-choice studies DESIGN.md calls out."""
 
-from benchmarks.conftest import run_once
-
-from repro.experiments import (
-    ablation_blocking,
-    ablation_hybrid_block,
-    ablation_multicore,
-    ablation_vector_length,
-)
+from benchmarks.conftest import run_and_publish
 
 
 def test_ablation_blocking(benchmark):
-    rows = run_once(benchmark, ablation_blocking.run, fast=False)
-    print()
-    print(ablation_blocking.format_results(rows))
+    rows = run_and_publish(benchmark, "blocking", fast=False)
     camp = [r for r in rows if r.method == "camp8"]
     assert min(r.relative for r in camp) > 0.85
     assert max(r.relative for r in camp) > 1.1  # mis-blocking visibly costs
 
 
 def test_ablation_hybrid_block(benchmark):
-    rows = run_once(benchmark, ablation_hybrid_block.run, fast=False)
-    print()
-    print(ablation_hybrid_block.format_results(rows))
+    rows = run_and_publish(benchmark, "hybrid-block", fast=False)
     by_width = {r.block_bits: r for r in rows}
     assert by_width[4].sub_multipliers_4bit == 4
     assert by_width[2].gates_per_multiplier > by_width[8].gates_per_multiplier * 0.5
 
 
 def test_ablation_vector_length(benchmark):
-    rows = run_once(benchmark, ablation_vector_length.run, fast=False)
-    print()
-    print(ablation_vector_length.format_results(rows))
+    rows = run_and_publish(benchmark, "vector-length", fast=False)
     camp8 = {r.vector_length_bits: r.gops for r in rows if r.method == "camp8"}
     assert camp8[1024] > camp8[512] > camp8[256] > camp8[128]
 
 
 def test_ablation_multicore(benchmark):
-    rows = run_once(benchmark, ablation_multicore.run, fast=False)
-    print()
-    print(ablation_multicore.format_results(rows))
+    rows = run_and_publish(benchmark, "multicore", fast=False)
     camp16 = [r for r in rows if r.method == "camp8" and r.cores == 16][0]
     assert camp16.speedup > 4

@@ -1,6 +1,6 @@
 """Section 6.1 / Figure 11: CAMP physical design (area, peak power)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
 import pytest
 
@@ -8,9 +8,7 @@ from repro.experiments import exp_area
 
 
 def test_area_and_peak_power(benchmark):
-    rows = run_once(benchmark, exp_area.run)
-    print()
-    print(exp_area.format_results(rows))
+    rows = run_and_publish(benchmark, "area")
     by_platform = {r.platform: r for r in rows}
     assert by_platform["a64fx"].area_mm2 == pytest.approx(0.027263, rel=0.03)
     assert by_platform["a64fx"].overhead == pytest.approx(0.01, rel=0.05)

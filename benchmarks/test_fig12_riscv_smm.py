@@ -1,14 +1,11 @@
 """Figure 12: edge RISC-V SMM speedup & instruction reduction."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig12_riscv_smm
 
 
 def test_fig12_riscv_smm(benchmark):
-    rows = run_once(benchmark, exp_fig12_riscv_smm.run, fast=False)
-    print()
-    print(exp_fig12_riscv_smm.format_results(rows))
+    rows = run_and_publish(benchmark, "fig12", fast=False)
     largest = rows[-1]
     # paper tops out around 20-25x; require double digits at the top
     assert largest.speedup_8bit > 8

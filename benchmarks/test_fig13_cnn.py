@@ -1,14 +1,12 @@
 """Figure 13: per-layer CNN speedups and instruction counts (A64FX)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
 from repro.experiments import exp_fig13_cnn
 
 
 def test_fig13_cnn(benchmark):
-    rows = run_once(benchmark, exp_fig13_cnn.run, fast=False)
-    print()
-    print(exp_fig13_cnn.format_results(rows))
+    rows = run_and_publish(benchmark, "fig13", fast=False)
     averages = exp_fig13_cnn.average_speedups(rows)
     print("\nper-network geometric means (camp4):",
           {k: round(v["camp4"], 1) for k, v in averages.items()})

@@ -1,14 +1,11 @@
 """Figure 14: LLM feed-forward / self-attention speedups (A64FX)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig14_llm
 
 
 def test_fig14_llm(benchmark):
-    rows = run_once(benchmark, exp_fig14_llm.run, fast=False)
-    print()
-    print(exp_fig14_llm.format_results(rows))
+    rows = run_and_publish(benchmark, "fig14", fast=False)
     # paper: up to 15x over OpenBLAS across layers
     peak = max(r.results["camp4"]["speedup"] for r in rows)
     assert 8 < peak < 30

@@ -1,14 +1,11 @@
 """Figure 15: CAMP busy rate and the FU/read/write stall taxonomy."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig15_stalls
 
 
 def test_fig15_stalls(benchmark):
-    rows = run_once(benchmark, exp_fig15_stalls.run, fast=False)
-    print()
-    print(exp_fig15_stalls.format_results(rows))
+    rows = run_and_publish(benchmark, "fig15", fast=False)
     for row in rows:
         # paper: busy rate 0.07-0.22 (vs >0.9 before CAMP)
         assert 0.03 < row.busy_rate < 0.30, row.label

@@ -1,14 +1,11 @@
 """Figure 16: CAMP energy relative to the A64FX baseline (<= ~30%)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig16_energy
 
 
 def test_fig16_energy(benchmark):
-    rows = run_once(benchmark, exp_fig16_energy.run, fast=False)
-    print()
-    print(exp_fig16_energy.format_results(rows))
+    rows = run_and_publish(benchmark, "fig16", fast=False)
     for row in rows:
         # the paper's ">80% reduction" headline, with Figure 16's bars
         # spanning roughly 10-30%

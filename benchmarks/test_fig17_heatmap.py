@@ -6,15 +6,12 @@ the read/write columns sit higher than the paper's 27-48%; the ALU
 column reproduces the ">8-fold reduction" claim directly.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig17_heatmap
 
 
 def test_fig17_heatmap(benchmark):
-    rows = run_once(benchmark, exp_fig17_heatmap.run, fast=False)
-    print()
-    print(exp_fig17_heatmap.format_results(rows))
+    rows = run_and_publish(benchmark, "fig17", fast=False)
     for row in rows:
         assert row.fractions[("handv-int8", "alu")] < 0.125, row.benchmark
         assert row.fractions[("gemmlowp", "alu")] < 0.125, row.benchmark

@@ -1,14 +1,11 @@
 """Figure 18: CAMP vs ARM MMLA vs OpenBLAS across matrix sizes."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig18_mmla
 
 
 def test_fig18_mmla(benchmark):
-    rows = run_once(benchmark, exp_fig18_mmla.run, fast=False)
-    print()
-    print(exp_fig18_mmla.format_results(rows))
+    rows = run_and_publish(benchmark, "fig18", fast=False)
     for row in rows:
         # the paper's ordering: CAMP-4bit > CAMP-8bit > MMLA > OpenBLAS
         assert row.camp4 > row.camp8 > row.mmla > 1.0

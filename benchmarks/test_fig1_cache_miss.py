@@ -1,14 +1,11 @@
 """Figure 1: cache miss rate of naive vs ulmBLAS-blocked GEMM."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig1_cache_miss
 
 
 def test_fig1_cache_miss(benchmark):
-    rows = run_once(benchmark, exp_fig1_cache_miss.run, fast=False)
-    print()
-    print(exp_fig1_cache_miss.format_results(rows))
+    rows = run_and_publish(benchmark, "fig1", fast=False)
     # paper shape: naive 23-36%, blocked < 5%
     for row in rows:
         assert row.naive_miss_rate > 0.15, row.label

@@ -1,14 +1,11 @@
 """Figure 4: baseline functional-unit busy rate (>90% in the paper)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig4_fu_busy
 
 
 def test_fig4_fu_busy(benchmark):
-    rows = run_once(benchmark, exp_fig4_fu_busy.run, fast=False)
-    print()
-    print(exp_fig4_fu_busy.format_results(rows))
+    rows = run_and_publish(benchmark, "fig4", fast=False)
     for row in rows:
         assert row.busy_rate > 0.6, (row.shape.label, row.method)
     # the dominant-library rates sit near saturation

@@ -1,14 +1,11 @@
 """Figure 7: accuracy vs quantization bit-width (knee at 4 bits)."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_fig7_accuracy
 
 
 def test_fig7_accuracy(benchmark):
-    surface = run_once(benchmark, exp_fig7_accuracy.run, fast=False)
-    print()
-    print(exp_fig7_accuracy.format_results(surface))
+    surface = run_and_publish(benchmark, "fig7", fast=False)
     assert surface.knee_holds()
     # monotone-ish degradation along the diagonal
     assert surface.at(8, 8) >= surface.at(4, 4) - 0.02

@@ -1,14 +1,11 @@
 """Table 1: Int8/Int4 speedup over FP32 (512x512) on both platforms."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_table1
 
 
 def test_table1_speedup(benchmark):
-    rows = run_once(benchmark, exp_table1.run, fast=False)
-    print()
-    print(exp_table1.format_results(rows))
+    rows = run_and_publish(benchmark, "table1", fast=False)
     by_arch = {r.architecture: r for r in rows}
     sve = by_arch["ARMv8+SVE/CAMP"]
     riscv = by_arch["RISC-V/CAMP"]

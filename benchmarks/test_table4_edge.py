@@ -1,14 +1,11 @@
 """Table 4 + Section 6.2: edge throughput/efficiency comparison."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_and_publish
 
-from repro.experiments import exp_table4
 
 
 def test_table4_edge(benchmark):
-    rows = run_once(benchmark, exp_table4.run, fast=False)
-    print()
-    print(exp_table4.format_results(rows))
+    rows = run_and_publish(benchmark, "table4", fast=False)
     by_workload = {r.workload: r for r in rows}
     conv = by_workload["conv"]
     smm = by_workload["smm"]

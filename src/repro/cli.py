@@ -5,29 +5,49 @@
     python -m repro.cli list                      # kernels + experiments
     python -m repro.cli gemm 512 512 512 --method camp8
     python -m repro.cli experiment table1 [--fast]
-    python -m repro.cli experiment all --fast
+    python -m repro.cli experiment all --fast --jobs 4 --out artifacts/
     python -m repro.cli ablation vector-length
+    python -m repro.cli sweep --sizes 128,256 --methods camp8,camp4
     python -m repro.cli area
+
+Experiments and ablations run through the orchestrator
+(:mod:`repro.experiments.orchestrator`):
+
+- ``--jobs N`` fans independent experiments across a process pool.
+- Results are cached on disk (``$REPRO_CACHE_DIR``, default
+  ``~/.cache/repro-camp``), keyed by experiment name, fast flag, a
+  digest of every ``src/repro`` source file and a digest of the run
+  parameters — so a warm rerun is near-instant, and any code or
+  parameter change recomputes exactly what it invalidates. Disable
+  with ``--no-cache``; point elsewhere with ``--cache-dir``.
+- ``--out DIR`` writes machine-readable artifacts per experiment
+  (``<name>.json`` + ``<name>.csv`` + ``manifest.json``; schema in
+  :mod:`repro.experiments.artifacts`).
+- ``--format text|json|csv`` selects the stdout rendering.
+
+``sweep`` drives shapes x methods x machines through
+``runner.speedup_rows`` with the same cache/artifact plumbing.
 """
 
 import argparse
+import json
 import sys
-
-import numpy as np
 
 
 def _cmd_list(_args):
-    from repro.experiments import ABLATIONS, ALL_EXPERIMENTS
+    from repro.experiments import orchestrator
     from repro.gemm.microkernel import kernel_names
 
     print("kernels     :", ", ".join(kernel_names()))
     print("machines    : a64fx, sargantana")
-    print("experiments :", ", ".join(sorted(ALL_EXPERIMENTS)))
-    print("ablations   :", ", ".join(sorted(ABLATIONS)))
+    print("experiments :", ", ".join(sorted(orchestrator.names("experiment"))))
+    print("ablations   :", ", ".join(sorted(orchestrator.names("ablation"))))
     return 0
 
 
 def _cmd_gemm(args):
+    import numpy as np
+
     from repro.gemm.api import analyze, gemm
 
     if args.verify:
@@ -60,42 +80,119 @@ def _cmd_gemm(args):
     return 0
 
 
-def _run_experiment_table(table, name, fast):
-    module = table[name]
-    results = module.run(fast=fast)
-    print(module.format_results(results))
-    print()
+def _cache_from_args(args):
+    from repro.experiments.cache import ResultCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
+def _emit_results(results, args, jobs=1):
+    """Render results to stdout per --format and write --out artifacts."""
+    from repro.experiments import artifacts
+
+    out_format = getattr(args, "format", "text")
+    if out_format == "text":
+        for result in results:
+            print(result.text)
+            print()
+    elif out_format == "json":
+        documents = [artifacts.result_document(r) for r in results]
+        print(json.dumps(documents, sort_keys=True, indent=2))
+    else:  # csv
+        for result in results:
+            print("# %s" % result.name)
+            print(artifacts.csv_text(result.records), end="")
+    if getattr(args, "out", None):
+        artifacts.write_batch(args.out, results, jobs=jobs)
     return 0
 
 
-def _cmd_experiment(args):
-    from repro.experiments import ALL_EXPERIMENTS
+def _run_registered(kind, args):
+    from repro.experiments import orchestrator
 
+    known = orchestrator.names(kind)
     if args.name == "all":
-        for name in ALL_EXPERIMENTS:
-            _run_experiment_table(ALL_EXPERIMENTS, name, args.fast)
-        return 0
-    if args.name not in ALL_EXPERIMENTS:
-        print("unknown experiment %r; try: %s"
-              % (args.name, ", ".join(sorted(ALL_EXPERIMENTS)) + ", all"),
+        requested = known
+    elif args.name not in known:
+        print("unknown %s %r; try: %s"
+              % (kind, args.name, ", ".join(sorted(known)) + ", all"),
               file=sys.stderr)
         return 2
-    return _run_experiment_table(ALL_EXPERIMENTS, args.name, args.fast)
+    else:
+        requested = [args.name]
+    results = orchestrator.run_many(
+        requested, fast=args.fast, jobs=args.jobs, cache=_cache_from_args(args)
+    )
+    return _emit_results(results, args, jobs=args.jobs)
+
+
+def _cmd_experiment(args):
+    return _run_registered("experiment", args)
 
 
 def _cmd_ablation(args):
-    from repro.experiments import ABLATIONS
+    return _run_registered("ablation", args)
 
-    if args.name == "all":
-        for name in ABLATIONS:
-            _run_experiment_table(ABLATIONS, name, args.fast)
-        return 0
-    if args.name not in ABLATIONS:
-        print("unknown ablation %r; try: %s"
-              % (args.name, ", ".join(sorted(ABLATIONS)) + ", all"),
-              file=sys.stderr)
-        return 2
-    return _run_experiment_table(ABLATIONS, args.name, args.fast)
+
+def _parse_int_list(text):
+    return [int(part) for part in text.split(",") if part]
+
+
+def _parse_shape_list(text):
+    shapes = []
+    for part in text.split(","):
+        if not part:
+            continue
+        dims = part.split("x")
+        if len(dims) != 3:
+            raise ValueError("shape %r is not MxNxK" % part)
+        shapes.append(tuple(int(d) for d in dims))
+    return shapes
+
+
+def _sweep_error(message):
+    print("sweep error: %s" % message, file=sys.stderr)
+    return 2
+
+
+def _cmd_sweep(args):
+    from repro.experiments import orchestrator
+    from repro.gemm.microkernel import kernel_names
+
+    try:
+        sizes = _parse_int_list(args.sizes)
+        shapes = _parse_shape_list(args.shapes)
+    except ValueError as error:
+        return _sweep_error(error)
+    if not sizes and not shapes:
+        return _sweep_error("need at least one of --sizes / --shapes")
+    methods = [m for m in args.methods.split(",") if m]
+    machines = [m for m in args.machines.split(",") if m]
+    known_machines = sorted(orchestrator.SWEEP_BASELINES)
+    known_methods = set(kernel_names())
+    for machine in machines:
+        if machine not in known_machines:
+            return _sweep_error(
+                "unknown machine %r; available: %s"
+                % (machine, ", ".join(known_machines))
+            )
+    for method in list(methods) + [args.baseline or ""]:
+        if method and method not in known_methods:
+            return _sweep_error(
+                "unknown method %r; available: %s"
+                % (method, ", ".join(sorted(known_methods)))
+            )
+    result = orchestrator.run_sweep(
+        sizes=sizes,
+        shapes=shapes,
+        methods=methods,
+        machines=machines,
+        baseline=args.baseline,
+        cache=_cache_from_args(args),
+    )
+    return _emit_results([result], args)
 
 
 def _cmd_area(_args):
@@ -103,6 +200,23 @@ def _cmd_area(_args):
 
     print(exp_area.format_results(exp_area.run()))
     return 0
+
+
+def _add_orchestrator_options(parser):
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for cache misses")
+    _add_output_options(parser)
+
+
+def _add_output_options(parser):
+    parser.add_argument("--out", metavar="DIR",
+                        help="write JSON/CSV artifacts into DIR")
+    parser.add_argument("--format", choices=("text", "json", "csv"),
+                        default="text", help="stdout rendering")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="result cache root (default ~/.cache/repro-camp)")
 
 
 def build_parser():
@@ -127,10 +241,24 @@ def build_parser():
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument("name")
     exp_parser.add_argument("--fast", action="store_true")
+    _add_orchestrator_options(exp_parser)
 
     abl_parser = sub.add_parser("ablation", help="run a design-choice study")
     abl_parser.add_argument("name")
     abl_parser.add_argument("--fast", action="store_true")
+    _add_orchestrator_options(abl_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="shapes x methods x machines speedup sweep")
+    sweep_parser.add_argument("--sizes", default="",
+                              help="square SMM sides, e.g. 128,256,512")
+    sweep_parser.add_argument("--shapes", default="",
+                              help="explicit GEMM shapes, e.g. 169x256x3456")
+    sweep_parser.add_argument("--methods", default="camp8,camp4")
+    sweep_parser.add_argument("--machines", default="a64fx")
+    sweep_parser.add_argument("--baseline",
+                              help="override the per-machine baseline method")
+    _add_output_options(sweep_parser)
 
     sub.add_parser("area", help="print the physical-design report")
     return parser
@@ -141,6 +269,7 @@ _COMMANDS = {
     "gemm": _cmd_gemm,
     "experiment": _cmd_experiment,
     "ablation": _cmd_ablation,
+    "sweep": _cmd_sweep,
     "area": _cmd_area,
 }
 

@@ -1,54 +1,41 @@
 """Experiment harness: one module per paper table / figure.
 
-Each module exposes ``run(fast=False)`` returning structured rows and
-``format_table(rows)`` rendering the same rows the paper reports.
-``fast=True`` shrinks sweeps for test-suite use; the benchmarks run the
-full versions. EXPERIMENTS.md records paper-vs-measured for each.
+Each module exposes ``run(fast=False)`` returning structured rows,
+``format_results(rows)`` rendering the same rows the paper reports,
+and ``to_records(rows)`` emitting flat JSON-ready dicts for artifacts
+and golden-file fixtures. ``fast=True`` shrinks sweeps for test-suite
+use; the benchmarks run the full versions. EXPERIMENTS.md records
+paper-vs-measured for each.
+
+``ALL_EXPERIMENTS`` and ``ABLATIONS`` are built lazily (PEP 562): the
+orchestrator's warm-cache path imports this package without paying for
+numpy or any experiment module, so fully-cached ``experiment all``
+reruns stay at interpreter-startup latency.
 """
 
-from repro.experiments import (
-    ablation_blocking,
-    ablation_hybrid_block,
-    ablation_multicore,
-    ablation_vector_length,
-    exp_area,
-    exp_fig1_cache_miss,
-    exp_fig4_fu_busy,
-    exp_fig7_accuracy,
-    exp_fig12_riscv_smm,
-    exp_fig13_cnn,
-    exp_fig14_llm,
-    exp_fig15_stalls,
-    exp_fig16_energy,
-    exp_fig17_heatmap,
-    exp_fig18_mmla,
-    exp_table1,
-    exp_table4,
-)
+import importlib
 
-#: the paper's tables and figures
-ALL_EXPERIMENTS = {
-    "table1": exp_table1,
-    "fig1": exp_fig1_cache_miss,
-    "fig4": exp_fig4_fu_busy,
-    "fig7": exp_fig7_accuracy,
-    "area": exp_area,
-    "fig12": exp_fig12_riscv_smm,
-    "fig13": exp_fig13_cnn,
-    "fig14": exp_fig14_llm,
-    "fig15": exp_fig15_stalls,
-    "fig16": exp_fig16_energy,
-    "fig17": exp_fig17_heatmap,
-    "fig18": exp_fig18_mmla,
-    "table4": exp_table4,
-}
+from repro.experiments.orchestrator import ABLATION_MODULES, EXPERIMENT_MODULES
 
-#: design-choice studies beyond the paper's evaluation
-ABLATIONS = {
-    "blocking": ablation_blocking,
-    "hybrid-block": ablation_hybrid_block,
-    "vector-length": ablation_vector_length,
-    "multicore": ablation_multicore,
-}
+
+def _load_table(module_paths):
+    return {
+        name: importlib.import_module(path)
+        for name, path in module_paths.items()
+    }
+
+
+def __getattr__(name):
+    if name == "ALL_EXPERIMENTS":
+        table = _load_table(EXPERIMENT_MODULES)
+    elif name == "ABLATIONS":
+        table = _load_table(ABLATION_MODULES)
+    else:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    globals()[name] = table
+    return table
+
 
 __all__ = ["ALL_EXPERIMENTS", "ABLATIONS"]

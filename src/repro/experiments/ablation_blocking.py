@@ -8,6 +8,7 @@ the CAMP kernel and the FP32 baseline.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.gemm.api import resolve_machine
 from repro.gemm.blocking import BlockingParams, default_blocking
@@ -57,6 +58,10 @@ def run(fast=False, size=None, methods=("camp8", "openblas-fp32")):
                 )
             )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

@@ -11,6 +11,7 @@ per-lane multiplier counts each operand width would get.
 from dataclasses import dataclass
 
 from repro.core.hybrid_multiplier import HybridMultiplier
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.physical.area import camp_unit_gates
 from repro.physical.technology import GF22FDX, TSMC7
@@ -47,6 +48,10 @@ def run(fast=False):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

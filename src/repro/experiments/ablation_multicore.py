@@ -8,6 +8,7 @@ bends — context for the single-core speedups of Figures 13/14.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.experiments.runner import driver_for
 from repro.gemm.multicore import scaling_curve
@@ -40,6 +41,10 @@ def run(fast=False, size=None, methods=("camp8", "openblas-fp32")):
                 )
             )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

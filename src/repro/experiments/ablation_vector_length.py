@@ -8,6 +8,7 @@ extensions" direction of the paper's conclusion.
 
 from dataclasses import dataclass, replace
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.gemm.goto import GotoBlasDriver
 from repro.gemm.microkernel import get_kernel
@@ -46,6 +47,10 @@ def run(fast=False, size=None, methods=("camp8", "camp4")):
                 )
             )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

@@ -1,0 +1,100 @@
+"""Machine-readable JSON/CSV artifacts for experiment results.
+
+Layout under an output directory::
+
+    <out>/<name>.json     one document per experiment (schema below)
+    <out>/<name>.csv      the same records as CSV (header = key union)
+    <out>/manifest.json   batch metadata: names, digests, cache status
+
+JSON artifact schema::
+
+    {
+      "experiment": "fig1",
+      "kind": "experiment",          # experiment | ablation | sweep
+      "fast": true,
+      "records": [{...}, ...]        # the module's to_records output
+    }
+
+Serialization is canonical (sorted keys, fixed separators) and the
+per-experiment documents carry no volatile fields (timings and cache
+provenance live only in ``manifest.json``), so two runs that computed
+identical records produce byte-identical ``<name>.json``/``<name>.csv``
+files — the property that makes CI artifacts diffable across commits.
+"""
+
+import csv
+import io
+import json
+from pathlib import Path
+
+
+def dumps_canonical(document):
+    """Deterministic JSON encoding used for artifacts and golden files."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def result_document(result):
+    return {
+        "experiment": result.name,
+        "kind": result.kind,
+        "fast": result.fast,
+        "records": result.records,
+    }
+
+
+def csv_header(records):
+    """Union of record keys, in first-appearance order."""
+    header = []
+    for record in records:
+        for key in record:
+            if key not in header:
+                header.append(key)
+    return header
+
+
+def csv_text(records):
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=csv_header(records), restval="")
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def write_csv(path, records):
+    with open(path, "w", newline="") as handle:
+        handle.write(csv_text(records))
+
+
+def write_result(out_dir, result):
+    """Write one experiment's .json + .csv pair; returns the JSON path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / (result.name + ".json")
+    json_path.write_text(dumps_canonical(result_document(result)))
+    write_csv(out_dir / (result.name + ".csv"), result.records)
+    return json_path
+
+
+def write_batch(out_dir, results, jobs=1):
+    """Write every result plus a manifest; returns the manifest path."""
+    out_dir = Path(out_dir)
+    for result in results:
+        write_result(out_dir, result)
+    manifest = {
+        "experiments": [
+            {
+                "name": r.name,
+                "kind": r.kind,
+                "fast": r.fast,
+                "from_cache": r.from_cache,
+                "elapsed_s": round(r.elapsed_s, 6),
+                "records": len(r.records),
+            }
+            for r in results
+        ],
+        "jobs": jobs,
+        "total_elapsed_s": round(sum(r.elapsed_s for r in results), 6),
+    }
+    manifest_path = out_dir / "manifest.json"
+    manifest_path.write_text(dumps_canonical(manifest))
+    return manifest_path

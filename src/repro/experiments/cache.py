@@ -1,0 +1,114 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every cache entry is keyed by the tuple
+
+    (experiment name, fast flag, source digest, config digest)
+
+hashed into one sha256 hex key. The *source digest* fingerprints every
+``.py`` file under ``src/repro`` (path + content), so any code change —
+a kernel tweak, a new blocking heuristic — invalidates all entries; the
+*config digest* canonicalizes the run's keyword arguments, so changing
+sweep parameters invalidates just that run. Entries are JSON payloads
+(records + formatted text + metadata) written atomically, one file per
+key, under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-camp``).
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+#: the package source tree whose content keys the cache (src/repro)
+SOURCE_ROOT = Path(__file__).resolve().parents[1]
+
+_source_digests = {}
+
+
+def source_digest(root=None):
+    """Sha256 over every .py file under ``root`` (path and content).
+
+    Memoized per process: the tree cannot change under a running
+    orchestrator invocation.
+    """
+    root = Path(root) if root is not None else SOURCE_ROOT
+    cached = _source_digests.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _source_digests[root] = digest.hexdigest()
+    return _source_digests[root]
+
+
+def config_digest(params):
+    """Sha256 of the canonical JSON encoding of a run's parameters."""
+    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def default_cache_dir():
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-camp"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """One-file-per-key JSON store with hit/miss accounting."""
+
+    def __init__(self, root=None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    def key_for(self, experiment, fast, source_dig, config_dig):
+        raw = "\0".join([experiment, "fast" if fast else "full",
+                         source_dig, config_dig])
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def path_for(self, key):
+        return self.root / key[:2] / (key + ".json")
+
+    def load(self, key):
+        """Return the stored payload dict, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(self, key, payload):
+        """Atomically persist a payload (tempfile + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=False)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

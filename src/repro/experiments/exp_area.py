@@ -7,6 +7,7 @@ peak-power statement: +0.6% of chip power at full MAC rate.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.physical.area import camp_area_report
 from repro.physical.energy import EnergyModel
@@ -50,6 +51,10 @@ def peak_power_increase():
     """CAMP peak power relative to the A64FX chip envelope."""
     model = EnergyModel(TSMC7)
     return model.camp_peak_power_w(512) / A64FX_CHIP_PEAK_W
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

@@ -8,6 +8,7 @@ overall cycle win is ~24x at the top end.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.experiments.runner import RISCV_BASELINE, analyze_cached
 from repro.workloads.shapes import GemmShape
@@ -42,6 +43,10 @@ def run(fast=False):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

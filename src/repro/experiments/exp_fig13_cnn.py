@@ -8,6 +8,7 @@ averages ~2.5x; normalized instruction counts drop ~2x for CAMP.
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.experiments.records import speedup_records
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     A64FX_BASELINE,
@@ -52,6 +53,12 @@ def average_speedups(rows):
                 r.results[method]["speedup"] for r in rows if r.network == network
             )
     return averages
+
+
+def to_records(rows):
+    return speedup_records(
+        rows, lambda r: {"network": r.network, "layer": r.layer}, A64FX_METHODS
+    )
 
 
 def format_results(rows):

@@ -8,6 +8,7 @@ counts cut roughly in half.
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.experiments.records import speedup_records
 from repro.experiments.report import format_table
 from repro.experiments.runner import (
     A64FX_BASELINE,
@@ -36,6 +37,12 @@ def run(fast=False, models=None):
             data = speedup_rows([shape], A64FX_METHODS, "a64fx", A64FX_BASELINE)[0]
             rows.append(LlmRow(model=model, layer=kind, results=data))
     return rows
+
+
+def to_records(rows):
+    return speedup_records(
+        rows, lambda r: {"model": r.model, "layer": r.layer}, A64FX_METHODS
+    )
 
 
 def format_results(rows):

@@ -7,6 +7,7 @@ store path (Write), confirming the compute bottleneck is gone.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached, driver_for
 from repro.workloads.shapes import smm_shapes
@@ -40,6 +41,10 @@ def run(fast=False, method="camp8"):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

@@ -7,6 +7,7 @@ between roughly 10% and 30%, with 4-bit below 8-bit).
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached
 from repro.isa.dtypes import DType
@@ -54,6 +55,10 @@ def run(fast=False):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

@@ -9,6 +9,7 @@ better throughout.
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.experiments.records import make
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached
 from repro.workloads.shapes import CNN_LAYERS, LLM_LAYERS, GemmShape
@@ -56,6 +57,19 @@ def run(fast=False, camp_method="camp8"):
                 )
         rows.append(HeatmapRow(benchmark=name, fractions=fractions))
     return rows
+
+
+def to_records(rows):
+    out = []
+    for row in rows:
+        record = {"benchmark": row.benchmark}
+        for baseline in BASELINES:
+            for category in CATEGORIES:
+                record["%s_%s" % (baseline, category)] = row.fractions[
+                    (baseline, category)
+                ]
+        out.append(record)
+    return make(out)
 
 
 def format_results(rows):

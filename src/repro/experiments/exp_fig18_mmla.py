@@ -9,6 +9,7 @@ a Yitian 710 (documented substitution).
 
 from dataclasses import dataclass
 
+from repro.experiments.records import make
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached
 from repro.workloads.shapes import GemmShape
@@ -53,6 +54,21 @@ def run(fast=False):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return make(
+        {
+            "size": r.size,
+            "camp4": r.camp4,
+            "camp8": r.camp8,
+            "mmla": r.mmla,
+            "paper_camp4": r.paper[0],
+            "paper_camp8": r.paper[1],
+            "paper_mmla": r.paper[2],
+        }
+        for r in rows
+    )
 
 
 def format_results(rows):

@@ -12,6 +12,7 @@ on small sizes in the tests).
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.gemm.blocking import BlockingParams
 from repro.gemm.naive import naive_address_chunks
@@ -75,6 +76,10 @@ def run(fast=False, max_accesses=None):
         )
         rows.append(CacheMissRow(shape.label, naive, blocked))
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

@@ -9,6 +9,7 @@ the baseline (no-CAMP) machine.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import make
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached, driver_for
 from repro.workloads.shapes import GemmShape, smm_shapes
@@ -42,6 +43,21 @@ def run(fast=False):
                 )
             )
     return rows
+
+
+def to_records(rows):
+    return make(
+        {
+            "workload": r.shape.label,
+            "m": r.shape.m,
+            "n": r.shape.n,
+            "k": r.shape.k,
+            "method": r.method,
+            "macs": r.macs,
+            "busy_rate": r.busy_rate,
+        }
+        for r in rows
+    )
 
 
 def format_results(rows):

@@ -7,6 +7,7 @@ numpy-trained MLP on a synthetic classification task, post-training
 quantized at every (weight bits, input bits) pair.
 """
 
+from repro.experiments.records import make
 from repro.experiments.report import format_table
 from repro.quant.accuracy import sweep_accuracy
 
@@ -15,6 +16,18 @@ def run(fast=False, seed=7):
     bit_widths = (2, 4, 8) if fast else (2, 3, 4, 5, 6, 7, 8)
     n_samples = 1200 if fast else 2400
     return sweep_accuracy(bit_widths=bit_widths, seed=seed, n_samples=n_samples)
+
+
+def to_records(surface):
+    return make(
+        {
+            "weight_bits": weight_bits,
+            "input_bits": input_bits,
+            "accuracy": accuracy,
+            "float_accuracy": surface.float_accuracy,
+        }
+        for (weight_bits, input_bits), accuracy in sorted(surface.grid.items())
+    )
 
 
 def format_results(surface):

@@ -9,6 +9,7 @@ them as context constants.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached
 from repro.workloads.shapes import GemmShape
@@ -57,6 +58,10 @@ def run(fast=False):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

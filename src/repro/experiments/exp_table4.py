@@ -8,6 +8,7 @@ Prior-work rows are published numbers carried as constants.
 
 from dataclasses import dataclass
 
+from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
 from repro.experiments.runner import analyze_cached
 from repro.isa.dtypes import DType
@@ -68,6 +69,10 @@ def run(fast=False):
             )
         )
     return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
 
 
 def format_results(rows):

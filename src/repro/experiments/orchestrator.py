@@ -1,0 +1,318 @@
+"""Parallel experiment orchestrator with an on-disk result cache.
+
+The registry below mirrors ``repro.experiments.ALL_EXPERIMENTS`` and
+``ABLATIONS`` but stores dotted module paths instead of imported
+modules: a fully-warm invocation (every result cached) never imports
+numpy or any experiment code, so ``repro-camp experiment all`` reruns
+in interpreter-startup time.
+
+Execution model
+---------------
+``run_many`` first probes the :class:`~repro.experiments.cache.ResultCache`
+for every requested experiment in the parent process. Only the misses
+are computed — serially for ``jobs=1``, otherwise fanned out across a
+``multiprocessing`` pool whose workers keep their per-process
+``runner._DRIVERS`` caches warm across tasks. Records are emitted by
+each module's ``to_records`` and are byte-identical between the serial
+and parallel paths (same pure functions, order restored from the
+request). Computed payloads are stored by the parent, so workers never
+write the cache concurrently.
+"""
+
+import importlib
+import time
+from dataclasses import dataclass, field
+from multiprocessing import Pool
+
+from repro.experiments.cache import ResultCache, config_digest, source_digest
+
+#: registry metadata: experiment name -> dotted module path, in the
+#: canonical (paper) order that `experiment all` runs and reports.
+EXPERIMENT_MODULES = {
+    "table1": "repro.experiments.exp_table1",
+    "fig1": "repro.experiments.exp_fig1_cache_miss",
+    "fig4": "repro.experiments.exp_fig4_fu_busy",
+    "fig7": "repro.experiments.exp_fig7_accuracy",
+    "area": "repro.experiments.exp_area",
+    "fig12": "repro.experiments.exp_fig12_riscv_smm",
+    "fig13": "repro.experiments.exp_fig13_cnn",
+    "fig14": "repro.experiments.exp_fig14_llm",
+    "fig15": "repro.experiments.exp_fig15_stalls",
+    "fig16": "repro.experiments.exp_fig16_energy",
+    "fig17": "repro.experiments.exp_fig17_heatmap",
+    "fig18": "repro.experiments.exp_fig18_mmla",
+    "table4": "repro.experiments.exp_table4",
+}
+
+ABLATION_MODULES = {
+    "blocking": "repro.experiments.ablation_blocking",
+    "hybrid-block": "repro.experiments.ablation_hybrid_block",
+    "vector-length": "repro.experiments.ablation_vector_length",
+    "multicore": "repro.experiments.ablation_multicore",
+}
+
+SWEEP_BASELINES = {"a64fx": "openblas-fp32", "sargantana": "blis-int32"}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: how to reach one experiment's module lazily."""
+
+    name: str
+    kind: str  # "experiment" | "ablation"
+    module_path: str
+
+    def load(self):
+        return importlib.import_module(self.module_path)
+
+
+REGISTRY = {
+    name: ExperimentSpec(name, "experiment", path)
+    for name, path in EXPERIMENT_MODULES.items()
+}
+REGISTRY.update(
+    (name, ExperimentSpec(name, "ablation", path))
+    for name, path in ABLATION_MODULES.items()
+)
+
+
+def names(kind=None):
+    """Registered experiment names in canonical order."""
+    return [n for n, s in REGISTRY.items() if kind is None or s.kind == kind]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome: records + rendered text + provenance."""
+
+    name: str
+    kind: str
+    fast: bool
+    records: list
+    text: str
+    from_cache: bool
+    elapsed_s: float
+    cache_key: str = None
+    #: live row objects; only set when computed in this process
+    rows: object = field(default=None, repr=False, compare=False)
+
+
+def _compute(spec, fast, run_kwargs):
+    """Import, run and record one experiment (the cache-miss path)."""
+    module = spec.load()
+    start = time.perf_counter()
+    rows = module.run(fast=fast, **run_kwargs)
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        name=spec.name,
+        kind=spec.kind,
+        fast=fast,
+        records=module.to_records(rows),
+        text=module.format_results(rows),
+        from_cache=False,
+        elapsed_s=elapsed,
+        rows=rows,
+    )
+
+
+def _cache_key(cache, spec, fast, run_kwargs):
+    return cache.key_for(
+        spec.name, fast, source_digest(), config_digest(run_kwargs)
+    )
+
+
+def _result_from_payload(spec, fast, key, payload):
+    return ExperimentResult(
+        name=spec.name,
+        kind=spec.kind,
+        fast=fast,
+        records=payload["records"],
+        text=payload["text"],
+        from_cache=True,
+        elapsed_s=payload.get("elapsed_s", 0.0),
+        cache_key=key,
+    )
+
+
+def _store(cache, key, result):
+    cache.store(
+        key,
+        {
+            "experiment": result.name,
+            "kind": result.kind,
+            "fast": result.fast,
+            "records": result.records,
+            "text": result.text,
+            "elapsed_s": result.elapsed_s,
+        },
+    )
+    result.cache_key = key
+
+
+def run_experiment(name, fast=False, cache=None, run_kwargs=None,
+                   on_compute=None):
+    """Run (or load from cache) one registered experiment."""
+    spec = REGISTRY[name]
+    run_kwargs = run_kwargs or {}
+    key = None
+    if cache is not None:
+        key = _cache_key(cache, spec, fast, run_kwargs)
+        payload = cache.load(key)
+        if payload is not None:
+            return _result_from_payload(spec, fast, key, payload)
+    if on_compute is not None:
+        on_compute(name)
+    result = _compute(spec, fast, run_kwargs)
+    if cache is not None:
+        _store(cache, key, result)
+    return result
+
+
+def _worker(task):
+    """Pool worker: compute one experiment, return a lean result.
+
+    Rows can hold whole simulator executions; drop them before the
+    result crosses the process boundary.
+    """
+    name, fast, run_kwargs = task
+    result = _compute(REGISTRY[name], fast, run_kwargs)
+    result.rows = None
+    return result
+
+
+def run_many(names_, fast=False, jobs=1, cache=None, run_kwargs=None,
+             on_compute=None):
+    """Run a batch of experiments, fanning cache misses across ``jobs``.
+
+    Returns results in the order of ``names_``. The parent resolves all
+    cache hits first; only misses are dispatched, so a fully-warm batch
+    never forks.
+    """
+    run_kwargs = run_kwargs or {}
+    results = {}
+    misses = []
+    for name in names_:
+        spec = REGISTRY[name]
+        if cache is not None:
+            key = _cache_key(cache, spec, fast, run_kwargs)
+            payload = cache.load(key)
+            if payload is not None:
+                results[name] = _result_from_payload(spec, fast, key, payload)
+                continue
+        misses.append(name)
+    if misses and on_compute is not None:
+        for name in misses:
+            on_compute(name)
+    if len(misses) <= 1 or jobs <= 1:
+        computed = [_compute(REGISTRY[name], fast, run_kwargs)
+                    for name in misses]
+    else:
+        # Import the miss modules (and transitively numpy) before the
+        # pool forks, so workers inherit them instead of re-importing.
+        for name in misses:
+            REGISTRY[name].load()
+        tasks = [(name, fast, run_kwargs) for name in misses]
+        with Pool(processes=min(jobs, len(tasks))) as pool:
+            computed = pool.map(_worker, tasks)
+    for result in computed:
+        if cache is not None:
+            key = _cache_key(cache, REGISTRY[result.name], fast, run_kwargs)
+            _store(cache, key, result)
+        results[result.name] = result
+    return [results[name] for name in names_]
+
+
+def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
+                  machines=("a64fx",), baseline=None):
+    """Shapes x methods x machines through :func:`runner.speedup_rows`.
+
+    ``sizes`` are square SMM sides; ``shapes`` are explicit (m, n, k)
+    triples. Per machine the baseline defaults to the platform baseline
+    the paper compares against. Returns flat records.
+    """
+    from repro.experiments import runner
+    from repro.experiments.records import make
+    from repro.workloads.shapes import GemmShape
+
+    gemm_shapes = [GemmShape(s, s, s, label="smm-%d" % s) for s in sizes]
+    gemm_shapes += [
+        GemmShape(m, n, k, label="%dx%dx%d" % (m, n, k)) for m, n, k in shapes
+    ]
+    if not gemm_shapes:
+        raise ValueError("sweep needs at least one size or shape")
+    out = []
+    for machine in machines:
+        base_method = baseline or SWEEP_BASELINES[machine]
+        sweep_methods = [m for m in methods if m != base_method]
+        rows = runner.speedup_rows(gemm_shapes, sweep_methods, machine,
+                                   base_method)
+        for row in rows:
+            shape = row["shape"]
+            for method in sweep_methods:
+                cell = row[method]
+                out.append({
+                    "machine": machine,
+                    "shape": shape.label,
+                    "m": shape.m,
+                    "n": shape.n,
+                    "k": shape.k,
+                    "method": method,
+                    "baseline": base_method,
+                    "speedup": cell["speedup"],
+                    "ic_ratio": cell["ic_ratio"],
+                    "cycles": cell["execution"].cycles,
+                    "instructions": cell["execution"].total_instructions,
+                })
+    return make(out)
+
+
+def format_sweep(records):
+    from repro.experiments.report import format_table
+
+    return format_table(
+        ["Machine", "Shape", "Method", "Baseline", "Speedup", "IC ratio",
+         "Cycles"],
+        [
+            (r["machine"], r["shape"], r["method"], r["baseline"],
+             "%.2fx" % r["speedup"], "%.2f" % r["ic_ratio"],
+             "%.4g" % r["cycles"])
+            for r in records
+        ],
+        title="Sweep: speedup vs per-machine baseline",
+    )
+
+
+def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
+              machines=("a64fx",), baseline=None, cache=None):
+    """Cached sweep wrapper returning an :class:`ExperimentResult`."""
+    params = {
+        "sizes": list(sizes),
+        "shapes": [list(s) for s in shapes],
+        "methods": list(methods),
+        "machines": list(machines),
+        "baseline": baseline,
+    }
+    key = None
+    if cache is not None:
+        key = cache.key_for("sweep", False, source_digest(),
+                            config_digest(params))
+        payload = cache.load(key)
+        if payload is not None:
+            return _result_from_payload(
+                ExperimentSpec("sweep", "sweep", ""), False, key, payload
+            )
+    start = time.perf_counter()
+    records = sweep_records(sizes=sizes, shapes=shapes, methods=methods,
+                            machines=machines, baseline=baseline)
+    result = ExperimentResult(
+        name="sweep",
+        kind="sweep",
+        fast=False,
+        records=records,
+        text=format_sweep(records),
+        from_cache=False,
+        elapsed_s=time.perf_counter() - start,
+    )
+    if cache is not None:
+        _store(cache, key, result)
+    return result

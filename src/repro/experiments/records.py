@@ -1,0 +1,60 @@
+"""Structured record emission shared by every experiment module.
+
+Every experiment/ablation module exposes ``to_records(results)``
+returning a list of flat, JSON-ready dicts — one per table row, keys
+in column order. The orchestrator serializes these verbatim into the
+JSON/CSV artifacts and the golden-file fixtures diff them, so records
+must contain only primitives (str, int, float, bool, None).
+"""
+
+from dataclasses import asdict, is_dataclass
+import math
+
+
+def scrub(value):
+    """Coerce a value into a JSON-safe primitive (or container of them).
+
+    Numpy scalars become python numbers, tuples become lists, dataclasses
+    become dicts, and non-finite floats become None (strict JSON has no
+    Infinity/NaN literal).
+    """
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if is_dataclass(value) and not isinstance(value, type):
+        return scrub(asdict(value))
+    if isinstance(value, dict):
+        return {str(k): scrub(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [scrub(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return scrub(value.item())
+    raise TypeError("record value %r is not JSON-serializable" % (value,))
+
+
+def make(rows):
+    """Scrub a list of row dicts into clean records."""
+    return [scrub(dict(row)) for row in rows]
+
+
+def from_dataclasses(rows):
+    """Records straight from flat dataclass rows, keys in field order."""
+    return make(asdict(row) for row in rows)
+
+
+def speedup_records(rows, ident, methods):
+    """Flatten ``speedup_rows``-style results into per-method columns.
+
+    ``ident(row)`` supplies the leading identity fields (network/layer,
+    model/layer, ...); each method contributes ``<method>_speedup`` and
+    ``<method>_ic_ratio`` columns from ``row.results``.
+    """
+    out = []
+    for row in rows:
+        record = dict(ident(row))
+        for method in methods:
+            record["%s_speedup" % method] = row.results[method]["speedup"]
+            record["%s_ic_ratio" % method] = row.results[method]["ic_ratio"]
+        out.append(record)
+    return make(out)

@@ -18,6 +18,16 @@ RISCV_BASELINE = "blis-int32"
 _DRIVERS = {}
 
 
+def reset_drivers():
+    """Drop all cached drivers.
+
+    The driver cache is a module global, so it leaks simulator state
+    across tests and outlives config monkeypatching; call this (the
+    ``fresh_drivers`` pytest fixture does) to force clean rebuilds.
+    """
+    _DRIVERS.clear()
+
+
 def driver_for(method, machine="a64fx"):
     """Cached driver per (method, machine): micro-kernel simulations are
     shape-independent, so one driver serves a whole sweep."""

@@ -6,9 +6,45 @@ import pytest
 from repro.simulator.config import a64fx_config, sargantana_config
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from live experiment runs "
+             "instead of diffing against them",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep every test away from the user's real ~/.cache/repro-camp.
+
+    CLI invocations default to the on-disk result cache; without this,
+    tests would read stale entries from (and write into) the developer's
+    home directory.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fresh_drivers():
+    """Run a test against a clean (and cleaned-up) driver cache.
+
+    ``runner._DRIVERS`` is a module global that leaks simulator state
+    across tests; use this fixture in tests that construct drivers with
+    monkeypatched configs or assert on cold-start behavior.
+    """
+    from repro.experiments import runner
+
+    runner.reset_drivers()
+    yield
+    runner.reset_drivers()
 
 
 @pytest.fixture

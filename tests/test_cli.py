@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,3 +54,82 @@ class TestCommands:
         assert main(["area"]) == 0
         out = capsys.readouterr().out
         assert "0.027" in out
+
+
+class TestOrchestratorSurface:
+    """The --jobs/--out/--format/cache plumbing added with the orchestrator."""
+
+    def test_json_format(self, capsys):
+        assert main(["experiment", "area", "--fast", "--format", "json",
+                     "--no-cache"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert len(documents) == 1
+        assert documents[0]["experiment"] == "area"
+        assert documents[0]["records"][0]["platform"] == "a64fx"
+
+    def test_csv_format(self, capsys):
+        assert main(["experiment", "area", "--fast", "--format", "csv",
+                     "--no-cache"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "# area"
+        assert lines[1].startswith("platform,")
+
+    def test_out_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["experiment", "area", "--fast", "--out", str(out_dir),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert (out_dir / "area.json").exists()
+        assert (out_dir / "area.csv").exists()
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest["experiments"][0]["name"] == "area"
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        argv = ["experiment", "area", "--fast",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert list((tmp_path / "cache").rglob("*.json"))
+
+    def test_jobs_plumbing(self, capsys):
+        assert main(["ablation", "all", "--fast", "--jobs", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "building-block" in out and "vector-length" in out.lower()
+
+    def test_experiment_all_unknown_still_2(self, capsys):
+        assert main(["experiment", "fig99", "--no-cache"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_smoke_json(self, capsys):
+        assert main(["sweep", "--sizes", "32", "--methods", "camp8",
+                     "--no-cache", "--format", "json"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        record = documents[0]["records"][0]
+        assert record["method"] == "camp8"
+        assert record["baseline"] == "openblas-fp32"
+        assert record["speedup"] > 1.0
+
+    def test_explicit_shapes(self, capsys):
+        assert main(["sweep", "--shapes", "16x24x32", "--methods", "camp8",
+                     "--no-cache", "--format", "csv"]) == 0
+        assert "16x24x32" in capsys.readouterr().out
+
+    def test_unknown_method_exit_code(self, capsys):
+        assert main(["sweep", "--sizes", "32", "--methods", "nope",
+                     "--no-cache"]) == 2
+        assert "sweep error" in capsys.readouterr().err
+
+    def test_unknown_machine_exit_code(self, capsys):
+        assert main(["sweep", "--sizes", "32", "--machines", "z80",
+                     "--no-cache"]) == 2
+
+    def test_empty_sweep_exit_code(self, capsys):
+        assert main(["sweep", "--no-cache"]) == 2
+
+    def test_malformed_shape_exit_code(self, capsys):
+        assert main(["sweep", "--shapes", "16x24", "--no-cache"]) == 2

@@ -1,0 +1,97 @@
+"""Golden-file regression harness for every figure/table/ablation.
+
+Each registered experiment's ``to_records`` output under ``fast=True``
+is snapshotted in ``tests/golden/<name>.json``. These tests diff a live
+run against the snapshot: strings and ints must match exactly, floats
+to a relative tolerance (the records are analytic cycle math plus one
+seeded-numpy training run, so they are deterministic — the tolerance
+only absorbs libm/platform noise).
+
+To regenerate after an intentional modelling change::
+
+    python -m pytest tests/test_experiments_golden.py --update-golden
+
+then review the fixture diff like any other code change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import orchestrator
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+REL_TOL = 1e-6
+
+#: fig7 trains a numpy MLP: SIMD `exp` differs by CPU feature path, and
+#: over 60 epochs a last-ulp drift can flip an argmax, moving accuracy
+#: by 1/240 per flipped sample — so its floats get an absolute band.
+TOLERANCES = {"fig7": {"rel": 1e-3, "abs": 0.05}}
+
+
+def _diff(golden, live, tol, path="$"):
+    """Return a list of human-readable mismatch descriptions."""
+    problems = []
+    if isinstance(golden, float) and isinstance(live, (int, float)):
+        if live != pytest.approx(golden, **tol):
+            problems.append("%s: %r != golden %r" % (path, live, golden))
+    elif isinstance(golden, list) and isinstance(live, list):
+        if len(golden) != len(live):
+            problems.append(
+                "%s: length %d != golden %d" % (path, len(live), len(golden))
+            )
+        for index, (g, l) in enumerate(zip(golden, live)):
+            problems += _diff(g, l, tol, "%s[%d]" % (path, index))
+    elif isinstance(golden, dict) and isinstance(live, dict):
+        if list(golden) != list(live):
+            problems.append(
+                "%s: keys %s != golden %s" % (path, list(live), list(golden))
+            )
+        for key in golden:
+            if key in live:
+                problems += _diff(golden[key], live[key], tol,
+                                  "%s.%s" % (path, key))
+    elif golden != live:
+        problems.append("%s: %r != golden %r" % (path, live, golden))
+    return problems
+
+
+def _live_records(name):
+    module = orchestrator.REGISTRY[name].load()
+    return module.to_records(module.run(fast=True))
+
+
+@pytest.mark.parametrize("name", sorted(orchestrator.REGISTRY))
+def test_records_match_golden(name, request):
+    records = _live_records(name)
+    assert records, "experiment %s emitted no records" % name
+    path = GOLDEN_DIR / (name + ".json")
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        # keys stay in column order (unlike artifact JSON, which sorts)
+        path.write_text(json.dumps(records, indent=2) + "\n")
+        pytest.skip("golden file regenerated: %s" % path)
+    assert path.exists(), (
+        "missing golden fixture %s — regenerate with "
+        "`python -m pytest tests/test_experiments_golden.py --update-golden`"
+        % path
+    )
+    golden = json.loads(path.read_text())
+    tol = TOLERANCES.get(name, {"rel": REL_TOL, "abs": 1e-12})
+    problems = _diff(golden, records, tol)
+    assert not problems, "records drifted from golden:\n" + "\n".join(problems)
+
+
+def test_every_golden_file_is_registered():
+    """No orphaned fixtures: each golden file maps to a registry entry."""
+    for path in GOLDEN_DIR.glob("*.json"):
+        assert path.stem in orchestrator.REGISTRY, path
+
+
+def test_records_are_json_clean():
+    """Records round-trip through strict JSON (no NaN/Infinity/numpy)."""
+    records = _live_records("table1")
+    encoded = json.dumps(records, allow_nan=False)
+    assert json.loads(encoded) == records

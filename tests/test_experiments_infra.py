@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.report import format_table
+from repro.experiments import runner
 from repro.experiments.runner import (
     A64FX_METHODS,
     analyze_cached,
@@ -59,3 +60,18 @@ class TestRunner:
 
     def test_method_list_contains_baseline(self):
         assert "openblas-fp32" in A64FX_METHODS
+
+    def test_reset_drivers_drops_cached_instances(self):
+        before = driver_for("camp8", "a64fx")
+        runner.reset_drivers()
+        assert runner._DRIVERS == {}
+        after = driver_for("camp8", "a64fx")
+        assert after is not before
+        assert after is driver_for("camp8", "a64fx")
+
+    def test_fresh_drivers_fixture_isolates(self, fresh_drivers):
+        # the fixture reset on entry, so the global cache starts empty
+        # and anything built here is torn down afterwards
+        assert runner._DRIVERS == {}
+        driver_for("camp8", "a64fx")
+        assert runner._DRIVERS != {}
