@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.experiments.runner import analyze_cached
 from repro.gemm.api import gemm
-from repro.quant.quantize import dequantize, quantize
+from repro.quant.quantize import quantize
 from repro.quant.schemes import choose_params
 from repro.workloads.im2col import conv_output_shape, im2col
 from repro.workloads.shapes import CNN_LAYERS

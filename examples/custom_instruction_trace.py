@@ -13,7 +13,6 @@ import numpy as np
 from repro.core.camp import CampMode, pack_a_panel, pack_b_panel
 from repro.isa.builder import ProgramBuilder
 from repro.isa.dtypes import DType
-from repro.isa.registers import vreg
 from repro.simulator.config import a64fx_config
 from repro.simulator.executor import FlatMemory, FunctionalExecutor
 from repro.simulator.pipeline import PipelineSimulator

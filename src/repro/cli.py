@@ -31,7 +31,22 @@ Experiments and ablations run through the orchestrator
 
 import argparse
 import json
+import os
 import sys
+
+
+def _apply_engine(args):
+    """Install the requested pipeline engine process-wide.
+
+    Exported through the environment as well so orchestrator worker
+    processes inherit the choice.
+    """
+    engine = getattr(args, "engine", None)
+    if engine:
+        from repro.simulator.engine import set_default_engine
+
+        os.environ["REPRO_PIPELINE_ENGINE"] = engine
+        set_default_engine(engine)
 
 
 def _cmd_list(_args):
@@ -202,6 +217,40 @@ def _cmd_area(_args):
     return 0
 
 
+def _cmd_bench(args):
+    from repro.experiments import bench_pipeline
+
+    payload = bench_pipeline.run_bench(
+        repeats=args.repeats, fast=args.fast, jobs=args.jobs
+    )
+    for name, entry in payload["engine_comparison"].items():
+        print(
+            "%-6s scalar best %.3fs | batch best %.3fs | speedup %.2fx "
+            "(median %.2fx) | records identical: %s"
+            % (name, entry["scalar"]["best_s"], entry["batch"]["best_s"],
+               entry["speedup_best"], entry["speedup_median"],
+               entry["records_identical"])
+        )
+    suite = payload["fast_suite"]
+    print("fast suite: cold %.3fs, warm %.3fs (%d cache hits)"
+          % (suite["cold_s"], suite["warm_s"], suite["warm_cache_hits"]))
+    if args.out:
+        path = bench_pipeline.write_bench(payload, args.out)
+        print("wrote %s" % path)
+    if args.check:
+        baseline = json.loads(open(args.check).read())
+        problems = bench_pipeline.check_regression(
+            payload, baseline, max_warm_ratio=args.max_warm_regression
+        )
+        for problem in problems:
+            print("PERF REGRESSION: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("perf gate passed (warm rerun within %.1fx of baseline)"
+              % args.max_warm_regression)
+    return 0
+
+
 def _add_orchestrator_options(parser):
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for cache misses")
@@ -217,6 +266,13 @@ def _add_output_options(parser):
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="result cache root (default ~/.cache/repro-camp)")
+    _add_engine_option(parser)
+
+
+def _add_engine_option(parser):
+    parser.add_argument("--engine", choices=("batch", "scalar"),
+                        help="pipeline engine (default: batch; both are "
+                             "bit-identical, scalar is the reference loop)")
 
 
 def build_parser():
@@ -237,6 +293,7 @@ def build_parser():
     gemm_parser.add_argument("--verify", action="store_true",
                              help="also compute numerically on random data")
     gemm_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_option(gemm_parser)
 
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument("name")
@@ -261,6 +318,23 @@ def build_parser():
     _add_output_options(sweep_parser)
 
     sub.add_parser("area", help="print the physical-design report")
+
+    bench_parser = sub.add_parser(
+        "bench-pipeline",
+        help="benchmark the pipeline engines, write BENCH_pipeline.json")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="cold runs per engine per experiment")
+    bench_parser.add_argument("--fast", action="store_true",
+                              help="use the experiments' fast variants")
+    bench_parser.add_argument("--jobs", type=int, default=1,
+                              help="workers for the orchestrated suite pass")
+    bench_parser.add_argument("--out", default="BENCH_pipeline.json",
+                              help="output JSON path ('' to skip writing)")
+    bench_parser.add_argument("--check", metavar="BASELINE",
+                              help="compare against a committed baseline JSON "
+                                   "and fail on perf regression")
+    bench_parser.add_argument("--max-warm-regression", type=float, default=3.0,
+                              help="allowed warm-rerun slowdown vs baseline")
     return parser
 
 
@@ -271,11 +345,13 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "sweep": _cmd_sweep,
     "area": _cmd_area,
+    "bench-pipeline": _cmd_bench,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    _apply_engine(args)
     return _COMMANDS[args.command](args)
 
 

@@ -1,0 +1,155 @@
+"""Pipeline-engine benchmark harness (``repro-camp bench-pipeline``).
+
+Produces ``BENCH_pipeline.json`` with two measurement families:
+
+- **Engine comparison** — cold runs (fresh drivers, no result cache) of
+  the pipeline-bound experiments under the scalar reference engine and
+  the batch engine, verifying record-for-record identity and reporting
+  the wall-time speedup. Times are wall-clock best-of-N (the standard
+  reducer for wall benchmarks on shared machines: the minimum is the
+  run least contaminated by scheduler noise) plus the median.
+
+- **Orchestrated fast suite** — one cold and one warm (cache-hit)
+  ``experiment all --fast`` pass through the orchestrator against a
+  throwaway cache directory. The CI perf-regression gate compares the
+  measured warm rerun against the committed baseline and fails if it
+  regresses more than the allowed factor.
+"""
+
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+#: experiments whose runtime is dominated by the pipeline simulator;
+#: fig17 (A64FX out-of-order) is the acceptance benchmark, fig12 covers
+#: the in-order RISC-V path
+ENGINE_EXPERIMENTS = ("fig17", "fig12")
+
+
+def _cold_run(name, engine_name, fast):
+    from repro.experiments import orchestrator, runner
+    from repro.simulator.engine import engine
+
+    runner.reset_drivers()
+    with engine(engine_name):
+        start = time.perf_counter()
+        result = orchestrator.run_experiment(name, fast=fast, cache=None)
+        elapsed = time.perf_counter() - start
+    return elapsed, result.records
+
+
+def bench_engines(experiments=ENGINE_EXPERIMENTS, fast=False, repeats=3):
+    """Cold per-engine wall times + record identity for each experiment."""
+    out = {}
+    for name in experiments:
+        walls = {"scalar": [], "batch": []}
+        records = {}
+        for _ in range(max(1, repeats)):
+            for engine_name in ("scalar", "batch"):
+                elapsed, recs = _cold_run(name, engine_name, fast)
+                walls[engine_name].append(elapsed)
+                records[engine_name] = recs
+        identical = records["scalar"] == records["batch"]
+        entry = {
+            "fast": fast,
+            "records_identical": identical,
+        }
+        for engine_name, times in walls.items():
+            ordered = sorted(times)
+            entry[engine_name] = {
+                "wall_s": [round(t, 4) for t in times],
+                "best_s": round(ordered[0], 4),
+                "median_s": round(ordered[len(ordered) // 2], 4),
+            }
+        entry["speedup_best"] = round(
+            entry["scalar"]["best_s"] / entry["batch"]["best_s"], 2
+        )
+        entry["speedup_median"] = round(
+            entry["scalar"]["median_s"] / entry["batch"]["median_s"], 2
+        )
+        out[name] = entry
+    return out
+
+
+def bench_suite(jobs=1):
+    """Cold + warm orchestrated fast suite against a throwaway cache."""
+    from repro.experiments import orchestrator, runner
+    from repro.experiments.cache import ResultCache
+
+    names = orchestrator.names()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        runner.reset_drivers()
+        start = time.perf_counter()
+        orchestrator.run_many(names, fast=True, jobs=jobs, cache=cache)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        orchestrator.run_many(names, fast=True, jobs=jobs, cache=cache)
+        warm_s = time.perf_counter() - start
+        hits = cache.stats.hits
+    return {
+        "experiments": len(names),
+        "jobs": jobs,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "warm_cache_hits": hits,
+    }
+
+
+def run_bench(repeats=3, fast=False, jobs=1, experiments=ENGINE_EXPERIMENTS):
+    """Full benchmark payload for ``BENCH_pipeline.json``."""
+    payload = {
+        "schema": "repro-camp/bench-pipeline/v1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "engine_comparison": bench_engines(
+            experiments=experiments, fast=fast, repeats=repeats
+        ),
+        "fast_suite": bench_suite(jobs=jobs),
+    }
+    return payload
+
+
+def write_bench(payload, out_path):
+    path = Path(out_path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+#: absolute floor for the warm-rerun gate: sub-millisecond committed
+#: baselines would otherwise turn the >Nx contract into a raw
+#: cross-machine wall-clock comparison that any scheduler hiccup trips
+WARM_FLOOR_S = 0.25
+
+
+def check_regression(payload, baseline, max_warm_ratio=3.0):
+    """Compare a fresh payload against the committed baseline.
+
+    Returns a list of human-readable problems (empty = gate passes):
+
+    - the warm cache-hit suite rerun must not exceed
+      ``max_warm_ratio`` x the committed warm time (with an absolute
+      floor of :data:`WARM_FLOOR_S`, so a ~1 ms baseline from a faster
+      machine cannot fail CI on noise alone);
+    - engine-comparison records must be identical between engines.
+    """
+    problems = []
+    warm = payload["fast_suite"]["warm_s"]
+    base_warm = baseline["fast_suite"]["warm_s"]
+    threshold = max(max_warm_ratio * base_warm, WARM_FLOOR_S)
+    if base_warm > 0 and warm > threshold:
+        problems.append(
+            "warm fast-suite rerun took %.3fs, over the gate of %.3fs "
+            "(max(%.1fx committed baseline %.3fs, %.2fs floor))"
+            % (warm, threshold, max_warm_ratio, base_warm, WARM_FLOOR_S)
+        )
+    if payload["fast_suite"]["warm_cache_hits"] == 0:
+        problems.append("warm rerun recorded zero cache hits")
+    for name, entry in payload["engine_comparison"].items():
+        if not entry.get("records_identical", False):
+            problems.append(
+                "experiment %s: scalar and batch engines disagree" % name
+            )
+    return problems

@@ -62,6 +62,16 @@ def default_cache_dir():
     return Path.home() / ".cache" / "repro-camp"
 
 
+def cache_disabled():
+    """True when ``REPRO_NO_RESULT_CACHE`` hard-disables result reuse.
+
+    Used by the golden-drift CI job (``pytest --no-cache``): a stale
+    cache entry must never stand in for a live experiment run, no
+    matter who constructs the :class:`ResultCache`.
+    """
+    return bool(os.environ.get("REPRO_NO_RESULT_CACHE"))
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -86,6 +96,9 @@ class ResultCache:
 
     def load(self, key):
         """Return the stored payload dict, or None on a miss."""
+        if cache_disabled():
+            self.stats.misses += 1
+            return None
         path = self.path_for(key)
         try:
             with open(path) as handle:
@@ -98,6 +111,8 @@ class ResultCache:
 
     def store(self, key, payload):
         """Atomically persist a payload (tempfile + rename)."""
+        if cache_disabled():
+            return
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

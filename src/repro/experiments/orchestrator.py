@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from multiprocessing import Pool
 
-from repro.experiments.cache import ResultCache, config_digest, source_digest
+from repro.experiments.cache import config_digest, source_digest
 
 #: registry metadata: experiment name -> dotted module path, in the
 #: canonical (paper) order that `experiment all` runs and reports.
@@ -116,8 +116,15 @@ def _compute(spec, fast, run_kwargs):
 
 
 def _cache_key(cache, spec, fast, run_kwargs):
+    from repro.simulator.engine import get_default_engine
+
+    # the pipeline engine is part of the result's provenance: scalar and
+    # batch runs are byte-identical by design, but they must never share
+    # cache entries, or a cached batch result could mask an engine bug
+    params = dict(run_kwargs)
+    params["pipeline_engine"] = get_default_engine()
     return cache.key_for(
-        spec.name, fast, source_digest(), config_digest(run_kwargs)
+        spec.name, fast, source_digest(), config_digest(params)
     )
 
 

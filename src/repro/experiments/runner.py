@@ -1,4 +1,15 @@
-"""Shared experiment infrastructure: cached drivers and sweeps."""
+"""Shared experiment infrastructure: cached drivers and sweeps.
+
+Every driver simulation routes through the process-default pipeline
+engine (:mod:`repro.simulator.engine` — the vectorized batch scoreboard
+unless overridden), so all pipeline-bound experiments (fig4, fig12,
+fig15, fig17, table1, table4 and the multicore / vector-length
+ablations) pick it up without per-experiment plumbing. Driver caches
+are engine-agnostic because both engines produce bit-identical stats;
+``reset_drivers()`` still applies when switching engines mid-process to
+drop memoized SimStats computed under the previous engine (they would
+be identical anyway — this is belt-and-braces for benchmark cold runs).
+"""
 
 from repro.gemm.api import make_driver
 

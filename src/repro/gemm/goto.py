@@ -16,7 +16,7 @@ jobs:
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -29,7 +29,6 @@ from repro.gemm.packing import (
     pack_b_block,
 )
 from repro.isa.builder import ProgramBuilder
-from repro.isa.dtypes import DType
 from repro.simulator.pipeline import PipelineSimulator
 from repro.simulator.stats import SimStats
 

@@ -6,9 +6,11 @@ one method per opcode plus register allocation helpers.
 """
 
 from repro.isa.dtypes import DType
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Instruction, MEMORY_OPCODES, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import Reg, areg, vreg, xreg
+
+_instruction_new = Instruction.__new__
 
 
 class RegisterAllocator:
@@ -56,12 +58,36 @@ class ProgramBuilder:
         self.vregs = RegisterAllocator("v", vector_registers)
         self.xregs = RegisterAllocator("x", 32, reserved=(0,))
         self.aregs = RegisterAllocator("a", 4)
+        # bound append on the trace list: emit() is the hottest call of
+        # trace construction, so skip Program.append's isinstance check
+        self._append = self.program._instructions.append
 
     # -- emission -----------------------------------------------------
 
-    def emit(self, opcode, dst=(), src=(), **kwargs):
-        inst = Instruction(opcode, tuple(dst), tuple(src), **kwargs)
-        self.program.append(inst)
+    def emit(self, opcode, dst=(), src=(), dtype=None, addr=None, size=None,
+             imm=None):
+        # Inline Instruction construction (same fields and validation as
+        # Instruction.__init__): emit is called once per trace
+        # instruction and the call indirection is measurable.
+        if type(dst) is not tuple:
+            dst = tuple(dst)
+        if type(src) is not tuple:
+            src = tuple(src)
+        inst = _instruction_new(Instruction)
+        inst.opcode = opcode
+        inst.dst = dst
+        inst.src = src
+        inst.dtype = dtype
+        inst.addr = addr
+        inst.size = size
+        inst.imm = imm
+        inst.meta = {}
+        if opcode in MEMORY_OPCODES:
+            if addr is None or size is None:
+                raise ValueError("%s requires addr and size" % opcode.value)
+        if opcode is Opcode.CAMP and dtype not in (DType.INT8, DType.INT4):
+            raise ValueError("camp supports int8 and int4 operands only")
+        self._append(inst)
         return inst
 
     # -- vector memory ------------------------------------------------
@@ -70,13 +96,13 @@ class ProgramBuilder:
         """Contiguous vector load filling one full register."""
         if size is None:
             size = self.vector_length_bits // 8
-        return self.emit(Opcode.VLOAD, [dst], [], dtype=dtype, addr=addr, size=size)
+        return self.emit(Opcode.VLOAD, (dst,), (), dtype=dtype, addr=addr, size=size)
 
     def vload_strided(self, dst, addr, dtype, stride, size=None):
         if size is None:
             size = self.vector_length_bits // 8
         inst = self.emit(
-            Opcode.VLOAD_STRIDED, [dst], [], dtype=dtype, addr=addr, size=size
+            Opcode.VLOAD_STRIDED, (dst,), (), dtype=dtype, addr=addr, size=size
         )
         inst.meta["stride"] = stride
         return inst
@@ -84,25 +110,25 @@ class ProgramBuilder:
     def vstore(self, src, addr, dtype, size=None):
         if size is None:
             size = self.vector_length_bits // 8
-        return self.emit(Opcode.VSTORE, [], [src], dtype=dtype, addr=addr, size=size)
+        return self.emit(Opcode.VSTORE, (), (src,), dtype=dtype, addr=addr, size=size)
 
     # -- vector arithmetic ---------------------------------------------
 
     def vzero(self, dst, dtype=DType.INT32):
-        return self.emit(Opcode.VZERO, [dst], [], dtype=dtype)
+        return self.emit(Opcode.VZERO, (dst,), (), dtype=dtype)
 
     def vadd(self, dst, a, b, dtype):
-        return self.emit(Opcode.VADD, [dst], [a, b], dtype=dtype)
+        return self.emit(Opcode.VADD, (dst,), (a, b), dtype=dtype)
 
     def vmul(self, dst, a, b, dtype):
-        return self.emit(Opcode.VMUL, [dst], [a, b], dtype=dtype)
+        return self.emit(Opcode.VMUL, (dst,), (a, b), dtype=dtype)
 
     def vmla(self, acc, a, b, dtype):
         """acc += a * b (elementwise); acc is both source and dest."""
-        return self.emit(Opcode.VMLA, [acc], [acc, a, b], dtype=dtype)
+        return self.emit(Opcode.VMLA, (acc,), (acc, a, b), dtype=dtype)
 
     def fmla(self, acc, a, b):
-        return self.emit(Opcode.FMLA, [acc], [acc, a, b], dtype=DType.FP32)
+        return self.emit(Opcode.FMLA, (acc,), (acc, a, b), dtype=DType.FP32)
 
     def vdup(self, dst, src, dtype, lane=None, elements=None):
         """Broadcast a scalar register or a vector lane across ``dst``.
@@ -110,29 +136,29 @@ class ProgramBuilder:
         ``lane`` selects the element when ``src`` is a vector register;
         ``elements`` bounds the broadcast width (partial-vector forms).
         """
-        inst = self.emit(Opcode.VDUP, [dst], [src], dtype=dtype, imm=lane)
+        inst = self.emit(Opcode.VDUP, (dst,), (src,), dtype=dtype, imm=lane)
         if elements is not None:
             inst.meta["elements"] = elements
         return inst
 
     def vwiden(self, dst, src, from_dtype, to_dtype):
-        inst = self.emit(Opcode.VWIDEN, [dst], [src], dtype=to_dtype)
+        inst = self.emit(Opcode.VWIDEN, (dst,), (src,), dtype=to_dtype)
         inst.meta["from_dtype"] = from_dtype
         return inst
 
     def vnarrow(self, dst, src, from_dtype, to_dtype):
-        inst = self.emit(Opcode.VNARROW, [dst], [src], dtype=to_dtype)
+        inst = self.emit(Opcode.VNARROW, (dst,), (src,), dtype=to_dtype)
         inst.meta["from_dtype"] = from_dtype
         return inst
 
     def vreinterpret(self, dst, src, dtype):
-        return self.emit(Opcode.VREINTERPRET, [dst], [src], dtype=dtype)
+        return self.emit(Opcode.VREINTERPRET, (dst,), (src,), dtype=dtype)
 
     def vreduce(self, dst_scalar, src, dtype):
-        return self.emit(Opcode.VREDUCE, [dst_scalar], [src], dtype=dtype)
+        return self.emit(Opcode.VREDUCE, (dst_scalar,), (src,), dtype=dtype)
 
     def vmov(self, dst, src, dtype=DType.INT32):
-        return self.emit(Opcode.VMOV, [dst], [src], dtype=dtype)
+        return self.emit(Opcode.VMOV, (dst,), (src,), dtype=dtype)
 
     # -- matrix ---------------------------------------------------------
 
@@ -143,7 +169,7 @@ class ProgramBuilder:
         ``a`` holds a 4x16 (int8) or 4x32 (int4) column-major panel and
         ``b`` a 16x4 / 32x4 row-major panel.
         """
-        return self.emit(Opcode.CAMP, [acc], [acc, a, b], dtype=dtype)
+        return self.emit(Opcode.CAMP, (acc,), (acc, a, b), dtype=dtype)
 
     def camp_store(self, dst_vector, acc, chunk=0):
         """Move the auxiliary accumulator tile into a vector register.
@@ -152,29 +178,29 @@ class ProgramBuilder:
         selects which register-sized slice of the tile to move.
         """
         return self.emit(
-            Opcode.CAMP_STORE, [dst_vector], [acc], dtype=DType.INT32, imm=chunk
+            Opcode.CAMP_STORE, (dst_vector,), (acc,), dtype=DType.INT32, imm=chunk
         )
 
     def mmla(self, acc, a, b, dtype=DType.INT8):
         """ARM MMLA-style 2x8 by 8x2 matrix multiply-accumulate."""
-        return self.emit(Opcode.MMLA, [acc], [acc, a, b], dtype=dtype)
+        return self.emit(Opcode.MMLA, (acc,), (acc, a, b), dtype=dtype)
 
     # -- scalar / control ------------------------------------------------
 
     def salu(self, dst, src=(), imm=None):
-        return self.emit(Opcode.SALU, [dst], list(src), imm=imm)
+        return self.emit(Opcode.SALU, (dst,), tuple(src), imm=imm)
 
     def smul(self, dst, a, b):
-        return self.emit(Opcode.SMUL, [dst], [a, b])
+        return self.emit(Opcode.SMUL, (dst,), (a, b))
 
     def sload(self, dst, addr, size=8):
-        return self.emit(Opcode.SLOAD, [dst], [], addr=addr, size=size)
+        return self.emit(Opcode.SLOAD, (dst,), (), addr=addr, size=size)
 
     def sstore(self, src, addr, size=8):
-        return self.emit(Opcode.SSTORE, [], [src], addr=addr, size=size)
+        return self.emit(Opcode.SSTORE, (), (src,), addr=addr, size=size)
 
     def branch(self, cond_reg):
-        return self.emit(Opcode.BRANCH, [], [cond_reg])
+        return self.emit(Opcode.BRANCH, (), (cond_reg,))
 
     def loop_overhead(self, counter_reg):
         """Emit the canonical decrement + branch pair for one back-edge."""

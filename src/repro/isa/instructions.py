@@ -8,11 +8,8 @@ and the matrix instructions.
 """
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
 
 from repro.isa.dtypes import DType
-from repro.isa.registers import Reg
 
 
 class Opcode(enum.Enum):
@@ -94,30 +91,58 @@ VECTOR_OPCODES = frozenset(
 )
 
 
-@dataclass(frozen=True)
 class Instruction:
     """One instruction of the modelled ISA.
 
     ``dst`` / ``src`` carry the architectural registers used for
     dependence tracking; memory operations also carry a byte ``addr``
     and transfer ``size`` so the cache model can be consulted.
+
+    Implemented as a hand-rolled ``__slots__`` class rather than a
+    dataclass: micro-kernel trace emission constructs hundreds of
+    thousands of these, and the dataclass ``__init__`` +
+    ``object.__setattr__`` machinery dominated trace-build time.
+    Equality and hashing compare every field except ``meta``, matching
+    the previous frozen-dataclass behaviour.
     """
 
-    opcode: Opcode
-    dst: Tuple[Reg, ...] = ()
-    src: Tuple[Reg, ...] = ()
-    dtype: Optional[DType] = None
-    addr: Optional[int] = None
-    size: Optional[int] = None
-    imm: Optional[int] = None
-    meta: dict = field(default_factory=dict, compare=False, hash=False)
+    __slots__ = ("opcode", "dst", "src", "dtype", "addr", "size", "imm", "meta")
 
-    def __post_init__(self):
-        if self.opcode in MEMORY_OPCODES:
-            if self.addr is None or self.size is None:
-                raise ValueError("%s requires addr and size" % self.opcode.value)
-        if self.opcode is Opcode.CAMP and self.dtype not in (DType.INT8, DType.INT4):
+    def __init__(self, opcode, dst=(), src=(), dtype=None, addr=None,
+                 size=None, imm=None, meta=None):
+        self.opcode = opcode
+        self.dst = dst
+        self.src = src
+        self.dtype = dtype
+        self.addr = addr
+        self.size = size
+        self.imm = imm
+        self.meta = {} if meta is None else meta
+        if opcode in MEMORY_OPCODES:
+            if addr is None or size is None:
+                raise ValueError("%s requires addr and size" % opcode.value)
+        if opcode is Opcode.CAMP and dtype not in (DType.INT8, DType.INT4):
             raise ValueError("camp supports int8 and int4 operands only")
+
+    def _key(self):
+        return (self.opcode, self.dst, self.src, self.dtype, self.addr,
+                self.size, self.imm)
+
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self):
+        return hash(self._key())
+
+    def __repr__(self):
+        return (
+            "Instruction(opcode=%r, dst=%r, src=%r, dtype=%r, addr=%r, "
+            "size=%r, imm=%r, meta=%r)"
+            % (self.opcode, self.dst, self.src, self.dtype, self.addr,
+               self.size, self.imm, self.meta)
+        )
 
     @property
     def fu_class(self):

@@ -2,7 +2,7 @@
 
 from collections import Counter
 
-from repro.isa.instructions import FUClass, Instruction, Opcode
+from repro.isa.instructions import Instruction
 
 
 class Program:
@@ -17,11 +17,16 @@ class Program:
     def __init__(self, instructions=None, name=""):
         self.name = name
         self._instructions = list(instructions or [])
+        #: (length, mix dict) set by the batch engine's trace compiler so
+        #: repeated ``classify_vector_mix`` calls are O(1); the length
+        #: guard invalidates it if the trace grows afterwards.
+        self._vector_mix_cache = None
 
     def append(self, instruction):
         if not isinstance(instruction, Instruction):
             raise TypeError("expected Instruction, got %r" % (instruction,))
         self._instructions.append(instruction)
+        self._vector_mix_cache = None
 
     def extend(self, instructions):
         for instruction in instructions:
@@ -64,6 +69,9 @@ class Program:
         heatmap: vector loads, vector stores, and everything else
         (arithmetic, permutes, matrix ops).
         """
+        cached = self._vector_mix_cache
+        if cached is not None and cached[0] == len(self._instructions):
+            return dict(cached[1])
         reads = writes = alu = 0
         for inst in self:
             if not inst.is_vector:

@@ -1,6 +1,6 @@
 """Set-associative write-back / write-allocate cache with true LRU."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,7 @@ class CacheStats:
             setattr(self, name, 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     tag: int
     dirty: bool = False
@@ -78,19 +78,31 @@ class Cache:
 
     def lookup(self, addr, is_write=False):
         """Demand access. Returns True on hit; allocates on miss."""
-        set_index, tag = self._split(addr)
-        ways = self._sets[set_index]
-        for i, line in enumerate(ways):
-            if line.tag == tag:
-                ways.append(ways.pop(i))  # move to MRU
-                if line.prefetched:
+        line = addr // self.config.line_bytes
+        n_sets = self.config.n_sets
+        ways = self._sets[line % n_sets]
+        tag = line // n_sets
+        if ways:
+            mru = ways[-1]
+            if mru.tag == tag:  # already most-recent: order unchanged
+                if mru.prefetched:
                     self.stats.prefetch_hits += 1
-                    line.prefetched = False
-                line.dirty = line.dirty or is_write
+                    mru.prefetched = False
+                if is_write:
+                    mru.dirty = True
+                self.stats.hits += 1
+                return True
+        for i, line_entry in enumerate(ways):
+            if line_entry.tag == tag:
+                ways.append(ways.pop(i))  # move to MRU
+                if line_entry.prefetched:
+                    self.stats.prefetch_hits += 1
+                    line_entry.prefetched = False
+                line_entry.dirty = line_entry.dirty or is_write
                 self.stats.hits += 1
                 return True
         self.stats.misses += 1
-        self._fill(set_index, tag, dirty=is_write, prefetched=False)
+        self._fill(line % n_sets, tag, dirty=is_write, prefetched=False)
         return False
 
     def contains(self, addr):

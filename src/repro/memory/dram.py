@@ -42,6 +42,17 @@ class Dram:
         self._next_free_cycle = start + service * count
         self.bytes_transferred += size_bytes * count
 
+    def rebase(self):
+        """Re-zero the channel-occupancy clock, keeping traffic totals.
+
+        Pipeline runs use per-run cycle numbering starting at 0, but the
+        "next free" pointer survives warm-up replay and earlier
+        ``keep_state=True`` runs, so a fresh run's first miss would see
+        phantom queueing delay from another timebase. Called at the
+        start of every pipeline run, after warm-up.
+        """
+        self._next_free_cycle = 0.0
+
     def reset(self):
         self.bytes_transferred = 0
         self._next_free_cycle = 0.0

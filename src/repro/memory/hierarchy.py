@@ -1,6 +1,6 @@
 """Multi-level memory hierarchy tying caches, prefetchers and DRAM."""
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -9,8 +9,7 @@ from repro.memory.cache import Cache
 from repro.memory.prefetcher import StridePrefetcher
 
 
-@dataclass
-class AccessResult:
+class AccessResult(NamedTuple):
     """Outcome of one demand access."""
 
     latency: int          # load-to-use cycles for the requesting instruction
@@ -68,6 +67,11 @@ class MemoryHierarchy:
         line_bytes = self.caches[0].config.line_bytes
         first = (addr // line_bytes) * line_bytes
         last = ((addr + size - 1) // line_bytes) * line_bytes
+        if first == last:  # the common single-line case
+            latency, level = self._access_line(first, is_write, now_cycle)
+            if latency > 0:
+                return AccessResult(latency, level, size)
+            return AccessResult(0, self.caches[0].config.name, size)
         worst_latency = 0
         worst_level = self.caches[0].config.name
         line = first
@@ -124,6 +128,101 @@ class MemoryHierarchy:
             self.dram.access_batch(
                 self.caches[-1].config.line_bytes, n_llc_misses
             )
+
+    def resolve_batch(self, addrs, sizes=None, is_write=False):
+        """Resolve demand accesses in bulk, deferring DRAM to the caller.
+
+        The in-order pipeline engine issues memory operations in program
+        order, so their cache effects can be replayed up front in one
+        pass instead of one :meth:`access` call per load. Returns two
+        int64 arrays aligned with the input ops:
+
+        - ``base_latency`` — the worst load-to-use latency over each
+          op's cache-hit lines (0 if every line missed the last level);
+        - ``dram_lines`` — how many of the op's lines missed every
+          level. The caller charges those through ``dram.access`` at
+          issue time (DRAM latency depends on the issue cycle), in op
+          order, exactly like the scalar walk.
+
+        Cache state, per-level stats and prefetcher behaviour evolve
+        exactly as the equivalent sequence of :meth:`access` calls:
+        hierarchies with prefetchers take a sequential per-line walk
+        (stride-table updates are inherently ordered), prefetcher-less
+        ones go through :func:`~repro.memory.batch.batch_lookup` per
+        level like :meth:`access_batch`.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        n_ops = addrs.size
+        if n_ops == 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if sizes is None:
+            sizes = np.ones(n_ops, dtype=np.int64)
+        else:
+            sizes = np.asarray(sizes, dtype=np.int64)
+        if np.any(sizes <= 0):
+            raise ValueError("size must be positive")
+        writes = np.broadcast_to(np.asarray(is_write, dtype=bool), addrs.shape)
+        self.demand_accesses += int(n_ops)
+
+        line_bytes = self.caches[0].config.line_bytes
+        first = (addrs // line_bytes) * line_bytes
+        last = ((addrs + sizes - 1) // line_bytes) * line_bytes
+        counts = (last - first) // line_bytes + 1
+        total = int(counts.sum())
+        offsets = np.zeros(n_ops, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        # per-line expansion preserving op order and within-op line order
+        steps = np.ones(total, dtype=np.int64)
+        steps[0] = 0
+        steps[offsets[1:]] = first[1:] // line_bytes - last[:-1] // line_bytes
+        line_addrs = np.cumsum(steps) * line_bytes + first[0]
+        line_writes = np.repeat(writes, counts)
+
+        line_lat = np.zeros(total, dtype=np.int64)
+        dram_flag = np.zeros(total, dtype=bool)
+        if any(p is not None for p in self.prefetchers):
+            addr_list = line_addrs.tolist()
+            write_list = line_writes.tolist()
+            for pos in range(total):
+                addr = addr_list[pos]
+                write = write_list[pos]
+                for level, cache in enumerate(self.caches):
+                    hit = cache.lookup(addr, is_write=write)
+                    prefetcher = self.prefetchers[level]
+                    if prefetcher is not None:
+                        for target in prefetcher.observe(cache.line_address(addr)):
+                            self._prefetch_into(level, target)
+                    if hit:
+                        line_lat[pos] = cache.config.load_to_use
+                        break
+                else:
+                    dram_flag[pos] = True
+        else:
+            current = np.arange(total, dtype=np.int64)
+            sub_addrs = line_addrs
+            sub_writes = line_writes
+            n_levels = len(self.caches)
+            for level, cache in enumerate(self.caches):
+                if sub_addrs.size == 0:
+                    break
+                miss_idx = batch_lookup(cache, sub_addrs, sub_writes,
+                                        collect_misses=True)
+                hit_mask = np.ones(sub_addrs.size, dtype=bool)
+                hit_mask[miss_idx] = False
+                line_lat[current[hit_mask]] = cache.config.load_to_use
+                if level == n_levels - 1:
+                    dram_flag[current[~hit_mask]] = True
+                current = current[~hit_mask]
+                sub_addrs = sub_addrs[~hit_mask]
+                sub_writes = sub_writes[~hit_mask]
+
+        base_latency = np.maximum.reduceat(line_lat, offsets)
+        dram_lines = np.add.reduceat(dram_flag.astype(np.int64), offsets)
+        return base_latency, dram_lines
+
+    def rebase_queues(self):
+        """Re-zero time-based queue state (DRAM channel clock)."""
+        self.dram.rebase()
 
     def level(self, name):
         """The :class:`Cache` whose config has the given name."""

@@ -9,7 +9,7 @@ repeats ``confidence_threshold`` times, the prefetcher issues fills
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class _StreamEntry:
     last_addr: int
     stride: int = 0
@@ -32,7 +32,7 @@ class StridePrefetcher:
 
     def observe(self, addr):
         """Record a demand access; return addresses to prefetch."""
-        region = self._region(addr)
+        region = addr >> self.region_bits
         entry = self._table.get(region)
         if entry is None:
             if len(self._table) >= self.table_size:
@@ -51,8 +51,12 @@ class StridePrefetcher:
         entry.last_addr = addr
         if entry.confidence < self.confidence_threshold:
             return []
-        targets = [addr + entry.stride * d for d in range(1, self.degree + 1)]
-        targets = [t for t in targets if t >= 0]
+        stride = entry.stride
+        targets = [
+            t
+            for d in range(1, self.degree + 1)
+            if (t := addr + stride * d) >= 0
+        ]
         self.issued += len(targets)
         return targets
 

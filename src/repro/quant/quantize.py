@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.quant.schemes import QuantParams, choose_params
+from repro.quant.schemes import choose_params
 
 
 def quantize(tensor, params):

@@ -9,8 +9,16 @@ paper's three categories (functional unit / read / write).
 """
 
 from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
+from repro.simulator.engine import (
+    ENGINES,
+    engine,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.simulator.stats import SimStats
-from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.pipeline import PipelineSimulator, UnsupportedInstructionError
+from repro.simulator.batch_pipeline import run_batch
+from repro.simulator.trace_compile import CompiledTrace, compile_trace
 from repro.simulator.executor import FlatMemory, FunctionalExecutor
 from repro.simulator.machine import Machine
 
@@ -20,7 +28,15 @@ __all__ = [
     "sargantana_config",
     "SimStats",
     "PipelineSimulator",
+    "UnsupportedInstructionError",
     "FlatMemory",
     "FunctionalExecutor",
     "Machine",
+    "ENGINES",
+    "engine",
+    "get_default_engine",
+    "set_default_engine",
+    "run_batch",
+    "CompiledTrace",
+    "compile_trace",
 ]

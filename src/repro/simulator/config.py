@@ -7,7 +7,7 @@ single-issue, 32KB L1 / 512KB L2).
 """
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.isa.instructions import FUClass, Opcode
 from repro.memory.cache import CacheConfig

@@ -24,6 +24,7 @@ import numpy as np
 from repro.isa.instructions import FUClass, Opcode
 from repro.memory.dram import Dram
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.simulator.engine import get_default_engine, validate_engine
 from repro.simulator.stats import SimStats
 
 
@@ -32,7 +33,13 @@ class UnsupportedInstructionError(RuntimeError):
 
 
 class PipelineSimulator:
-    """Cycle-approximate scoreboard simulator for one machine config."""
+    """Cycle-approximate scoreboard simulator for one machine config.
+
+    Two engines are available through :meth:`run`: the vectorized batch
+    scoreboard (default) and this module's cycle-by-cycle scalar loop,
+    kept as the reference model. Both produce bit-identical
+    :class:`SimStats`.
+    """
 
     def __init__(self, config, hierarchy=None):
         self.config = config
@@ -49,7 +56,7 @@ class PipelineSimulator:
 
     # -----------------------------------------------------------------
 
-    def run(self, program, warm_addresses=()):
+    def run(self, program, warm_addresses=(), engine=None):
         """Simulate ``program``; returns :class:`SimStats`.
 
         ``warm_addresses`` optionally pre-touches cache lines (e.g. the
@@ -59,7 +66,20 @@ class PipelineSimulator:
         stats are snapshotted after warming and the rates are the
         deltas of this ``run()`` only, so chained runs on a kept
         pipeline also stop accumulating prior runs' hits/misses.
+
+        ``engine`` selects the scheduler implementation (``"batch"`` or
+        ``"scalar"``); ``None`` uses the process default from
+        :mod:`repro.simulator.engine`.
         """
+        engine = validate_engine(engine) if engine else get_default_engine()
+        if engine == "batch":
+            from repro.simulator.batch_pipeline import run_batch
+
+            return run_batch(self, program, warm_addresses)
+        return self._run_scalar(program, warm_addresses)
+
+    def _run_scalar(self, program, warm_addresses=()):
+        """The reference cycle-by-cycle scoreboard loop."""
         config = self.config
         warm = np.asarray(list(warm_addresses), dtype=np.int64)
         if warm.size:
@@ -71,6 +91,10 @@ class PipelineSimulator:
             cache.config.name: (cache.stats.hits, cache.stats.misses)
             for cache in self.hierarchy.caches
         }
+        # the DRAM channel clock likewise survives warm-up replay and
+        # chained keep_state runs; re-zero it so this run's misses are
+        # not queue-delayed by accesses from another timebase
+        self.hierarchy.rebase_queues()
 
         stats = SimStats()
         fu_free = {

@@ -1,0 +1,309 @@
+"""Compile instruction traces into structure-of-arrays form.
+
+The batch pipeline engine never touches :class:`Instruction` objects in
+its scheduling loop: a trace is compiled exactly once per (program,
+machine config) pair into flat per-instruction records plus SSA
+dependence edges, and every later pass works on those. The compiled
+form also yields the Figure-17 vector-mix classification as a free
+by-product, which is installed into the program's
+``classify_vector_mix`` cache so experiment post-processing stops
+re-walking the trace.
+
+Per-opcode decode (functional-unit class, latency, initiation interval,
+load/store/vector flags) depends only on the machine config, so it is
+memoized on the config object itself; per-instruction work is one dict
+lookup plus the register dependence bookkeeping.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.isa.instructions import FUClass, OPCODE_FU, Opcode, VECTOR_OPCODES
+
+LOAD_OPCODES = frozenset({Opcode.VLOAD, Opcode.VLOAD_STRIDED, Opcode.SLOAD})
+STORE_OPCODES = frozenset({Opcode.VSTORE, Opcode.SSTORE})
+
+#: stable functional-unit id assignment used by every compiled trace
+FU_LIST = tuple(FUClass)
+FU_INDEX = {fu: index for index, fu in enumerate(FU_LIST)}
+
+# opcode-record slots (records shared by all instructions of one opcode)
+FU_ID, LATENCY, INTERVAL, IS_LOAD, IS_STORE, IS_VECTOR = range(6)
+
+_TABLE_ATTR = "_repro_opcode_table"
+
+
+def opcode_table(config):
+    """``opcode -> (fu_id, latency, interval, is_load, is_store, is_vector)``.
+
+    The latency column resolves the scalar engine's per-issue logic
+    ahead of time: ``opcode_latency`` overrides ``fu_latency``, and the
+    accumulator-forwarding opcodes (CAMP / MMLA) pipeline at their
+    initiation interval. Loads still get their real latency from the
+    memory hierarchy at issue time; the column holds the L1-style
+    baseline for them and is unused by the scheduler.
+    """
+    table = getattr(config, _TABLE_ATTR, None)
+    if table is not None:
+        return table
+    table = {}
+    for op in Opcode:
+        fu = OPCODE_FU[op]
+        interval = config.fu_interval.get(fu, 1)
+        is_load = op in LOAD_OPCODES
+        is_store = op in STORE_OPCODES
+        if is_load or is_store:
+            # the scalar engine never consults latency_of for memory
+            # ops (loads resolve through the hierarchy, stores retire
+            # through the buffer); the column is a decode-only baseline
+            latency = config.fu_latency.get(fu, 0)
+        else:
+            if op in config.opcode_latency:
+                latency = config.opcode_latency[op]
+            elif fu in config.fu_latency:
+                latency = config.fu_latency[fu]
+            else:
+                # unresolvable, exactly like config.latency_of: compile
+                # raises the same KeyError the scalar engine would at
+                # issue — but only if the trace actually uses the opcode
+                latency = None
+            if latency is not None and op in (Opcode.CAMP, Opcode.MMLA):
+                # accumulator forwarding pipelines at the interval
+                latency = interval
+        table[op] = (
+            FU_INDEX[fu],
+            latency,
+            interval,
+            is_load,
+            is_store,
+            op in VECTOR_OPCODES,
+        )
+    # MachineConfig is a frozen dataclass; stash the derived table on the
+    # instance (private, excluded from dataclass fields/repr/asdict)
+    object.__setattr__(config, _TABLE_ATTR, table)
+    return table
+
+
+class CompiledTrace:
+    """One trace compiled against one machine config.
+
+    ``info[i]`` is the instruction's decoded opcode record — a tuple
+    *shared* between all instructions of the same opcode (no per-
+    instruction allocation): ``(fu_id, latency, interval, is_load,
+    is_store, is_vector)``. Memory operands live in the parallel
+    ``addr`` / ``size`` columns.
+    """
+
+    __slots__ = (
+        "n", "info", "addr", "size", "deps", "dependents", "mix",
+        "mem_index", "mem_addr", "mem_size", "mem_write", "fu_bound",
+        "totals", "_arrays",
+    )
+
+    def __init__(self, n, info, addr, size, deps, dependents, mix,
+                 mem_index, mem_addr, mem_size, mem_write, fu_bound=0,
+                 totals=None):
+        self.n = n
+        self.info = info              # list[shared opcode record tuples]
+        self.addr = addr              # list[int]; 0 for non-memory ops
+        self.size = size              # list[int]; 0 for non-memory ops
+        self.deps = deps              # list[tuple[int, ...]] SSA dependences
+        self.dependents = dependents  # list[list[int] | None] reverse edges
+        self.mix = mix                # {"read": r, "write": w, "alu": a}
+        self.mem_index = mem_index    # program order of memory ops
+        self.mem_addr = mem_addr
+        self.mem_size = mem_size
+        self.mem_write = mem_write
+        #: static occupancy lower bound: max over FU classes of
+        #: ceil(sum-of-intervals / units); the batch engine uses it to
+        #: pick between its scan and event schedulers
+        self.fu_bound = fu_bound
+        #: (n_vector, n_loads, n_stores, bytes_loaded, bytes_stored,
+        #: per-class busy cycles) — every instruction issues exactly
+        #: once, so these SimStats counters are trace constants the
+        #: schedulers never have to accumulate
+        self.totals = totals
+        self._arrays = None
+
+    def vector_mix(self):
+        """Figure-17 R/W/Alu classification of the vector instructions."""
+        return dict(self.mix)
+
+    def memory_arrays(self):
+        """Memory-op streams as numpy arrays (program order)."""
+        return (
+            np.asarray(self.mem_index, dtype=np.int64),
+            np.asarray(self.mem_addr, dtype=np.int64),
+            np.asarray(self.mem_size, dtype=np.int64),
+            np.asarray(self.mem_write, dtype=bool),
+        )
+
+    def arrays(self):
+        """Full structure-of-arrays view (numpy), built on first use.
+
+        Keys: ``fu_id``, ``latency``, ``interval``, ``is_load``,
+        ``is_store``, ``is_vector``, ``addr``, ``size``. The scheduler
+        itself consumes the plain-list form (CPython indexes lists
+        faster than 0-d numpy scalars); the numpy view serves analysis
+        passes and tests.
+        """
+        if self._arrays is None:
+            info = self.info
+            self._arrays = {
+                "fu_id": np.fromiter((r[FU_ID] for r in info), np.int16, self.n),
+                "latency": np.fromiter((r[LATENCY] for r in info), np.int32, self.n),
+                "interval": np.fromiter((r[INTERVAL] for r in info), np.int32, self.n),
+                "is_load": np.fromiter((r[IS_LOAD] for r in info), bool, self.n),
+                "is_store": np.fromiter((r[IS_STORE] for r in info), bool, self.n),
+                "is_vector": np.fromiter((r[IS_VECTOR] for r in info), bool, self.n),
+                "addr": np.asarray(self.addr, dtype=np.int64),
+                "size": np.asarray(self.size, dtype=np.int64),
+            }
+        return self._arrays
+
+
+def compile_trace(program, config):
+    """Compile ``program`` for ``config`` into a :class:`CompiledTrace`.
+
+    Dependences are extracted SSA-style exactly like the scalar engine:
+    each instruction depends on the specific prior writer of each of
+    its source registers (register renaming — architectural reuse does
+    not serialize), and the dependence tuple is built with the same
+    ``tuple(set(...))`` construction so stall attribution tie-breaks
+    identically.
+    """
+    table = opcode_table(config)
+    instructions = list(program)
+    n = len(instructions)
+    # decode pass: one shared record per opcode, C-speed loops
+    info = [table[inst.opcode] for inst in instructions]
+    rec_counts = Counter(info)
+    for rec in rec_counts:
+        if rec[1] is None:
+            # the scalar engine's latency_of would raise this KeyError
+            # at the instruction's first issue; surface it at compile
+            raise KeyError(FU_LIST[rec[0]])
+    addr_col = [0] * n
+    size_col = [0] * n
+    deps = [()] * n
+    dependents = [None] * n
+    mem_index = []
+    mem_addr = []
+    mem_size = []
+    mem_write = []
+    mi_append = mem_index.append
+    ma_append = mem_addr.append
+    ms_append = mem_size.append
+    mw_append = mem_write.append
+    mix_read = mix_write = mix_alu = 0
+    last_writer = {}
+    lw_get = last_writer.get
+    for i, inst in enumerate(instructions):
+        rec = info[i]
+        if rec[3] or rec[4]:
+            addr = inst.addr
+            size = inst.size
+            addr_col[i] = addr
+            size_col[i] = size
+            mi_append(i)
+            ma_append(addr)
+            ms_append(size)
+            mw_append(rec[4])
+        src = inst.src
+        if src:
+            if len(src) == 1:
+                w = lw_get(src[0])
+                if w is not None:
+                    dd = (w,)
+                    deps[i] = dd
+                    lst = dependents[w]
+                    if lst is None:
+                        dependents[w] = [i]
+                    else:
+                        lst.append(i)
+            else:
+                dep_list = [w for w in map(lw_get, src) if w is not None]
+                if dep_list:
+                    dd = tuple(set(dep_list))
+                    deps[i] = dd
+                    for d in dd:
+                        lst = dependents[d]
+                        if lst is None:
+                            dependents[d] = [i]
+                        else:
+                            lst.append(i)
+        dst = inst.dst
+        if dst:
+            if len(dst) == 1:
+                last_writer[dst[0]] = i
+            else:
+                for d in dst:
+                    last_writer[d] = i
+    # mix, counter totals and FU-occupancy bound from the record counts
+    class_busy = [0] * len(FU_LIST)
+    n_vector = n_loads = n_stores = 0
+    for rec, count in rec_counts.items():
+        class_busy[rec[0]] += rec[2] * count
+        if rec[3]:
+            n_loads += count
+        elif rec[4]:
+            n_stores += count
+        if rec[5]:
+            n_vector += count
+            if rec[3]:
+                mix_read += count
+            elif rec[4]:
+                mix_write += count
+            else:
+                mix_alu += count
+    bytes_loaded = bytes_stored = 0
+    for size, write in zip(mem_size, mem_write):
+        if write:
+            bytes_stored += size
+        else:
+            bytes_loaded += size
+    mix = {"read": mix_read, "write": mix_write, "alu": mix_alu}
+    fu_bound = 0
+    for fu_id, busy in enumerate(class_busy):
+        if busy:
+            units = config.fu_counts.get(FU_LIST[fu_id], 0)
+            if units:
+                bound = -(-busy // units)
+                if bound > fu_bound:
+                    fu_bound = bound
+    totals = (n_vector, n_loads, n_stores, bytes_loaded, bytes_stored,
+              class_busy)
+    # publish the mix so Program.classify_vector_mix becomes O(1)
+    program._vector_mix_cache = (n, mix)
+    return CompiledTrace(n, info, addr_col, size_col, deps, dependents, mix,
+                         mem_index, mem_addr, mem_size, mem_write,
+                         fu_bound=fu_bound, totals=totals)
+
+
+_COMPILED_ATTR = "_compiled_traces"
+
+
+def compiled_for(program, config):
+    """Memoized :func:`compile_trace`.
+
+    The cache lives on the program object as a small list of
+    ``(config, length, trace)`` entries; identity-compared configs and a
+    length guard keep it correct if a builder keeps emitting into the
+    program after a compile.
+    """
+    entries = getattr(program, _COMPILED_ATTR, None)
+    n = len(program)
+    if entries is not None:
+        for cfg, length, trace in entries:
+            if cfg is config and length == n:
+                return trace
+    trace = compile_trace(program, config)
+    if entries is None:
+        entries = []
+        try:
+            setattr(program, _COMPILED_ATTR, entries)
+        except AttributeError:
+            return trace  # slotted/foreign program type: skip memoization
+    entries.append((config, n, trace))
+    return trace

@@ -14,17 +14,29 @@ def pytest_addoption(parser):
         help="regenerate tests/golden/*.json from live experiment runs "
              "instead of diffing against them",
     )
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="hard-disable the orchestrator result cache for this test "
+             "session (golden-drift CI guard: a stale cache entry must "
+             "never stand in for a live experiment run)",
+    )
 
 
 @pytest.fixture(autouse=True)
-def _isolated_result_cache(tmp_path, monkeypatch):
+def _isolated_result_cache(request, tmp_path, monkeypatch):
     """Keep every test away from the user's real ~/.cache/repro-camp.
 
     CLI invocations default to the on-disk result cache; without this,
     tests would read stale entries from (and write into) the developer's
-    home directory.
+    home directory. Under ``--no-cache`` the per-test directory is made
+    read-only useless by pointing at a fresh path every time anyway;
+    both modes guarantee no cross-run reuse.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+    if request.config.getoption("--no-cache"):
+        monkeypatch.setenv("REPRO_NO_RESULT_CACHE", "1")
 
 
 @pytest.fixture

@@ -42,8 +42,8 @@ def _diff(golden, live, tol, path="$"):
             problems.append(
                 "%s: length %d != golden %d" % (path, len(live), len(golden))
             )
-        for index, (g, l) in enumerate(zip(golden, live)):
-            problems += _diff(g, l, tol, "%s[%d]" % (path, index))
+        for index, (g, item) in enumerate(zip(golden, live)):
+            problems += _diff(g, item, tol, "%s[%d]" % (path, index))
     elif isinstance(golden, dict) and isinstance(live, dict):
         if list(golden) != list(live):
             problems.append(

@@ -1,7 +1,6 @@
 """Tests for panel packing."""
 
 import numpy as np
-import pytest
 
 from repro.gemm.packing import (
     element_bytes,

@@ -5,7 +5,7 @@ import pytest
 from repro.isa.builder import ProgramBuilder, RegisterAllocator
 from repro.isa.dtypes import DType
 from repro.isa.instructions import Opcode
-from repro.isa.registers import vreg
+from repro.isa.registers import vreg, xreg
 
 
 class TestRegisterAllocator:
@@ -90,3 +90,58 @@ class TestProgramBuilder:
         inst = b.camp(acc, a, v, DType.INT8)
         assert inst.dst == (acc,)
         assert inst.src == (acc, a, v)
+
+
+class TestEmitMatchesDirectConstruction:
+    """emit() inlines Instruction construction; pin the two paths equal.
+
+    The builder bypasses ``Instruction.__init__`` for speed, assigning
+    slots directly. Any future change to the constructor (new field,
+    default, or validation rule) must be mirrored there — this test
+    makes silent drift between the two construction paths fail loudly.
+    """
+
+    CASES = [
+        dict(opcode=Opcode.VMLA, dst=(vreg(1),), src=(vreg(1), vreg(2), vreg(3)),
+             dtype=DType.INT32),
+        dict(opcode=Opcode.VLOAD, dst=(vreg(0),), src=(), dtype=DType.INT8,
+             addr=0x40, size=64),
+        dict(opcode=Opcode.VSTORE, dst=(), src=(vreg(5),), dtype=DType.INT8,
+             addr=0x80, size=16),
+        dict(opcode=Opcode.SALU, dst=(xreg(1),), src=(xreg(2),), imm=7),
+        dict(opcode=Opcode.BRANCH, dst=(), src=(xreg(1),)),
+        dict(opcode=Opcode.VDUP, dst=(vreg(2),), src=(vreg(0),),
+             dtype=DType.INT16, imm=3),
+    ]
+
+    def test_all_slots_equal(self):
+        from repro.isa.instructions import Instruction
+
+        b = ProgramBuilder()
+        for case in self.CASES:
+            kwargs = dict(case)
+            opcode = kwargs.pop("opcode")
+            dst = kwargs.pop("dst")
+            src = kwargs.pop("src")
+            emitted = b.emit(opcode, dst, src, **kwargs)
+            direct = Instruction(opcode, dst, src, **kwargs)
+            assert emitted == direct
+            for slot in Instruction.__slots__:
+                assert getattr(emitted, slot) == getattr(direct, slot), slot
+
+    def test_validation_parity(self):
+        from repro.isa.instructions import Instruction
+
+        b = ProgramBuilder()
+        with pytest.raises(ValueError):
+            b.emit(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8)
+        from repro.isa.registers import areg
+
+        with pytest.raises(ValueError):
+            b.emit(Opcode.CAMP, (areg(0),), (areg(0), vreg(0), vreg(1)),
+                   dtype=DType.INT32)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CAMP, (areg(0),), (areg(0), vreg(0), vreg(1)),
+                        dtype=DType.INT32)

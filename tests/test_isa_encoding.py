@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.isa.builder import ProgramBuilder
 from repro.isa.dtypes import DType
 from repro.isa.encoding import (
     WORD_BYTES,

@@ -6,7 +6,6 @@ import pytest
 from repro.isa.dtypes import DType
 from repro.isa.registers import (
     AuxRegisterFile,
-    Reg,
     ScalarRegisterFile,
     VectorRegisterFile,
     areg,

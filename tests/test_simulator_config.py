@@ -1,11 +1,10 @@
 """Tests for machine configurations."""
 
-import pytest
 
 from repro.isa.dtypes import DType
 from repro.isa.instructions import FUClass, Instruction, Opcode
 from repro.isa.registers import vreg
-from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
+from repro.simulator.config import a64fx_config, sargantana_config
 
 
 class TestA64fx:

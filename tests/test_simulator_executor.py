@@ -127,7 +127,7 @@ class TestArithmetic:
         memory.write_array(0x1000, np.arange(64, dtype=np.int8) - 32)
         b = ProgramBuilder()
         b.vload(vreg(0), 0x1000, DType.INT8)
-        low = b.vwiden(vreg(1), vreg(0), DType.INT8, DType.INT16)
+        b.vwiden(vreg(1), vreg(0), DType.INT8, DType.INT16)
         high = b.vwiden(vreg(2), vreg(0), DType.INT8, DType.INT16)
         high.meta["half"] = "high"
         ex = execute(b, memory)

@@ -5,7 +5,6 @@ import pytest
 from repro.gemm.microkernel import get_kernel
 from repro.isa.builder import ProgramBuilder
 from repro.isa.dtypes import DType
-from repro.isa.instructions import FUClass
 from repro.isa.registers import vreg
 from repro.simulator.config import a64fx_config, sargantana_config
 from repro.simulator.pipeline import PipelineSimulator
