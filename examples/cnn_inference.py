@@ -50,7 +50,10 @@ def quantized_conv_layer():
 
 def alexnet_layer_sweep():
     print("\n== AlexNet layers (Table 3 shapes), speedup vs OpenBLAS ==")
-    print("%-12s %-16s %-10s %-10s %-10s" % ("layer", "m,n,k", "camp8", "camp4", "handv-int8"))
+    print(
+        "%-12s %-16s %-10s %-10s %-10s"
+        % ("layer", "m,n,k", "camp8", "camp4", "handv-int8")
+    )
     for index, shape in enumerate(CNN_LAYERS["alexnet"], start=1):
         base = analyze_cached(shape, "openblas-fp32", "a64fx")
         row = []

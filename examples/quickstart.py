@@ -20,7 +20,9 @@ def main(size=128):
     a = rng.integers(-128, 128, size=(size, size)).astype(np.int8)
     b = rng.integers(-128, 128, size=(size, size)).astype(np.int8)
 
-    print("== CAMP quickstart: %dx%d int8 GEMM on the A64FX-like core ==" % (size, size))
+    print(
+        "== CAMP quickstart: %dx%d int8 GEMM on the A64FX-like core ==" % (size, size)
+    )
     result = gemm(a, b, method="camp8", machine="a64fx")
 
     expected = a.astype(np.int64) @ b.astype(np.int64)

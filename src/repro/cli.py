@@ -137,8 +137,33 @@ def _run_registered(kind, args):
         return 2
     else:
         requested = [args.name]
+    run_kwargs = {}
+    if getattr(args, "cores", None):
+        try:
+            core_counts = _parse_int_list(args.cores)
+        except ValueError as error:
+            print("bad --cores: %s" % error, file=sys.stderr)
+            return 2
+        if not core_counts or any(cores < 1 for cores in core_counts):
+            print("bad --cores: core counts must be >= 1", file=sys.stderr)
+            return 2
+        unsupported = [
+            name for name in requested if name not in orchestrator.CORES_AWARE
+        ]
+        if unsupported:
+            print(
+                "--cores only applies to the multi-core experiments (%s), "
+                "not: %s" % (
+                    ", ".join(sorted(orchestrator.CORES_AWARE)),
+                    ", ".join(unsupported),
+                ),
+                file=sys.stderr,
+            )
+            return 2
+        run_kwargs = {"cores": core_counts, "jobs": args.jobs}
     results = orchestrator.run_many(
-        requested, fast=args.fast, jobs=args.jobs, cache=_cache_from_args(args)
+        requested, fast=args.fast, jobs=args.jobs,
+        cache=_cache_from_args(args), run_kwargs=run_kwargs,
     )
     return _emit_results(results, args, jobs=args.jobs)
 
@@ -199,6 +224,19 @@ def _cmd_sweep(args):
                 "unknown method %r; available: %s"
                 % (method, ", ".join(sorted(known_methods)))
             )
+    core_counts = None
+    if args.cores:
+        try:
+            core_counts = _parse_int_list(args.cores)
+        except ValueError as error:
+            return _sweep_error(error)
+        if not core_counts or any(cores < 1 for cores in core_counts):
+            return _sweep_error("core counts must be >= 1")
+        if args.baseline:
+            return _sweep_error(
+                "--baseline does not apply to --cores runs (multi-core "
+                "speedups are against each method's own single-core run)"
+            )
     result = orchestrator.run_sweep(
         sizes=sizes,
         shapes=shapes,
@@ -206,6 +244,9 @@ def _cmd_sweep(args):
         machines=machines,
         baseline=args.baseline,
         cache=_cache_from_args(args),
+        core_counts=core_counts,
+        strategy=args.strategy,
+        jobs=args.jobs,
     )
     return _emit_results([result], args)
 
@@ -249,6 +290,44 @@ def _cmd_bench(args):
         print("perf gate passed (warm rerun within %.1fx of baseline)"
               % args.max_warm_regression)
     return 0
+
+
+def _cmd_bench_multicore(args):
+    from repro.experiments import bench_multicore
+
+    payload = bench_multicore.run_bench(repeats=args.repeats)
+    scaling = payload["scaling"]
+    print(
+        "multi-core point (%s, %d^3, %d cores): best %.3fs | median %.3fs | "
+        "deterministic: %s"
+        % (scaling["point"]["method"], scaling["point"]["size"],
+           scaling["point"]["cores"], scaling["best_s"], scaling["median_s"],
+           scaling["deterministic"])
+    )
+    print("fast multicore ablation: cold %.3fs"
+          % payload["ablation_fast"]["cold_s"])
+    if args.out:
+        path = bench_multicore.write_bench(payload, args.out)
+        print("wrote %s" % path)
+    if args.check:
+        baseline = json.loads(open(args.check).read())
+        problems = bench_multicore.check_regression(
+            payload, baseline, max_ratio=args.max_regression
+        )
+        for problem in problems:
+            print("PERF REGRESSION: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("multi-core perf gate passed (within %.1fx of baseline)"
+              % args.max_regression)
+    return 0
+
+
+def _add_cores_option(parser):
+    parser.add_argument(
+        "--cores", default="",
+        help="simulated core counts for the multi-core subsystem, "
+             "e.g. 1,4,16 (multi-core experiments and sweep only)")
 
 
 def _add_orchestrator_options(parser):
@@ -298,11 +377,13 @@ def build_parser():
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument("name")
     exp_parser.add_argument("--fast", action="store_true")
+    _add_cores_option(exp_parser)
     _add_orchestrator_options(exp_parser)
 
     abl_parser = sub.add_parser("ablation", help="run a design-choice study")
     abl_parser.add_argument("name")
     abl_parser.add_argument("--fast", action="store_true")
+    _add_cores_option(abl_parser)
     _add_orchestrator_options(abl_parser)
 
     sweep_parser = sub.add_parser(
@@ -315,7 +396,11 @@ def build_parser():
     sweep_parser.add_argument("--machines", default="a64fx")
     sweep_parser.add_argument("--baseline",
                               help="override the per-machine baseline method")
-    _add_output_options(sweep_parser)
+    _add_cores_option(sweep_parser)
+    sweep_parser.add_argument(
+        "--strategy", choices=("npanel", "tile2d"), default="npanel",
+        help="GEMM partition strategy for --cores runs")
+    _add_orchestrator_options(sweep_parser)
 
     sub.add_parser("area", help="print the physical-design report")
 
@@ -335,6 +420,19 @@ def build_parser():
                                    "and fail on perf regression")
     bench_parser.add_argument("--max-warm-regression", type=float, default=3.0,
                               help="allowed warm-rerun slowdown vs baseline")
+
+    bench_mc = sub.add_parser(
+        "bench-multicore",
+        help="benchmark the multi-core subsystem, write BENCH_multicore.json")
+    bench_mc.add_argument("--repeats", type=int, default=3,
+                          help="cold runs of the scaling point (min 2)")
+    bench_mc.add_argument("--out", default="BENCH_multicore.json",
+                          help="output JSON path ('' to skip writing)")
+    bench_mc.add_argument("--check", metavar="BASELINE",
+                          help="compare against a committed baseline JSON "
+                               "and fail on perf regression")
+    bench_mc.add_argument("--max-regression", type=float, default=3.0,
+                          help="allowed cold-run slowdown vs baseline")
     return parser
 
 
@@ -346,6 +444,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "area": _cmd_area,
     "bench-pipeline": _cmd_bench,
+    "bench-multicore": _cmd_bench_multicore,
 }
 
 

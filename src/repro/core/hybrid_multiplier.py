@@ -119,7 +119,9 @@ class HybridMultiplier:
                     "%s=%d does not fit in %d signed bits" % (name, value, width)
                 )
         sign = -1 if (a < 0) != (b < 0) else 1
-        product = sign * self._unsigned_multiply(abs(a), abs(b), max(width, self.block_bits))
+        product = sign * self._unsigned_multiply(
+            abs(a), abs(b), max(width, self.block_bits)
+        )
         return product
 
     def _unsigned_multiply(self, a, b, width):

@@ -50,8 +50,12 @@ def run(fast=False):
         rows.append(
             EnergyRow(
                 benchmark=name,
-                camp8_fraction=model.execution_energy(camp8, DType.INT8).total_j / base_j,
-                camp4_fraction=model.execution_energy(camp4, DType.INT4).total_j / base_j,
+                camp8_fraction=(
+                    model.execution_energy(camp8, DType.INT8).total_j / base_j
+                ),
+                camp4_fraction=(
+                    model.execution_energy(camp4, DType.INT4).total_j / base_j
+                ),
             )
         )
     return rows

@@ -1,0 +1,98 @@
+"""Experiment: multi-core scaling sweep on the cycle-level simulator.
+
+Where the multicore ablation compares CAMP against the FP32 baseline
+at one square size with N-panel partitioning, this sweep exercises the
+multi-core subsystem across partition strategies and the full method
+set: every (method, strategy, cores) point runs one batch pipeline
+engine per core over the shared LLC + multi-channel DRAM and reports
+speedup, efficiency and the DRAM-limited attribution derived from the
+replay's actual contention stall cycles.
+
+Reachable from the CLI as ``experiment multicore-scaling`` (with
+``--cores`` to override the core counts) and, shape-by-shape, through
+``sweep --cores``.
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.records import from_dataclasses
+from repro.experiments.report import format_table
+from repro.gemm.multicore import simulate_scaling_curve
+
+#: strategies swept by default — the GotoBLAS 5th-loop split and the
+#: 2D output grid
+STRATEGIES = ("npanel", "tile2d")
+
+METHODS = ("camp8", "camp4", "openblas-fp32")
+FAST_METHODS = ("camp8", "openblas-fp32")
+
+
+@dataclass
+class MulticoreScalingRow:
+    method: str
+    strategy: str
+    cores: int
+    speedup: float
+    efficiency: float
+    dram_limited: bool
+    contention_stall_cycles: int
+    llc_hit_rate: float
+    converged: bool
+
+
+def run(fast=False, size=None, methods=None, cores=None,
+        strategies=STRATEGIES, jobs=1):
+    if size is None:
+        size = 192 if fast else 512
+    if methods is None:
+        methods = FAST_METHODS if fast else METHODS
+    if cores is None:
+        core_counts = (1, 4, 16) if fast else (1, 2, 4, 8, 16)
+    else:
+        core_counts = tuple(cores)
+    rows = []
+    for method in methods:
+        for strategy in strategies:
+            for point in simulate_scaling_curve(
+                method, size, size, size, core_counts=core_counts,
+                strategy=strategy, jobs=jobs,
+            ):
+                rows.append(
+                    MulticoreScalingRow(
+                        method=method,
+                        strategy=strategy,
+                        cores=point.cores,
+                        speedup=point.speedup,
+                        efficiency=point.efficiency,
+                        dram_limited=point.dram_limited,
+                        contention_stall_cycles=point.contention_stall_cycles,
+                        llc_hit_rate=point.llc_hit_rate,
+                        converged=point.replay_converged,
+                    )
+                )
+    return rows
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
+
+
+def format_results(rows):
+    return format_table(
+        ["Method", "Partition", "Cores", "Speedup", "Efficiency",
+         "DRAM-limited", "Contention", "LLC hit"],
+        [
+            (
+                r.method,
+                r.strategy,
+                r.cores,
+                "%.1fx" % r.speedup,
+                "%.2f" % r.efficiency,
+                "yes" if r.dram_limited else "no",
+                "%d cyc" % r.contention_stall_cycles,
+                "%.0f%%" % (100 * r.llc_hit_rate),
+            )
+            for r in rows
+        ],
+        title="Multi-core scaling sweep (cycle-level shared-memory simulation)",
+    )

@@ -42,7 +42,12 @@ EXPERIMENT_MODULES = {
     "fig17": "repro.experiments.exp_fig17_heatmap",
     "fig18": "repro.experiments.exp_fig18_mmla",
     "table4": "repro.experiments.exp_table4",
+    "multicore-scaling": "repro.experiments.exp_multicore_scaling",
 }
+
+#: experiments whose ``run`` accepts the ``cores`` / ``jobs`` kwargs of
+#: the multi-core subsystem (CLI ``--cores`` refuses everything else)
+CORES_AWARE = {"multicore-scaling", "multicore"}
 
 ABLATION_MODULES = {
     "blocking": "repro.experiments.ablation_blocking",
@@ -122,6 +127,9 @@ def _cache_key(cache, spec, fast, run_kwargs):
     # batch runs are byte-identical by design, but they must never share
     # cache entries, or a cached batch result could mask an engine bug
     params = dict(run_kwargs)
+    # worker fan-out never changes results (the multi-core arbitration
+    # runs in the parent), so a --jobs change must not invalidate
+    params.pop("jobs", None)
     params["pipeline_engine"] = get_default_engine()
     return cache.key_for(
         spec.name, fast, source_digest(), config_digest(params)
@@ -229,6 +237,75 @@ def run_many(names_, fast=False, jobs=1, cache=None, run_kwargs=None,
     return [results[name] for name in names_]
 
 
+def _sweep_shapes(sizes, shapes):
+    from repro.workloads.shapes import GemmShape
+
+    gemm_shapes = [GemmShape(s, s, s, label="smm-%d" % s) for s in sizes]
+    gemm_shapes += [
+        GemmShape(m, n, k, label="%dx%dx%d" % (m, n, k)) for m, n, k in shapes
+    ]
+    if not gemm_shapes:
+        raise ValueError("sweep needs at least one size or shape")
+    return gemm_shapes
+
+
+def multicore_sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
+                            machines=("a64fx",), core_counts=(1, 4, 16),
+                            strategy="npanel", jobs=1):
+    """Shapes x methods x machines x cores on the multi-core simulator.
+
+    Every point runs cycle-level: one batch pipeline engine per core
+    over the shared LLC + multi-channel DRAM; speedups are against the
+    method's own single-core run. Returns flat records.
+    """
+    from repro.experiments.records import make
+    from repro.gemm.multicore import simulate_parallel_gemm
+
+    out = []
+    for machine in machines:
+        for shape in _sweep_shapes(sizes, shapes):
+            for method in methods:
+                for cores in core_counts:
+                    point = simulate_parallel_gemm(
+                        method, shape.m, shape.n, shape.k, cores,
+                        machine=machine, strategy=strategy, jobs=jobs,
+                    )
+                    out.append({
+                        "machine": machine,
+                        "shape": shape.label,
+                        "m": shape.m,
+                        "n": shape.n,
+                        "k": shape.k,
+                        "method": method,
+                        "strategy": strategy,
+                        "cores": cores,
+                        "speedup": point.speedup,
+                        "efficiency": point.efficiency,
+                        "dram_limited": point.dram_limited,
+                        "contention_stall_cycles":
+                            point.contention_stall_cycles,
+                        "llc_hit_rate": point.llc_hit_rate,
+                        "parallel_cycles": point.parallel_cycles,
+                    })
+    return make(out)
+
+
+def format_multicore_sweep(records):
+    from repro.experiments.report import format_table
+
+    return format_table(
+        ["Machine", "Shape", "Method", "Cores", "Speedup", "Efficiency",
+         "DRAM-limited"],
+        [
+            (r["machine"], r["shape"], r["method"], r["cores"],
+             "%.2fx" % r["speedup"], "%.2f" % r["efficiency"],
+             "yes" if r["dram_limited"] else "no")
+            for r in records
+        ],
+        title="Sweep: multi-core scaling (cycle-level simulation)",
+    )
+
+
 def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
                   machines=("a64fx",), baseline=None):
     """Shapes x methods x machines through :func:`runner.speedup_rows`.
@@ -239,14 +316,8 @@ def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
     """
     from repro.experiments import runner
     from repro.experiments.records import make
-    from repro.workloads.shapes import GemmShape
 
-    gemm_shapes = [GemmShape(s, s, s, label="smm-%d" % s) for s in sizes]
-    gemm_shapes += [
-        GemmShape(m, n, k, label="%dx%dx%d" % (m, n, k)) for m, n, k in shapes
-    ]
-    if not gemm_shapes:
-        raise ValueError("sweep needs at least one size or shape")
+    gemm_shapes = _sweep_shapes(sizes, shapes)
     out = []
     for machine in machines:
         base_method = baseline or SWEEP_BASELINES[machine]
@@ -290,15 +361,29 @@ def format_sweep(records):
 
 
 def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
-              machines=("a64fx",), baseline=None, cache=None):
-    """Cached sweep wrapper returning an :class:`ExperimentResult`."""
+              machines=("a64fx",), baseline=None, cache=None,
+              core_counts=None, strategy="npanel", jobs=1):
+    """Cached sweep wrapper returning an :class:`ExperimentResult`.
+
+    With ``core_counts`` the sweep runs on the multi-core cycle-level
+    simulator (``--cores`` on the CLI); otherwise it is the single-core
+    speedup-vs-baseline sweep. ``jobs`` fans the per-core engine runs
+    and never affects results, so it stays out of the cache key.
+    """
     params = {
         "sizes": list(sizes),
         "shapes": [list(s) for s in shapes],
         "methods": list(methods),
         "machines": list(machines),
-        "baseline": baseline,
     }
+    if core_counts is not None:
+        # baseline is meaningless on the multi-core path (speedups are
+        # vs each method's own single-core run): keep it out of the
+        # cache key so it cannot fragment byte-identical results
+        params["core_counts"] = list(core_counts)
+        params["strategy"] = strategy
+    else:
+        params["baseline"] = baseline
     key = None
     if cache is not None:
         key = cache.key_for("sweep", False, source_digest(),
@@ -309,14 +394,22 @@ def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
                 ExperimentSpec("sweep", "sweep", ""), False, key, payload
             )
     start = time.perf_counter()
-    records = sweep_records(sizes=sizes, shapes=shapes, methods=methods,
-                            machines=machines, baseline=baseline)
+    if core_counts is not None:
+        records = multicore_sweep_records(
+            sizes=sizes, shapes=shapes, methods=methods, machines=machines,
+            core_counts=core_counts, strategy=strategy, jobs=jobs,
+        )
+        text = format_multicore_sweep(records)
+    else:
+        records = sweep_records(sizes=sizes, shapes=shapes, methods=methods,
+                                machines=machines, baseline=baseline)
+        text = format_sweep(records)
     result = ExperimentResult(
         name="sweep",
         kind="sweep",
         fast=False,
         records=records,
-        text=format_sweep(records),
+        text=text,
         from_cache=False,
         elapsed_s=time.perf_counter() - start,
     )

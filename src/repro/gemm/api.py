@@ -41,7 +41,8 @@ def resolve_machine(machine, method):
         factory = _MACHINES[machine]
     except KeyError:
         raise KeyError(
-            "unknown machine %r; available: %s" % (machine, ", ".join(sorted(_MACHINES)))
+            "unknown machine %r; available: %s"
+            % (machine, ", ".join(sorted(_MACHINES)))
         ) from None
     return factory(camp_enabled=needs_matrix)
 

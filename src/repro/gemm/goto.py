@@ -84,10 +84,33 @@ class GemmExecution:
         return self.total_instructions / baseline.total_instructions
 
 
+@dataclass(frozen=True)
+class TrafficSegment:
+    """One repeated phase of a composed GEMM's DRAM traffic timeline.
+
+    ``events`` is the recorded DRAM stream of the representative
+    simulation (micro-kernel call or packing chunk), repeated ``count``
+    times at ``period``-cycle intervals. ``shared`` marks traffic whose
+    addresses are common across cores under output partitioning (the A
+    panels every core re-packs), so the shared LLC can model
+    constructive sharing.
+    """
+
+    label: str
+    events: tuple
+    period: int
+    count: int
+    shared: bool = False
+
+    @property
+    def duration(self):
+        return self.period * self.count
+
+
 class GotoBlasDriver:
     """Five loops around a micro-kernel, as in Figure 3."""
 
-    def __init__(self, kernel, config, blocking=None):
+    def __init__(self, kernel, config, blocking=None, hierarchy_factory=None):
         if not isinstance(kernel, MicroKernel):
             raise TypeError("kernel must be a MicroKernel instance")
         if kernel.vector_length_bits != config.vector_length_bits:
@@ -102,11 +125,25 @@ class GotoBlasDriver:
                 config, kernel.dtype, kernel.m_r, kernel.n_r, kernel.k_step
             )
         self.blocking = blocking
+        #: optional ``config -> MemoryHierarchy`` hook; the multi-core
+        #: subsystem injects a recording hierarchy here so the
+        #: representative simulations also yield DRAM event streams
+        #: (latencies are unchanged — recording is pure observation)
+        self.hierarchy_factory = hierarchy_factory
         # micro-kernel call simulations depend only on (kc, first_k_block)
         # and packing rate only on the dtype, so sweeps over many shapes
         # reuse them
         self._call_cache = {}
         self._pack_cache = None
+        self._call_events = {}
+        self._pack_events = ()
+
+    def _make_simulator(self):
+        if self.hierarchy_factory is None:
+            return PipelineSimulator(self.config)
+        return PipelineSimulator(
+            self.config, hierarchy=self.hierarchy_factory(self.config)
+        )
 
     # -- numeric path ----------------------------------------------------
 
@@ -132,7 +169,9 @@ class GotoBlasDriver:
             b = np.pad(b, ((0, pad_k), (0, 0)))
             k += pad_k
         acc_np = kern.acc_dtype.numpy_dtype
-        c = np.zeros((m, n), dtype=np.int64 if kern.acc_dtype.is_integer else np.float64)
+        c = np.zeros(
+            (m, n), dtype=np.int64 if kern.acc_dtype.is_integer else np.float64
+        )
         for jc in range(0, n, blk.nc):
             nc = min(blk.nc, n - jc)
             for pc_index, pc in enumerate(range(0, k, blk.kc)):
@@ -176,9 +215,12 @@ class GotoBlasDriver:
         if key not in self._call_cache:
             kern = self.kernel
             program = kern.build_call(kc, first_k_block=first_k_block)
-            sim = PipelineSimulator(self.config)
+            sim = self._make_simulator()
             stats = sim.run(program, warm_addresses=kern.warm_addresses(kc))
             self._call_cache[key] = (program, stats)
+            events = getattr(sim.hierarchy.dram, "events", None)
+            if events is not None:
+                self._call_events[key] = tuple(events)
         return self._call_cache[key]
 
     def _simulate_packing_rate(self, dtype):
@@ -190,13 +232,22 @@ class GotoBlasDriver:
             )
             emit_pack_trace(builder, A_PANEL_BASE, B_PANEL_BASE, chunk_bytes, dtype)
             program = builder.build()
-            sim = PipelineSimulator(self.config)
+            sim = self._make_simulator()
             stats = sim.run(program)
             self._pack_cache = (program, stats, chunk_bytes)
+            events = getattr(sim.hierarchy.dram, "events", None)
+            if events is not None:
+                self._pack_events = tuple(events)
         return self._pack_cache
 
-    def analyze(self, m, n, k):
-        """Block-composed cycles/instructions for an (m, n, k) GEMM."""
+    def _compose_plan(self, m, n, k):
+        """The block-composition schedule of one (m, n, k) GEMM.
+
+        Returns ``(call_plan, a_bytes, b_bytes)`` where ``call_plan``
+        is a list of ``(kc, first_k_block, count)`` micro-kernel call
+        groups and the byte totals are the packed-panel traffic the
+        packing chunks are scaled by.
+        """
         kern = self.kernel
         blk = self.blocking
         if min(m, n, k) <= 0:
@@ -221,6 +272,20 @@ class GotoBlasDriver:
         else:
             call_plan.append((kc_rem, True, tiles))
 
+        # packing traffic: B packed once per (jc, pc); A packed once per
+        # (jc, pc, ic) — i.e. A is re-packed for every nc-wide C panel.
+        elem = element_bytes(kern.dtype)
+        n_jblocks = _ceil_div(n, blk.nc)
+        a_bytes = int(m * k_eff * elem) * n_jblocks
+        b_bytes = int(k_eff * n * elem)
+        return call_plan, a_bytes, b_bytes
+
+    def analyze(self, m, n, k):
+        """Block-composed cycles/instructions for an (m, n, k) GEMM."""
+        kern = self.kernel
+        blk = self.blocking
+        call_plan, a_bytes, b_bytes = self._compose_plan(m, n, k)
+
         total = SimStats()
         mix = Counter()
         kernel_instructions = 0
@@ -233,12 +298,6 @@ class GotoBlasDriver:
             for key, value in program.classify_vector_mix().items():
                 mix[key] += value * count
 
-        # packing traffic: B packed once per (jc, pc); A packed once per
-        # (jc, pc, ic) — i.e. A is re-packed for every nc-wide C panel.
-        elem = element_bytes(kern.dtype)
-        n_jblocks = _ceil_div(n, blk.nc)
-        a_bytes = int(m * k_eff * elem) * n_jblocks
-        b_bytes = int(k_eff * n * elem)
         pack_program, pack_stats, chunk_bytes = self._simulate_packing_rate(kern.dtype)
         pack_scale = (a_bytes + b_bytes) / chunk_bytes
         total.merge_scaled(pack_stats, max(1, round(pack_scale)))
@@ -249,7 +308,7 @@ class GotoBlasDriver:
 
         cycles = kernel_cycles + pack_cycles
         total.cycles = int(cycles)
-        return GemmExecution(
+        execution = GemmExecution(
             m=m,
             n=n,
             k=k,
@@ -263,3 +322,50 @@ class GotoBlasDriver:
             vector_mix=dict(mix),
             frequency_ghz=self.config.frequency_ghz,
         )
+        return execution
+
+    def analyze_timeline(self, m, n, k):
+        """Composed analysis plus the GEMM's DRAM traffic timeline.
+
+        Returns ``(execution, segments)`` where ``segments`` is the
+        ordered list of :class:`TrafficSegment` whose expansion is the
+        run's DRAM access stream: the packing burst first (split into
+        the A-panel share, which output partitioning leaves common
+        across cores, and the per-core B share), then the micro-kernel
+        call groups in plan order. Requires a recording
+        ``hierarchy_factory`` (otherwise no events were captured).
+        """
+        if self.hierarchy_factory is None:
+            raise RuntimeError(
+                "analyze_timeline needs a driver built with a recording "
+                "hierarchy_factory"
+            )
+        execution = self.analyze(m, n, k)
+        call_plan, a_bytes, b_bytes = self._compose_plan(m, n, k)
+        _, pack_stats, chunk_bytes = self._simulate_packing_rate(
+            self.kernel.dtype
+        )
+        pack_reps = max(1, round((a_bytes + b_bytes) / chunk_bytes))
+        a_reps = round(pack_reps * a_bytes / (a_bytes + b_bytes))
+        b_reps = pack_reps - a_reps
+        segments = []
+        if a_reps:
+            segments.append(
+                TrafficSegment("pack-a", self._pack_events,
+                               pack_stats.cycles, a_reps, shared=True)
+            )
+        if b_reps:
+            segments.append(
+                TrafficSegment("pack-b", self._pack_events,
+                               pack_stats.cycles, b_reps)
+            )
+        for call_kc, first, count in call_plan:
+            _, stats = self._simulate_call(call_kc, first_k_block=first)
+            label = "call-kc%d%s" % (call_kc, "-first" if first else "")
+            segments.append(
+                TrafficSegment(
+                    label, self._call_events.get((call_kc, first), ()),
+                    stats.cycles, count,
+                )
+            )
+        return execution, segments

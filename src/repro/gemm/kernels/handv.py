@@ -52,7 +52,8 @@ class _HandvBase(MicroKernel):
             if k % ks_per_a_load == 0:
                 builder.vload(
                     a_vec,
-                    a_addr + (k // ks_per_a_load) * self.a_elems_per_load * a_elem_bytes,
+                    a_addr
+                    + (k // ks_per_a_load) * self.a_elems_per_load * a_elem_bytes,
                     self.dtype,
                     size=self.a_elems_per_load * a_elem_bytes,
                 )

@@ -1,14 +1,24 @@
-"""Multi-core GEMM scaling model (the A64FX platform has 16 cores).
+"""Multi-core GEMM scaling: cycle-level simulation + analytic model.
 
 GotoBLAS parallelizes the 5th loop (N panels) or 3rd loop (M blocks)
 across cores; each core runs its own micro-kernel stream while sharing
-the L2 and DRAM. We model per-core work as an independent single-core
-analysis of the partitioned problem and apply a shared-resource factor
-from the combined DRAM/packing traffic — enough to study how CAMP's
-bandwidth appetite scales relative to the baselines' compute appetite.
+the LLC and DRAM.
+
+Two models live here. :func:`simulate_scaling_curve` is the cycle-level
+path: each core's shard (from :mod:`repro.workloads.partition`) is
+analyzed through the batch pipeline engine over a recording hierarchy,
+its composed DRAM traffic timeline is assembled from the driver's
+:class:`~repro.gemm.goto.TrafficSegment` schedule, and the per-core
+streams are arbitrated deterministically through the shared LLC +
+multi-channel DRAM (:class:`~repro.memory.hierarchy.SharedHierarchy`).
+The original closed-form model (:func:`parallel_gemm_analysis` /
+:func:`scaling_curve`) is retained as the cross-check column the
+multicore ablation reports next to the simulated numbers.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from multiprocessing import Pool, current_process
+from typing import List
 
 from repro.gemm.packing import element_bytes
 
@@ -68,3 +78,253 @@ def parallel_gemm_analysis(driver, m, n, k, cores=16):
 def scaling_curve(driver, m, n, k, core_counts=(1, 2, 4, 8, 16)):
     """Multicore scaling across a list of core counts."""
     return [parallel_gemm_analysis(driver, m, n, k, cores) for cores in core_counts]
+
+
+# ---------------------------------------------------------------------------
+# cycle-level simulation
+# ---------------------------------------------------------------------------
+
+#: address-space strides for the assembled per-core streams: cores get
+#: disjoint working sets; successive repetitions of a representative
+#: trace model fresh streaming panels (16 MB apart, so one core's later
+#: repetition never fake-hits its own earlier lines in the shared LLC)
+REP_ADDR_STRIDE = 1 << 24
+
+
+@dataclass
+class CoreScaling:
+    """One core's simulated outcome within a parallel GEMM."""
+
+    core: int
+    m: int
+    n: int
+    k: int
+    cycles: float  # final cycles, contention folded in
+    isolated_cycles: float
+    contention_stall_cycles: int
+    llc_hits: int = 0
+    llc_misses: int = 0
+    dram_events: int = 0
+
+    @property
+    def dram_limited(self):
+        from repro.simulator.multicore import is_dram_limited
+
+        return is_dram_limited(self.contention_stall_cycles, self.cycles)
+
+
+@dataclass
+class SimulatedScaling:
+    """Simulated scaling outcome for one (method, cores) point."""
+
+    cores: int
+    strategy: str
+    single_core_cycles: float
+    parallel_cycles: float
+    per_core: List[CoreScaling] = field(default_factory=list)
+    llc_hit_rate: float = 0.0
+    channel_utilization: List[float] = field(default_factory=list)
+    replay_converged: bool = True
+
+    @property
+    def speedup(self):
+        return self.single_core_cycles / self.parallel_cycles
+
+    @property
+    def efficiency(self):
+        return self.speedup / self.cores
+
+    @property
+    def contention_stall_cycles(self):
+        return sum(core.contention_stall_cycles for core in self.per_core)
+
+    @property
+    def dram_limited(self):
+        """The critical (slowest) core's stall attribution decides."""
+        from repro.simulator.multicore import critical_core_dram_limited
+
+        return critical_core_dram_limited(self.per_core)
+
+
+def make_recording_driver(method, machine):
+    """A fresh driver whose representative simulations record DRAM traffic."""
+    from repro.gemm.api import resolve_machine
+    from repro.gemm.goto import GotoBlasDriver
+    from repro.gemm.microkernel import get_kernel
+    from repro.simulator.multicore import build_recording_hierarchy
+
+    config = resolve_machine(machine, method)
+    kernel = get_kernel(method, vector_length_bits=config.vector_length_bits)
+    return GotoBlasDriver(
+        kernel, config, hierarchy_factory=build_recording_hierarchy
+    )
+
+
+def assemble_stream(segments, core, share_a=True):
+    """Expand a shard's traffic timeline into its absolute event stream.
+
+    Events from segments marked ``shared`` (the A-panel packing, when
+    the partition strategy re-packs one common A per core) keep their
+    base addresses so the shared LLC can model constructive cross-core
+    sharing; everything else is offset into the core's private address
+    space. Repetitions advance by :data:`REP_ADDR_STRIDE` to model
+    streaming through fresh panels.
+    """
+    from repro.memory.dram import DramEvent
+    from repro.simulator.multicore import CORE_ADDR_STRIDE
+
+    stream = []
+    append = stream.append
+    offset = 0
+    for segment in segments:
+        if segment.events:
+            core_off = (
+                0 if (segment.shared and share_a) else core * CORE_ADDR_STRIDE
+            )
+            for rep in range(segment.count):
+                base_cycle = offset + rep * segment.period
+                addr_off = core_off + rep * REP_ADDR_STRIDE
+                for event in segment.events:
+                    append(
+                        DramEvent(
+                            cycle=base_cycle + event.cycle,
+                            size=event.size,
+                            addr=(
+                                event.addr + addr_off
+                                if event.addr >= 0 else -1
+                            ),
+                            write=event.write,
+                            latency=event.latency,
+                        )
+                    )
+        offset += segment.duration
+    return stream
+
+
+#: per-process driver cache for the shard workers (and the serial path)
+_RECORDING_DRIVERS = {}
+
+
+def _recording_driver_for(method, machine):
+    key = (method, machine)
+    if key not in _RECORDING_DRIVERS:
+        _RECORDING_DRIVERS[key] = make_recording_driver(method, machine)
+    return _RECORDING_DRIVERS[key]
+
+
+def reset_recording_drivers():
+    """Drop the cached recording drivers (test isolation)."""
+    _RECORDING_DRIVERS.clear()
+
+
+def _analyze_shard(task):
+    """Worker: timeline-analyze one core's shard.
+
+    Top-level and name-keyed so the orchestrator-style process pool can
+    pickle it; the per-process driver cache keeps one recording driver
+    per (method, machine) warm across shards.
+    """
+    method, machine, m, n, k = task
+    driver = _recording_driver_for(method, machine)
+    return driver.analyze_timeline(m, n, k)
+
+
+def simulate_parallel_gemm(method, m, n, k, cores, machine="a64fx",
+                           strategy="npanel", jobs=1, llc_config=None,
+                           dram_channels=None):
+    """Cycle-level parallel GEMM: returns :class:`SimulatedScaling`.
+
+    Each core's shard is pipeline-simulated in isolation (fanned across
+    ``jobs`` worker processes when > 1 — the arbitration always runs in
+    the parent, so results are independent of ``jobs``), then the
+    shards' DRAM timelines contend in the shared hierarchy. One core
+    owns the whole chip: ``cores=1`` is the plain single-core analysis,
+    bit-identical to the batch engine.
+    """
+    from repro.memory.hierarchy import SharedHierarchy
+    from repro.simulator.multicore import default_llc_config, shared_dram
+    from repro.workloads.partition import partition_gemm
+
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    driver = _recording_driver_for(method, machine)
+    single = driver.analyze(m, n, k)
+    if cores == 1:
+        return SimulatedScaling(
+            cores=1,
+            strategy=strategy,
+            single_core_cycles=single.cycles,
+            parallel_cycles=single.cycles,
+            per_core=[
+                CoreScaling(core=0, m=m, n=n, k=k, cycles=single.cycles,
+                            isolated_cycles=single.cycles,
+                            contention_stall_cycles=0)
+            ],
+        )
+    kernel = driver.kernel
+    shards = partition_gemm(m, n, k, cores, strategy=strategy,
+                            m_r=kernel.m_r, n_r=kernel.n_r)
+    tasks = [
+        (method, machine, shard.m, shard.n, shard.k) for shard in shards
+    ]
+    if jobs > 1 and len(tasks) > 1 and not current_process().daemon:
+        # daemonic pool workers (an orchestrator fan-out already in
+        # flight) cannot spawn children; fall back to the serial path,
+        # which is result-identical anyway
+        with Pool(processes=min(jobs, len(tasks))) as pool:
+            analyzed = pool.map(_analyze_shard, tasks)
+    else:
+        analyzed = [_analyze_shard(task) for task in tasks]
+    streams = [
+        assemble_stream(segments, shard.core,
+                        share_a=(strategy == "npanel"))
+        for shard, (_, segments) in zip(shards, analyzed)
+    ]
+    durations = [int(execution.stats.cycles) for execution, _ in analyzed]
+    config = driver.config
+    shared = SharedHierarchy(
+        shared_dram(config, channels=dram_channels),
+        llc_config if llc_config is not None else default_llc_config(config),
+    )
+    outcome = shared.replay(streams, durations)
+    per_core = []
+    for shard, (execution, _), replayed in zip(shards, analyzed,
+                                               outcome.per_core):
+        per_core.append(
+            CoreScaling(
+                core=shard.core,
+                m=shard.m,
+                n=shard.n,
+                k=shard.k,
+                cycles=execution.cycles + replayed.extra_cycles,
+                isolated_cycles=execution.cycles,
+                contention_stall_cycles=replayed.extra_cycles,
+                llc_hits=replayed.llc_hits,
+                llc_misses=replayed.llc_misses,
+                dram_events=replayed.events,
+            )
+        )
+    parallel_cycles = max(core.cycles for core in per_core)
+    return SimulatedScaling(
+        cores=cores,
+        strategy=strategy,
+        single_core_cycles=single.cycles,
+        parallel_cycles=parallel_cycles,
+        per_core=per_core,
+        llc_hit_rate=outcome.llc_hit_rate,
+        channel_utilization=outcome.channel_utilization,
+        replay_converged=outcome.converged,
+    )
+
+
+def simulate_scaling_curve(method, m, n, k, core_counts=(1, 2, 4, 8, 16),
+                           machine="a64fx", strategy="npanel", jobs=1,
+                           llc_config=None, dram_channels=None):
+    """Simulated multicore scaling across a list of core counts."""
+    return [
+        simulate_parallel_gemm(
+            method, m, n, k, cores, machine=machine, strategy=strategy,
+            jobs=jobs, llc_config=llc_config, dram_channels=dram_channels,
+        )
+        for cores in core_counts
+    ]

@@ -68,7 +68,9 @@ def emit_pack_trace(builder, src_addr, dst_addr, n_bytes, dtype,
     for i in range(n_vectors):
         builder.vload(vec, src_addr + i * vector_bytes, dtype, size=vector_bytes)
         if shuffle:
-            builder.vreinterpret(vec, vec, dtype if dtype is not DType.INT4 else DType.INT8)
+            builder.vreinterpret(
+                vec, vec, dtype if dtype is not DType.INT4 else DType.INT8
+            )
         builder.vstore(vec, dst_addr + i * vector_bytes, dtype, size=vector_bytes)
     builder.vregs.free(vec)
     return n_vectors

@@ -7,7 +7,12 @@ cycle-approximate pipeline simulator.
 
 from repro.isa.dtypes import DType
 from repro.isa.instructions import FUClass, Instruction, Opcode
-from repro.isa.registers import Reg, RegisterFile, ScalarRegisterFile, VectorRegisterFile
+from repro.isa.registers import (
+    Reg,
+    RegisterFile,
+    ScalarRegisterFile,
+    VectorRegisterFile,
+)
 from repro.isa.program import Program
 from repro.isa.builder import ProgramBuilder
 

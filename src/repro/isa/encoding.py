@@ -114,7 +114,9 @@ def encode_program(program):
 def decode_program(blob, name=""):
     """Decode bytes produced by :func:`encode_program`."""
     if len(blob) % WORD_BYTES:
-        raise EncodingError("blob length %d not a multiple of %d" % (len(blob), WORD_BYTES))
+        raise EncodingError(
+            "blob length %d not a multiple of %d" % (len(blob), WORD_BYTES)
+        )
     instructions = [
         decode_instruction(blob[i : i + WORD_BYTES])
         for i in range(0, len(blob), WORD_BYTES)

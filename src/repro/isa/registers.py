@@ -72,7 +72,9 @@ class RegisterFile:
 
     def _check(self, reg):
         if reg.kind != self.kind:
-            raise KeyError("register %s does not belong to the %r file" % (reg, self.kind))
+            raise KeyError(
+                "register %s does not belong to the %r file" % (reg, self.kind)
+            )
         if not 0 <= reg.index < self.count:
             raise KeyError("register %s out of range (0..%d)" % (reg, self.count - 1))
 

@@ -9,16 +9,26 @@ to supply load latencies to the pipeline simulator.
 from repro.memory.batch import batch_lookup, coalesce_chunks
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.prefetcher import StridePrefetcher
-from repro.memory.dram import Dram
-from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.dram import Dram, DramEvent, MultiChannelDram, RecordingDram
+from repro.memory.hierarchy import (
+    AccessResult,
+    MemoryHierarchy,
+    SharedHierarchy,
+    SharedReplayResult,
+)
 
 __all__ = [
     "Cache",
     "CacheConfig",
     "StridePrefetcher",
     "Dram",
+    "DramEvent",
+    "MultiChannelDram",
+    "RecordingDram",
     "AccessResult",
     "MemoryHierarchy",
+    "SharedHierarchy",
+    "SharedReplayResult",
     "batch_lookup",
     "coalesce_chunks",
 ]

@@ -4,7 +4,31 @@ The A64FX platform uses 4-channel HBM2; the edge RISC-V SoC a simple
 DDR interface. Both are modelled as a base latency plus a service rate
 (bytes per cycle); a running "next free" pointer approximates channel
 occupancy so bursts see queueing delay.
+
+Three models live here:
+
+- :class:`Dram` — the single-queue model every single-core hierarchy
+  uses.
+- :class:`MultiChannelDram` — the shared-memory arbiter of the
+  multi-core subsystem: total bandwidth split over independent
+  per-channel queues, with line-interleaved channel selection.
+- :class:`RecordingDram` — a :class:`Dram` that additionally captures
+  every access as a :class:`DramEvent`, so a per-core pipeline run can
+  be replayed later through a shared hierarchy
+  (:class:`repro.memory.hierarchy.SharedHierarchy`).
 """
+
+from typing import NamedTuple
+
+
+class DramEvent(NamedTuple):
+    """One recorded DRAM access of an isolated per-core run."""
+
+    cycle: int  # issue cycle within the run (post-warm-up timebase)
+    size: int  # bytes transferred (one last-level line per event)
+    addr: int  # line address, or -1 when the engine charges lazily
+    write: bool
+    latency: int  # the latency the isolated run observed
 
 
 class Dram:
@@ -19,8 +43,13 @@ class Dram:
         self.bytes_transferred = 0
         self._next_free_cycle = 0.0
 
-    def access(self, size_bytes, now_cycle=0):
-        """Latency (cycles) to service ``size_bytes`` starting at ``now_cycle``."""
+    def access(self, size_bytes, now_cycle=0, addr=None, write=False):
+        """Latency (cycles) to service ``size_bytes`` starting at ``now_cycle``.
+
+        ``addr`` and ``write`` are accepted for interface parity with
+        :class:`MultiChannelDram` / :class:`RecordingDram`; the
+        single-queue model ignores them.
+        """
         service = size_bytes / self.bytes_per_cycle
         start = max(float(now_cycle), self._next_free_cycle)
         self._next_free_cycle = start + service
@@ -56,3 +85,126 @@ class Dram:
     def reset(self):
         self.bytes_transferred = 0
         self._next_free_cycle = 0.0
+
+
+class RecordingDram(Dram):
+    """A :class:`Dram` that records every access it services.
+
+    Latencies and queueing state are bit-identical to the base model —
+    a pipeline run over a recording hierarchy produces exactly the
+    SimStats a plain run would — but each demand access is appended to
+    ``events`` as a :class:`DramEvent` for later shared-memory replay.
+
+    :meth:`rebase` clears the recording along with the channel clock:
+    the engines rebase right after warm-up replay and before the timed
+    run, so warm-up traffic (and any previous chained run) never leaks
+    into the recorded steady-state stream.
+    """
+
+    def __init__(self, base_latency=90, bytes_per_cycle=64.0, name="dram"):
+        super().__init__(base_latency, bytes_per_cycle, name=name)
+        self.events = []
+
+    def access(self, size_bytes, now_cycle=0, addr=None, write=False):
+        latency = super().access(size_bytes, now_cycle)
+        self.events.append(
+            DramEvent(
+                cycle=int(now_cycle),
+                size=int(size_bytes),
+                addr=-1 if addr is None else int(addr),
+                write=bool(write),
+                latency=latency,
+            )
+        )
+        return latency
+
+    def rebase(self):
+        super().rebase()
+        self.events.clear()
+
+    def reset(self):
+        super().reset()
+        self.events.clear()
+
+
+class MultiChannelDram:
+    """Shared DRAM with per-channel bandwidth contention.
+
+    Total bandwidth is split evenly over ``channels`` independent
+    queues; an access is steered to ``(addr // line) % channels`` when
+    it carries an address (the HBM2-style line interleave) and
+    round-robin otherwise. Each channel keeps its own "next free"
+    pointer, so a burst on one channel queues without delaying the
+    others — the arbitration every shared-hierarchy replay runs through
+    is therefore a deterministic function of the (ordered) access
+    stream alone.
+    """
+
+    def __init__(
+        self,
+        base_latency=90,
+        bytes_per_cycle=64.0,
+        channels=4,
+        line_bytes=256,
+        name="dram",
+    ):
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        if channels < 1:
+            raise ValueError("channels must be >= 1")
+        self.name = name
+        self.base_latency = base_latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.channels = channels
+        self.line_bytes = line_bytes
+        self.channel_bytes_per_cycle = bytes_per_cycle / channels
+        self.bytes_transferred = 0
+        self._next_free = [0.0] * channels
+        self._busy = [0.0] * channels  # accumulated service cycles
+        self._rr = 0  # round-robin pointer for address-less accesses
+
+    def channel_of(self, addr):
+        """Deterministic channel for one access."""
+        if addr is None or addr < 0:
+            channel = self._rr
+            self._rr = (self._rr + 1) % self.channels
+            return channel
+        return (addr // self.line_bytes) % self.channels
+
+    def access(self, size_bytes, now_cycle=0, addr=None, write=False):
+        """Latency to service ``size_bytes`` through the owning channel."""
+        channel = self.channel_of(addr)
+        service = size_bytes / self.channel_bytes_per_cycle
+        start = max(float(now_cycle), self._next_free[channel])
+        self._next_free[channel] = start + service
+        self._busy[channel] += service
+        self.bytes_transferred += size_bytes
+        queue_delay = start - float(now_cycle)
+        return int(round(self.base_latency + queue_delay + service))
+
+    def busiest_channel_cycles(self):
+        """Service cycles accumulated on the most-loaded channel."""
+        return max(self._busy)
+
+    def channel_utilization(self, elapsed_cycles):
+        """Per-channel busy fraction over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return [0.0] * self.channels
+        return [busy / elapsed_cycles for busy in self._busy]
+
+    def rebase(self):
+        """Re-zero every channel clock *and* the round-robin pointer.
+
+        The pointer is part of the arbitration state: leaving it where a
+        previous run parked it would steer the next run's address-less
+        accesses differently, breaking run-to-run determinism the same
+        way the single-channel clock leak did (PR 3's ``Dram.rebase``
+        fix). Traffic totals survive, as in :meth:`Dram.rebase`.
+        """
+        self._next_free = [0.0] * self.channels
+        self._rr = 0
+
+    def reset(self):
+        self.rebase()
+        self._busy = [0.0] * self.channels
+        self.bytes_transferred = 0

@@ -1,6 +1,16 @@
-"""Multi-level memory hierarchy tying caches, prefetchers and DRAM."""
+"""Multi-level memory hierarchy tying caches, prefetchers and DRAM.
 
-from typing import NamedTuple
+:class:`MemoryHierarchy` is the per-core (private) walk the pipeline
+engines drive directly. :class:`SharedHierarchy` sits behind several of
+those: it arbitrates the *recorded* DRAM-bound traffic of N isolated
+per-core runs through a shared last-level cache and a multi-channel
+DRAM, deterministically, so multi-core contention results are
+reproducible and independent of which pipeline engine produced each
+core's stream.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, NamedTuple
 
 import numpy as np
 
@@ -51,7 +61,9 @@ class MemoryHierarchy:
             if hit:
                 return cache.config.load_to_use, cache.config.name
             # miss: allocate happened in lookup; keep walking for latency
-        latency = self.dram.access(self.caches[-1].config.line_bytes, now_cycle)
+        latency = self.dram.access(
+            self.caches[-1].config.line_bytes, now_cycle, addr=addr, write=is_write
+        )
         return latency + self.caches[-1].config.load_to_use, "dram"
 
     def _prefetch_into(self, level, addr):
@@ -243,3 +255,275 @@ class MemoryHierarchy:
                 prefetcher.reset()
         self.dram.reset()
         self.demand_accesses = 0
+
+
+@dataclass
+class CoreReplay:
+    """Shared-memory outcome for one core's recorded traffic."""
+
+    core: int
+    events: int
+    extra_cycles: int  # contention stall cycles added to the core's run
+    llc_hits: int
+    llc_misses: int
+    dram_reads: int
+    dram_writes: int
+
+
+@dataclass
+class SharedReplayResult:
+    """Deterministic arbitration outcome of one multi-core replay."""
+
+    per_core: List[CoreReplay]
+    iterations: int
+    converged: bool
+    channel_utilization: List[float] = field(default_factory=list)
+    busiest_channel_cycles: float = 0.0
+    llc_hit_rate: float = 0.0
+
+    @property
+    def total_extra_cycles(self):
+        return sum(replay.extra_cycles for replay in self.per_core)
+
+
+class SharedHierarchy:
+    """Shared LLC + multi-channel DRAM behind N private hierarchies.
+
+    The multi-core subsystem simulates each core in isolation first
+    (private L1/L2 over a :class:`~repro.memory.dram.RecordingDram`),
+    then hands the recorded per-core DRAM-bound streams to
+    :meth:`replay`. The replay
+
+    - merges the streams into one deterministic order — ascending issue
+      cycle, ties broken by core index then per-core sequence number —
+      so the result is a pure function of the streams, not of pipeline
+      engine choice, process scheduling or dict order;
+    - walks each line through the shared LLC (when the event carries an
+      address; engine paths that charge DRAM lazily without one skip
+      straight to a round-robin channel) and charges misses to the
+      line-interleaved :class:`~repro.memory.dram.MultiChannelDram`;
+    - credits each *read* event ``max(0, shared - isolated)`` extra
+      stall cycles over the latency its isolated run already paid
+      (writes drain through the store buffer off the critical path, but
+      still occupy channel bandwidth);
+    - closes the loop with dilation feedback: a core slowed by
+      contention issues its traffic more slowly, relieving pressure, so
+      the replay re-times each core's stream by its slowdown factor and
+      iterates to a fixed point (bounded, deterministic iteration
+      count).
+    """
+
+    #: fixed-point iteration bounds: damped updates converge in a
+    #: handful of passes, and a non-converged replay is still a
+    #: deterministic function of the input streams
+    MAX_ITERATIONS = 8
+    #: convergence band for the per-core dilation factors; event
+    #: timestamps are integers, so the fixed point has a discretization
+    #: noise floor of a few cycles per thousand — 1e-3 would chase it
+    TOLERANCE = 0.01
+    #: damping factor for the dilation update — a full step oscillates
+    #: (spread traffic decongests, the next pass re-tightens), the
+    #: half-step average contracts
+    DAMPING = 0.5
+
+    def __init__(self, dram, llc_config=None):
+        self.dram = dram
+        self.llc_config = llc_config
+
+    def replay(self, core_streams, core_durations):
+        """Arbitrate per-core event streams; returns :class:`SharedReplayResult`.
+
+        ``core_streams`` is one list of
+        :class:`~repro.memory.dram.DramEvent` per core (isolated-run
+        timebase); ``core_durations`` the matching isolated cycle
+        counts, used both for the dilation feedback and as the
+        utilization window.
+        """
+        n_cores = len(core_streams)
+        if n_cores != len(core_durations):
+            raise ValueError("one duration per core stream is required")
+        merged = _concat_streams(
+            [_stream_columns(stream) for stream in core_streams]
+        )
+        dilation = [1.0] * n_cores
+        result = None
+        converged = False
+        for iteration in range(self.MAX_ITERATIONS):
+            result = self._replay_once(merged, dilation)
+            proposed = [
+                1.0 + (replay.extra_cycles / duration if duration else 0.0)
+                for replay, duration in zip(result.per_core, core_durations)
+            ]
+            drift = max(
+                abs(new - old) for new, old in zip(proposed, dilation)
+            ) if n_cores else 0.0
+            result.iterations = iteration + 1
+            if drift < self.TOLERANCE:
+                converged = True
+                break
+            dilation = [
+                old + self.DAMPING * (new - old)
+                for new, old in zip(proposed, dilation)
+            ]
+        result.converged = converged
+        elapsed = max(
+            (duration + replay.extra_cycles
+             for duration, replay in zip(core_durations, result.per_core)),
+            default=0,
+        )
+        result.channel_utilization = self.dram.channel_utilization(elapsed)
+        result.busiest_channel_cycles = self.dram.busiest_channel_cycles()
+        return result
+
+    def _replay_once(self, merged, dilation):
+        """One deterministic pass over the merged, dilated streams."""
+        dram = self.dram
+        dram.reset()
+        llc = Cache(self.llc_config) if self.llc_config is not None else None
+        order, times = _dilated_order(merged, dilation)
+        cores = merged.cores
+        sizes = merged.sizes
+        addrs = merged.addrs
+        writes = merged.writes
+        iso_lat = merged.latencies
+        n_cores = len(merged.per_core_events)
+        extra = [0] * n_cores
+        hits = [0] * n_cores
+        misses = [0] * n_cores
+        reads = [0] * n_cores
+        stores = [0] * n_cores
+        llc_lookup = llc.lookup if llc is not None else None
+        llc_latency = llc.config.load_to_use if llc is not None else 0
+        dram_access = dram.access
+        for pos in order:
+            core = cores[pos]
+            addr = addrs[pos]
+            write = writes[pos]
+            if llc_lookup is not None and addr >= 0:
+                if llc_lookup(addr, is_write=write):
+                    hits[core] += 1
+                    shared = llc_latency
+                else:
+                    misses[core] += 1
+                    shared = llc_latency + dram_access(
+                        sizes[pos], times[pos],
+                        addr=addr, write=write,
+                    )
+            else:
+                shared = dram_access(
+                    sizes[pos], times[pos],
+                    addr=addr if addr >= 0 else None, write=write,
+                )
+            if write:
+                stores[core] += 1
+            else:
+                reads[core] += 1
+                gap = shared - iso_lat[pos]
+                if gap > 0:
+                    extra[core] += gap
+        per_core = [
+            CoreReplay(
+                core=core,
+                events=merged.per_core_events[core],
+                extra_cycles=extra[core],
+                llc_hits=hits[core],
+                llc_misses=misses[core],
+                dram_reads=reads[core],
+                dram_writes=stores[core],
+            )
+            for core in range(n_cores)
+        ]
+        lookups = sum(hits) + sum(misses)
+        return SharedReplayResult(
+            per_core=per_core,
+            iterations=0,
+            converged=False,
+            llc_hit_rate=sum(hits) / lookups if lookups else 0.0,
+        )
+
+
+def _stream_columns(stream):
+    """Split one core's DramEvent stream into parallel numpy columns."""
+    n = len(stream)
+    times = np.empty(n, dtype=np.int64)
+    sizes = np.empty(n, dtype=np.int64)
+    addrs = np.empty(n, dtype=np.int64)
+    writes = np.empty(n, dtype=bool)
+    latencies = np.empty(n, dtype=np.int64)
+    for i, event in enumerate(stream):
+        times[i] = event.cycle
+        sizes[i] = event.size
+        addrs[i] = event.addr
+        writes[i] = event.write
+        latencies[i] = event.latency
+    return times, sizes, addrs, writes, latencies
+
+
+@dataclass
+class _MergedStreams:
+    """Loop-invariant concatenation of the per-core event columns.
+
+    Built once per :meth:`SharedHierarchy.replay`; each fixed-point
+    iteration only re-derives the dilated timestamps and the sort
+    order (:func:`_dilated_order`), never these columns.
+    """
+
+    base_times: object  # np.int64 array, isolated-run timebase
+    core_index: object  # np.int64 array, owning core per event
+    seqs: object        # np.int64 array, per-core sequence number
+    cores: list
+    sizes: list
+    addrs: list
+    writes: list
+    latencies: list
+    per_core_events: list
+
+
+def _concat_streams(columns):
+    """Concatenate per-core columns into one :class:`_MergedStreams`."""
+    times = []
+    cores = []
+    seqs = []
+    sizes = []
+    addrs = []
+    writes = []
+    latencies = []
+    for core, (t, s, a, w, lat) in enumerate(columns):
+        times.append(t)
+        cores.append(np.full(len(t), core, dtype=np.int64))
+        seqs.append(np.arange(len(t), dtype=np.int64))
+        sizes.append(s)
+        addrs.append(a)
+        writes.append(w)
+        latencies.append(lat)
+
+    def cat(parts, dtype):
+        return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+    core_index = cat(cores, np.int64)
+    return _MergedStreams(
+        base_times=cat(times, np.int64),
+        core_index=core_index,
+        seqs=cat(seqs, np.int64),
+        cores=core_index.tolist(),
+        sizes=cat(sizes, np.int64).tolist(),
+        addrs=cat(addrs, np.int64).tolist(),
+        writes=cat(writes, bool).tolist(),
+        latencies=cat(latencies, np.int64).tolist(),
+        per_core_events=[len(t) for t, _, _, _, _ in columns],
+    )
+
+
+def _dilated_order(merged, dilation):
+    """Deterministic event order for one dilation vector.
+
+    Events sort by (dilated cycle, core, per-core sequence); the
+    returned ``order`` indexes the concatenated columns.
+    """
+    if all(factor == 1.0 for factor in dilation):
+        times = merged.base_times
+    else:
+        factors = np.asarray(dilation)[merged.core_index]
+        times = np.rint(merged.base_times * factors).astype(np.int64)
+    order = np.lexsort((merged.seqs, merged.core_index, times))
+    return order.tolist(), times.tolist()

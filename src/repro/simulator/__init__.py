@@ -21,6 +21,11 @@ from repro.simulator.batch_pipeline import run_batch
 from repro.simulator.trace_compile import CompiledTrace, compile_trace
 from repro.simulator.executor import FlatMemory, FunctionalExecutor
 from repro.simulator.machine import Machine
+from repro.simulator.multicore import (
+    CoreRun,
+    MulticoreStats,
+    run_multicore,
+)
 
 __all__ = [
     "MachineConfig",
@@ -39,4 +44,7 @@ __all__ = [
     "run_batch",
     "CompiledTrace",
     "compile_trace",
+    "CoreRun",
+    "MulticoreStats",
+    "run_multicore",
 ]

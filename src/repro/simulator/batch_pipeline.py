@@ -269,7 +269,7 @@ def _schedule_inorder(trace, program, config, hierarchy):
             n_dram = mem_dram[mem_ptr]
             mem_ptr += 1
             while n_dram:
-                dram_access(llc_line_bytes, t)
+                dram_access(llc_line_bytes, t, write=True)
                 n_dram -= 1
             if store_tail < t:
                 store_tail = t
@@ -738,7 +738,8 @@ def _schedule_window(trace, program, config, hierarchy):
             for ident in marker_refresh:
                 if ident == room_marker_id:
                     if room_q and not room_marker:
-                        while sb_head < len(store_buffer) and store_buffer[sb_head] <= cycle:
+                        sb_len = len(store_buffer)
+                        while sb_head < sb_len and store_buffer[sb_head] <= cycle:
                             sb_head += 1
                         pend = len(store_buffer) - sb_head
                         if pend >= sb_entries:

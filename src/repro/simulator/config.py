@@ -37,6 +37,10 @@ class MachineConfig:
     cache_configs: Tuple[CacheConfig, ...] = ()
     dram_latency: int = 90
     dram_bytes_per_cycle: float = 64.0
+    #: memory channels the *chip* exposes; a single core's hierarchy
+    #: still sees one aggregate queue, but the multi-core shared
+    #: hierarchy splits total bandwidth over this many channel queues
+    dram_channels: int = 1
     store_buffer: StoreBufferConfig = field(default_factory=StoreBufferConfig)
     camp_enabled: bool = False
     prefetch: bool = True
@@ -111,6 +115,7 @@ def a64fx_config(camp_enabled=False):
         ),
         dram_latency=100,
         dram_bytes_per_cycle=128.0,
+        dram_channels=4,  # HBM2 stack, as the DRAM model docstring notes
         store_buffer=StoreBufferConfig(entries=24, drain_latency=2),
         camp_enabled=camp_enabled,
     )

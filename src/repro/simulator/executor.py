@@ -145,7 +145,9 @@ class FunctionalExecutor:
         count = inst.size // item
         values = np.empty(count, dtype=inst.dtype.numpy_dtype)
         for i in range(count):
-            values[i] = self.memory.read_array(inst.addr + i * stride, inst.dtype.numpy_dtype, 1)[0]
+            values[i] = self.memory.read_array(
+                inst.addr + i * stride, inst.dtype.numpy_dtype, 1
+            )[0]
         self.vregs.write(inst.dst[0], values)
 
     def _exec_vstore(self, inst):
@@ -230,7 +232,9 @@ class FunctionalExecutor:
         count = to_dtype.elements_per_register(self.vector_length_bits)
         half = inst.meta.get("half", "low")
         offset = 0 if half == "low" else count
-        self.vregs.write(inst.dst[0], src[offset : offset + count].astype(to_dtype.numpy_dtype))
+        self.vregs.write(
+            inst.dst[0], src[offset : offset + count].astype(to_dtype.numpy_dtype)
+        )
 
     def _exec_vnarrow(self, inst):
         src = self._vec(inst.src[0])

@@ -1,0 +1,322 @@
+"""Multi-core shared-memory simulation subsystem.
+
+One batch pipeline engine per core over a shared memory system:
+
+1. every core runs its trace on a *private* :class:`PipelineSimulator`
+   (the machine's own L1/L2 hierarchy) whose DRAM is a
+   :class:`~repro.memory.dram.RecordingDram`, producing exact isolated
+   :class:`~repro.simulator.stats.SimStats` plus the stream of
+   DRAM-bound accesses with their issue cycles;
+2. the per-core streams — offset into disjoint address spaces — are
+   arbitrated through a :class:`~repro.memory.hierarchy.SharedHierarchy`
+   (shared LLC + line-interleaved multi-channel DRAM) in a
+   deterministic merged order with dilation feedback;
+3. each core's contention stall cycles are folded back into its stats
+   (``cycles`` and ``stall_cycles_read`` grow by the replay's extra
+   cycles), and the aggregate's ``cycles`` is the makespan.
+
+Determinism: step 1 is the deterministic single-core engine, step 2 is
+a pure function of the recorded streams, and process-pool fan-out only
+parallelizes step 1 — results are identical for any ``jobs``. A single
+core owns the whole chip (its private hierarchy already models the full
+cache capacity and DRAM bandwidth), so ``cores=1`` skips the shared
+stage entirely and is bit-identical to the plain batch engine.
+"""
+
+from dataclasses import dataclass, field, replace
+from multiprocessing import Pool, current_process
+from typing import List
+
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import MultiChannelDram, RecordingDram
+from repro.memory.hierarchy import MemoryHierarchy, SharedHierarchy
+from repro.simulator.pipeline import PipelineSimulator
+from repro.simulator.stats import SimStats
+
+#: address-space stride separating per-core traffic in the shared LLC;
+#: far above any trace address, so core working sets never alias
+CORE_ADDR_STRIDE = 1 << 40
+
+#: a core counts as DRAM-limited when contention stalls exceed this
+#: fraction of its final cycle count
+DRAM_LIMITED_THRESHOLD = 0.05
+
+
+def is_dram_limited(contention_stall_cycles, cycles):
+    """The single DRAM-limited attribution rule, shared by every layer:
+    contention stalls exceed :data:`DRAM_LIMITED_THRESHOLD` of the
+    final cycle count."""
+    if not cycles:
+        return False
+    return contention_stall_cycles / cycles > DRAM_LIMITED_THRESHOLD
+
+
+def critical_core_dram_limited(per_core):
+    """Aggregate rule: the critical (slowest) core's attribution decides."""
+    if not per_core:
+        return False
+    return max(per_core, key=lambda core: core.cycles).dram_limited
+
+
+def build_recording_hierarchy(config):
+    """The machine's private hierarchy over a recording DRAM.
+
+    Latency behaviour is bit-identical to
+    :meth:`PipelineSimulator.build_hierarchy`; only the event recording
+    is added.
+    """
+    dram = RecordingDram(config.dram_latency, config.dram_bytes_per_cycle)
+    return MemoryHierarchy.from_configs(
+        config.cache_configs, dram, prefetch=config.prefetch
+    )
+
+
+def default_llc_config(config, name="llc"):
+    """Derive a shared-LLC geometry from the machine's last private level.
+
+    Four times the capacity of the per-core last level (the pooled
+    backside cache of the chip), same line size and associativity, at a
+    load-to-use between the private level and DRAM. A deterministic
+    modelling choice, overridable wherever a ``llc_config`` parameter
+    is accepted.
+    """
+    last = config.cache_configs[-1]
+    return CacheConfig(
+        name,
+        4 * last.size_bytes,
+        last.line_bytes,
+        last.ways,
+        load_to_use=last.load_to_use + (config.dram_latency // 4),
+    )
+
+
+def shared_dram(config, channels=None):
+    """The multi-channel DRAM arbiter for one machine config."""
+    if channels is None:
+        channels = config.dram_channels
+    return MultiChannelDram(
+        base_latency=config.dram_latency,
+        bytes_per_cycle=config.dram_bytes_per_cycle,
+        channels=channels,
+        line_bytes=config.cache_configs[-1].line_bytes,
+    )
+
+
+def offset_events(events, offset):
+    """The same event stream relocated by ``offset`` address bytes."""
+    if not offset:
+        return list(events)
+    return [
+        event if event.addr < 0 else event._replace(addr=event.addr + offset)
+        for event in events
+    ]
+
+
+@dataclass
+class CoreRun:
+    """One core's outcome: isolated stats + shared-memory contention."""
+
+    core: int
+    stats: SimStats  # final stats, contention folded in
+    isolated_cycles: int
+    contention_stall_cycles: int = 0
+    dram_events: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+
+    @property
+    def cycles(self):
+        return self.stats.cycles
+
+    @property
+    def dram_limited(self):
+        return is_dram_limited(self.contention_stall_cycles, self.stats.cycles)
+
+
+@dataclass
+class MulticoreStats:
+    """Aggregate outcome of one multi-core simulation."""
+
+    cores: int
+    per_core: List[CoreRun]
+    aggregate: SimStats
+    llc_hit_rate: float = 0.0
+    channel_utilization: List[float] = field(default_factory=list)
+    replay_iterations: int = 0
+    replay_converged: bool = True
+
+    @property
+    def cycles(self):
+        """Makespan: the slowest core's final cycle count."""
+        return self.aggregate.cycles
+
+    @property
+    def contention_stall_cycles(self):
+        return sum(run.contention_stall_cycles for run in self.per_core)
+
+    @property
+    def dram_limited(self):
+        """Contention-stall share of the critical core's actual cycles."""
+        return critical_core_dram_limited(self.per_core)
+
+
+def _simulate_core(task):
+    """Worker: isolated run of one core's program on a fresh pipeline.
+
+    Top-level so the multiprocessing pool can pickle it; returns
+    ``(stats, events)`` only, keeping the payload lean.
+    """
+    config, program, warm = task
+    simulator = PipelineSimulator(
+        config, hierarchy=build_recording_hierarchy(config)
+    )
+    stats = simulator.run(program, warm_addresses=warm)
+    return stats, list(simulator.hierarchy.dram.events)
+
+
+def _aggregate_stats(per_core, makespan):
+    """Summed counters across cores, clocked at the makespan."""
+    total = SimStats()
+    for run in per_core:
+        total.instructions += run.stats.instructions
+        total.vector_instructions += run.stats.vector_instructions
+        total.loads += run.stats.loads
+        total.stores += run.stats.stores
+        total.bytes_loaded += run.stats.bytes_loaded
+        total.bytes_stored += run.stats.bytes_stored
+        for fu, busy in run.stats.fu_busy_cycles.items():
+            total.fu_busy_cycles[fu] = total.fu_busy_cycles.get(fu, 0) + busy
+        total.stall_cycles_fu += run.stats.stall_cycles_fu
+        total.stall_cycles_read += run.stats.stall_cycles_read
+        total.stall_cycles_write += run.stats.stall_cycles_write
+        total.issue_cycles += run.stats.issue_cycles
+    levels = {}
+    for run in per_core:
+        for level, rate in run.stats.cache_miss_rates.items():
+            levels.setdefault(level, []).append(rate)
+    total.cache_miss_rates = {
+        level: sum(rates) / len(rates) for level, rates in levels.items()
+    }
+    total.cycles = makespan
+    return total
+
+
+def apply_replay(stats_events, config, llc_config=None, dram_channels=None,
+                 addr_stride=CORE_ADDR_STRIDE):
+    """Arbitrate isolated per-core runs through the shared memory system.
+
+    ``stats_events`` is a list of ``(SimStats, events)`` per core (the
+    isolated outcomes). Returns :class:`MulticoreStats` with contention
+    folded into each core's stats. With one core the shared stage is
+    skipped and the stats pass through untouched.
+    """
+    cores = len(stats_events)
+    if cores == 1:
+        stats = stats_events[0][0]
+        run = CoreRun(
+            core=0,
+            stats=stats,
+            isolated_cycles=stats.cycles,
+            dram_events=len(stats_events[0][1]),
+        )
+        return MulticoreStats(
+            cores=1,
+            per_core=[run],
+            aggregate=_aggregate_stats([run], stats.cycles),
+        )
+    if llc_config is None:
+        llc_config = default_llc_config(config)
+    shared = SharedHierarchy(
+        shared_dram(config, channels=dram_channels), llc_config
+    )
+    streams = [
+        offset_events(events, core * addr_stride)
+        for core, (_, events) in enumerate(stats_events)
+    ]
+    durations = [stats.cycles for stats, _ in stats_events]
+    outcome = shared.replay(streams, durations)
+    per_core = []
+    for core, (stats, events) in enumerate(stats_events):
+        core_replay = outcome.per_core[core]
+        extra = core_replay.extra_cycles
+        final = replace(
+            stats,
+            cycles=stats.cycles + extra,
+            stall_cycles_read=stats.stall_cycles_read + extra,
+            fu_busy_cycles=dict(stats.fu_busy_cycles),
+            cache_miss_rates=dict(stats.cache_miss_rates),
+        )
+        per_core.append(
+            CoreRun(
+                core=core,
+                stats=final,
+                isolated_cycles=stats.cycles,
+                contention_stall_cycles=extra,
+                dram_events=len(events),
+                llc_hits=core_replay.llc_hits,
+                llc_misses=core_replay.llc_misses,
+            )
+        )
+    makespan = max(run.cycles for run in per_core)
+    return MulticoreStats(
+        cores=cores,
+        per_core=per_core,
+        aggregate=_aggregate_stats(per_core, makespan),
+        llc_hit_rate=outcome.llc_hit_rate,
+        channel_utilization=outcome.channel_utilization,
+        replay_iterations=outcome.iterations,
+        replay_converged=outcome.converged,
+    )
+
+
+def run_multicore(config, programs, warm_addresses=None, jobs=1,
+                  llc_config=None, dram_channels=None,
+                  addr_stride=CORE_ADDR_STRIDE):
+    """Simulate one program per core over the shared memory system.
+
+    ``programs`` is a list of instruction traces, one per core;
+    ``warm_addresses`` an optional matching list of warm-up address
+    streams. ``jobs > 1`` fans the isolated per-core runs across a
+    process pool (the arbitration itself always happens in the parent,
+    so results do not depend on ``jobs``).
+    """
+    cores = len(programs)
+    if cores < 1:
+        raise ValueError("at least one core program is required")
+    if warm_addresses is None:
+        warm_addresses = [() for _ in programs]
+    if len(warm_addresses) != cores:
+        raise ValueError("one warm_addresses stream per core is required")
+    tasks = [
+        (config, program, tuple(warm))
+        for program, warm in zip(programs, warm_addresses)
+    ]
+    if jobs > 1 and cores > 1 and not current_process().daemon:
+        # daemonic pool workers (an orchestrator fan-out already in
+        # flight) cannot spawn children; the serial path is
+        # result-identical
+        with Pool(processes=min(jobs, cores)) as pool:
+            stats_events = pool.map(_simulate_core, tasks)
+    else:
+        stats_events = [_simulate_core(task) for task in tasks]
+    return apply_replay(
+        stats_events, config,
+        llc_config=llc_config, dram_channels=dram_channels,
+        addr_stride=addr_stride,
+    )
+
+
+__all__ = [
+    "CORE_ADDR_STRIDE",
+    "DRAM_LIMITED_THRESHOLD",
+    "CoreRun",
+    "MulticoreStats",
+    "apply_replay",
+    "build_recording_hierarchy",
+    "critical_core_dram_limited",
+    "default_llc_config",
+    "is_dram_limited",
+    "offset_events",
+    "run_multicore",
+    "shared_dram",
+]

@@ -174,7 +174,9 @@ class PipelineSimulator:
                 stats.loads += 1
                 stats.bytes_loaded += inst.size
             elif inst.is_store:
-                self.hierarchy.access(inst.addr, inst.size, is_write=True, now_cycle=cycle)
+                self.hierarchy.access(
+                    inst.addr, inst.size, is_write=True, now_cycle=cycle
+                )
                 drain = config.store_buffer.drain_latency
                 store_tail = max(store_tail, cycle) + drain
                 store_buffer.append(store_tail)

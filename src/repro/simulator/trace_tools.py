@@ -75,7 +75,8 @@ def analyze_trace(program, config):
         units = config.units_of(fu)
         if units == 0:
             raise ValueError(
-                "trace uses %s but machine %r has no such unit" % (fu.value, config.name)
+                "trace uses %s but machine %r has no such unit"
+                % (fu.value, config.name)
             )
         fu_bound = max(fu_bound, -(-busy // units))
     issue_bound = -(-len(program) // config.issue_width)

@@ -1,0 +1,171 @@
+"""Workload partitioners for the multi-core subsystem.
+
+GotoBLAS parallelizes GEMM by slicing the output matrix: the N-panel
+partition gives each core a contiguous band of columns (the 5th-loop
+split), the 2D-tile partition a rectangle of an (rows x cols) core
+grid. Both respect the micro-kernel register tile (slices are multiples
+of ``n_r`` / ``m_r`` wherever the matrix allows) and both recompose
+exactly — shapes and element counts — which the test suite pins across
+odd sizes and core counts, including cores > panels (extra cores
+simply receive no shard).
+
+``partition_layers`` shards a whole CNN/LLM layer list per layer, the
+way a data-parallel inference runtime splits each GEMM while walking
+the network.
+"""
+
+from dataclasses import dataclass
+
+from repro.workloads.shapes import GemmShape
+
+
+def _ceil_div(a, b):
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class GemmShard:
+    """One core's slice of a partitioned (m, n, k) GEMM."""
+
+    core: int
+    m: int
+    n: int
+    k: int
+    row0: int = 0  # first output row of the slice
+    col0: int = 0  # first output column of the slice
+
+    @property
+    def macs(self):
+        return self.m * self.n * self.k
+
+    @property
+    def shape(self):
+        return GemmShape(self.m, self.n, self.k,
+                         label="core%d" % self.core)
+
+
+def split_lengths(total, parts, unit=1):
+    """Split ``total`` into at most ``parts`` unit-aligned lengths.
+
+    Every length but possibly the last is a multiple of ``unit``; the
+    lengths are positive and sum to exactly ``total``. When ``total``
+    holds fewer than ``parts`` units, fewer lengths come back (the
+    remaining parts have no work).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if unit < 1:
+        raise ValueError("unit must be >= 1")
+    if total == 0:
+        return []
+    units = _ceil_div(total, unit)
+    workers = min(parts, units)
+    base, extra = divmod(units, workers)
+    lengths = []
+    remaining = total
+    for worker in range(workers):
+        share = (base + (1 if worker < extra else 0)) * unit
+        share = min(share, remaining)
+        lengths.append(share)
+        remaining -= share
+    # trimming the last slice to `total` can only shrink it, so every
+    # entry stays positive and the sum is exact by construction
+    assert remaining == 0 and all(lengths)
+    return lengths
+
+
+def partition_npanel(m, n, k, cores, n_r=1):
+    """N-panel (5th loop) partition: one column band per core."""
+    if min(m, n, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    shards = []
+    col0 = 0
+    for core, width in enumerate(split_lengths(n, cores, unit=n_r)):
+        shards.append(GemmShard(core=core, m=m, n=width, k=k, col0=col0))
+        col0 += width
+    return shards
+
+
+def core_grid(cores):
+    """The most square (rows, cols) factorization with rows <= cols."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    rows = int(cores**0.5)
+    while cores % rows:
+        rows -= 1
+    return rows, cores // rows
+
+
+def partition_tile2d(m, n, k, cores, m_r=1, n_r=1):
+    """2D-tile partition over the most square core grid.
+
+    M splits across grid rows (multiples of ``m_r``), N across grid
+    columns (multiples of ``n_r``); every core owns one output
+    rectangle. Falls back to fewer shards when a dimension runs out of
+    register tiles.
+    """
+    if min(m, n, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    rows, cols = core_grid(cores)
+    row_lengths = split_lengths(m, rows, unit=m_r)
+    col_lengths = split_lengths(n, cols, unit=n_r)
+    shards = []
+    core = 0
+    row0 = 0
+    for height in row_lengths:
+        col0 = 0
+        for width in col_lengths:
+            shards.append(
+                GemmShard(core=core, m=height, n=width, k=k,
+                          row0=row0, col0=col0)
+            )
+            core += 1
+            col0 += width
+        row0 += height
+    return shards
+
+
+PARTITIONERS = {
+    "npanel": partition_npanel,
+    "tile2d": partition_tile2d,
+}
+
+
+def partition_gemm(m, n, k, cores, strategy="npanel", m_r=1, n_r=1):
+    """Partition one GEMM with a named strategy."""
+    try:
+        partitioner = PARTITIONERS[strategy]
+    except KeyError:
+        raise KeyError(
+            "unknown partition strategy %r; available: %s"
+            % (strategy, ", ".join(sorted(PARTITIONERS)))
+        ) from None
+    if partitioner is partition_npanel:
+        return partitioner(m, n, k, cores, n_r=n_r)
+    return partitioner(m, n, k, cores, m_r=m_r, n_r=n_r)
+
+
+def partition_layers(layers, cores, strategy="npanel", m_r=1, n_r=1):
+    """Shard each layer of a CNN/LLM layer list across the cores.
+
+    ``layers`` is an iterable of :class:`GemmShape`; returns a list of
+    ``(shape, shards)`` pairs in layer order. Layers run one after the
+    other (inference order), each data-parallel across all cores.
+    """
+    return [
+        (
+            layer,
+            partition_gemm(layer.m, layer.n, layer.k, cores,
+                           strategy=strategy, m_r=m_r, n_r=n_r),
+        )
+        for layer in layers
+    ]
+
+
+def recomposed_elements(shards):
+    """Total output elements covered by ``shards`` (identity checks)."""
+    return sum(shard.m * shard.n for shard in shards)

@@ -77,4 +77,6 @@ def sargantana():
 def random_int_matrix(rng, shape, bits):
     lo = -(1 << (bits - 1))
     hi = (1 << (bits - 1)) - 1
-    return rng.integers(lo, hi + 1, size=shape).astype(np.int8 if bits <= 8 else np.int32)
+    return rng.integers(lo, hi + 1, size=shape).astype(
+        np.int8 if bits <= 8 else np.int32
+    )

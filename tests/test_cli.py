@@ -13,7 +13,9 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_gemm_args(self):
-        args = build_parser().parse_args(["gemm", "64", "32", "16", "--method", "camp4"])
+        args = build_parser().parse_args(
+            ["gemm", "64", "32", "16", "--method", "camp4"]
+        )
         assert (args.m, args.n, args.k) == (64, 32, 16)
         assert args.method == "camp4"
 
@@ -133,3 +135,123 @@ class TestSweep:
 
     def test_malformed_shape_exit_code(self, capsys):
         assert main(["sweep", "--shapes", "16x24", "--no-cache"]) == 2
+
+
+class TestCoresOption:
+    def test_ablation_multicore_cores(self, capsys):
+        assert main(["ablation", "multicore", "--fast", "--cores", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-core scaling" in out
+        assert "Analytic" in out
+
+    def test_experiment_multicore_scaling_cores(self, capsys):
+        code = main(
+            ["experiment", "multicore-scaling", "--fast", "--cores", "1,4",
+             "--format", "csv"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cores" in out and ",4," in out
+
+    def test_cores_rejected_for_other_experiments(self, capsys):
+        assert main(["experiment", "fig1", "--cores", "1,4"]) == 2
+        err = capsys.readouterr().err
+        assert "--cores" in err
+
+    def test_cores_rejected_for_all(self, capsys):
+        assert main(["experiment", "all", "--cores", "1,4"]) == 2
+
+    def test_malformed_cores(self, capsys):
+        assert main(["ablation", "multicore", "--cores", "two"]) == 2
+        assert "bad --cores" in capsys.readouterr().err
+
+    def test_nonpositive_cores(self, capsys):
+        assert main(["ablation", "multicore", "--fast", "--cores", "0"]) == 2
+        assert "core counts must be >= 1" in capsys.readouterr().err
+
+    def test_sweep_cores_rejects_baseline(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "96", "--methods", "camp8", "--cores", "4",
+             "--baseline", "openblas-fp32"]
+        )
+        assert code == 2
+        assert "--baseline does not apply" in capsys.readouterr().err
+
+    def test_sweep_with_cores(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "96", "--methods", "camp8",
+             "--cores", "1,4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "multi-core scaling" in out
+        assert "DRAM-limited" in out
+
+    def test_sweep_tile2d_strategy(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "96", "--methods", "camp8",
+             "--cores", "4", "--strategy", "tile2d"]
+        )
+        assert code == 0
+
+    def test_sweep_invalid_cores(self, capsys):
+        assert main(
+            ["sweep", "--sizes", "96", "--methods", "camp8", "--cores", "0"]
+        ) == 2
+
+
+class TestBenchMulticore:
+    def test_bench_and_gate(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import bench_multicore
+
+        monkeypatch.setattr(
+            bench_multicore, "BENCH_POINT",
+            {"method": "camp8", "size": 96, "cores": 4,
+             "strategy": "npanel"},
+        )
+        out_path = tmp_path / "BENCH_multicore.json"
+        assert main(
+            ["bench-multicore", "--repeats", "2", "--out", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert payload["scaling"]["deterministic"] is True
+        # the gate passes against its own baseline
+        assert main(
+            ["bench-multicore", "--repeats", "2", "--out", "",
+             "--check", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "perf gate passed" in out
+
+    def test_gate_catches_regression(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import bench_multicore
+
+        monkeypatch.setattr(
+            bench_multicore, "BENCH_POINT",
+            {"method": "camp8", "size": 96, "cores": 4,
+             "strategy": "npanel"},
+        )
+        payload = bench_multicore.run_bench(repeats=2)
+        fast_baseline = json.loads(json.dumps(payload))
+        fast_baseline["scaling"]["best_s"] = 1e-9
+        problems = bench_multicore.check_regression(
+            payload, fast_baseline, max_ratio=3.0
+        )
+        # floor saves a tiny baseline from noise; force a real breach
+        slow = json.loads(json.dumps(payload))
+        slow["scaling"]["best_s"] = (
+            bench_multicore.BENCH_FLOOR_S * 10
+        )
+        assert bench_multicore.check_regression(
+            slow, fast_baseline, max_ratio=3.0
+        )
+        assert problems == []
+
+    def test_gate_flags_nondeterminism(self):
+        from repro.experiments import bench_multicore
+
+        payload = {"scaling": {"best_s": 0.1, "deterministic": False}}
+        baseline = {"scaling": {"best_s": 0.1}}
+        problems = bench_multicore.check_regression(payload, baseline)
+        assert any("deterministic" in problem for problem in problems)

@@ -100,7 +100,10 @@ def test_product_matches_python_8bit(a, b):
     assert HybridMultiplier(8, 4).multiply(a, b) == a * b
 
 
-@given(a=st.integers(-(1 << 15), (1 << 15) - 1), b=st.integers(-(1 << 15), (1 << 15) - 1))
+@given(
+    a=st.integers(-(1 << 15), (1 << 15) - 1),
+    b=st.integers(-(1 << 15), (1 << 15) - 1),
+)
 def test_product_matches_python_16bit(a, b):
     assert HybridMultiplier(16, 4).multiply(a, b) == a * b
 

@@ -87,7 +87,11 @@ class TestFig13Shape:
     def test_method_ordering(self):
         rows = exp_fig13_cnn.run(fast=True)
         for row in rows:
-            speedups = {m: row.results[m]["speedup"] for m in row.results if m not in ("shape", "baseline")}
+            speedups = {
+                m: row.results[m]["speedup"]
+                for m in row.results
+                if m not in ("shape", "baseline")
+            }
             assert speedups["camp4"] > speedups["camp8"] > speedups["handv-int8"]
             assert speedups["handv-int8"] > speedups["handv-int32"]
 

@@ -62,7 +62,8 @@ class TestBlockedStream:
     def test_blocked_beats_naive_on_l1(self):
         m = n = k = 48
         naive_rate = miss_rate_of(
-            naive_address_stream(m, n, k, DType.INT64), l1_only(size=4096, line=64, ways=2)
+            naive_address_stream(m, n, k, DType.INT64),
+            l1_only(size=4096, line=64, ways=2),
         )
         blocked_rate = miss_rate_of(
             blocked_address_stream(m, n, k, self.BLOCKING, DType.INT64),

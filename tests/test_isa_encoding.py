@@ -22,7 +22,9 @@ def roundtrip(inst):
 
 class TestRoundTrip:
     def test_vadd(self):
-        inst = Instruction(Opcode.VADD, (vreg(1),), (vreg(2), vreg(3)), dtype=DType.INT32)
+        inst = Instruction(
+            Opcode.VADD, (vreg(1),), (vreg(2), vreg(3)), dtype=DType.INT32
+        )
         assert roundtrip(inst) == inst
 
     def test_vload_with_address(self):
@@ -39,7 +41,9 @@ class TestRoundTrip:
         assert roundtrip(inst) == inst
 
     def test_immediate(self):
-        inst = Instruction(Opcode.VDUP, (vreg(0),), (vreg(1),), dtype=DType.INT8, imm=13)
+        inst = Instruction(
+            Opcode.VDUP, (vreg(0),), (vreg(1),), dtype=DType.INT8, imm=13
+        )
         assert roundtrip(inst).imm == 13
 
     def test_zero_immediate_preserved(self):
@@ -100,6 +104,8 @@ def test_roundtrip_property(opcode, dst, src1, src2, dtype):
 
 @given(addr=st.integers(0, (1 << 40) - 1), size=st.integers(1, 65535))
 def test_memory_roundtrip_property(addr, size):
-    inst = Instruction(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=addr, size=size)
+    inst = Instruction(
+        Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=addr, size=size
+    )
     back = roundtrip(inst)
     assert back.addr == addr and back.size == size

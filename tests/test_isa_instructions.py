@@ -31,7 +31,9 @@ class TestInstructionConstruction:
         assert inst.fu_class is FUClass.MATRIX
 
     def test_str_contains_opcode_and_regs(self):
-        inst = Instruction(Opcode.VADD, (vreg(1),), (vreg(2), vreg(3)), dtype=DType.INT32)
+        inst = Instruction(
+            Opcode.VADD, (vreg(1),), (vreg(2), vreg(3)), dtype=DType.INT32
+        )
         text = str(inst)
         assert "vadd" in text and "v1" in text and "v3" in text
 
@@ -42,11 +44,15 @@ class TestClassification:
             assert opcode in OPCODE_FU
 
     def test_loads(self):
-        inst = Instruction(Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=0, size=64)
+        inst = Instruction(
+            Opcode.VLOAD, (vreg(0),), (), dtype=DType.INT8, addr=0, size=64
+        )
         assert inst.is_load and inst.is_memory and not inst.is_store
 
     def test_stores(self):
-        inst = Instruction(Opcode.VSTORE, (), (vreg(0),), dtype=DType.INT8, addr=0, size=64)
+        inst = Instruction(
+            Opcode.VSTORE, (), (vreg(0),), dtype=DType.INT8, addr=0, size=64
+        )
         assert inst.is_store and inst.is_memory and not inst.is_load
 
     def test_scalar_not_vector(self):

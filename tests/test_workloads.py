@@ -37,7 +37,9 @@ class TestShapeTables:
         assert shape.macs == 169 * 256 * 3456
 
     def test_llm_models_present(self):
-        assert set(LLM_LAYERS) == {"bert-base", "bert-large", "gpt2-large", "gpt3-small"}
+        assert set(LLM_LAYERS) == {
+            "bert-base", "bert-large", "gpt2-large", "gpt3-small"
+        }
 
     def test_llm_ff_expansion(self):
         ff = LLM_LAYERS["bert-base"]["ff"]

@@ -1,0 +1,195 @@
+"""Recomposition identities for the multi-core workload partitioners.
+
+Every partition of an (m, n, k) GEMM must recompose to exactly the
+original problem — shapes and element counts — across odd sizes and
+core counts, including cores > panels (extra cores get no shard, never
+an empty or overlapping one).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.partition import (
+    GemmShard,
+    core_grid,
+    partition_gemm,
+    partition_layers,
+    partition_npanel,
+    partition_tile2d,
+    recomposed_elements,
+    split_lengths,
+)
+from repro.workloads.shapes import GemmShape
+
+
+class TestSplitLengths:
+    def test_exact_split(self):
+        assert split_lengths(12, 4) == [3, 3, 3, 3]
+
+    def test_unit_alignment(self):
+        lengths = split_lengths(24, 4, unit=4)
+        assert sum(lengths) == 24
+        assert all(length % 4 == 0 for length in lengths)
+
+    def test_remainder_lands_on_last(self):
+        lengths = split_lengths(10, 3, unit=4)
+        assert sum(lengths) == 10
+        # every slice but the last is unit-aligned
+        assert all(length % 4 == 0 for length in lengths[:-1])
+
+    def test_fewer_units_than_parts(self):
+        # 3 units of 4 across 8 parts: only 3 workers get work
+        lengths = split_lengths(12, 8, unit=4)
+        assert lengths == [4, 4, 4]
+
+    def test_all_lengths_positive(self):
+        for total in (1, 5, 7, 63, 64, 65):
+            for parts in (1, 2, 3, 16):
+                for unit in (1, 4, 16):
+                    lengths = split_lengths(total, parts, unit=unit)
+                    assert sum(lengths) == total
+                    assert all(length > 0 for length in lengths)
+
+    def test_zero_total(self):
+        assert split_lengths(0, 4) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_lengths(-1, 2)
+        with pytest.raises(ValueError):
+            split_lengths(4, 0)
+        with pytest.raises(ValueError):
+            split_lengths(4, 2, unit=0)
+
+
+class TestNPanel:
+    def test_columns_recompose(self):
+        shards = partition_npanel(64, 100, 32, 4, n_r=4)
+        assert sum(shard.n for shard in shards) == 100
+        assert all(shard.m == 64 and shard.k == 32 for shard in shards)
+
+    def test_offsets_are_contiguous(self):
+        shards = partition_npanel(8, 37, 8, 3, n_r=4)
+        col = 0
+        for shard in shards:
+            assert shard.col0 == col
+            col += shard.n
+        assert col == 37
+
+    def test_cores_exceed_panels(self):
+        # 10 columns of n_r=4 -> 3 panels; 16 cores -> only 3 shards
+        shards = partition_npanel(16, 10, 16, 16, n_r=4)
+        assert len(shards) == 3
+        assert sum(shard.n for shard in shards) == 10
+        assert all(shard.n > 0 for shard in shards)
+
+    def test_single_core_identity(self):
+        (shard,) = partition_npanel(64, 64, 64, 1, n_r=4)
+        assert (shard.m, shard.n, shard.k) == (64, 64, 64)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_npanel(0, 4, 4, 2)
+        with pytest.raises(ValueError):
+            partition_npanel(4, 4, 4, 0)
+
+
+class TestTile2D:
+    def test_grid_is_factorization(self):
+        for cores in (1, 2, 4, 6, 12, 16, 17):
+            rows, cols = core_grid(cores)
+            assert rows * cols == cores
+            assert rows <= cols
+
+    def test_elements_recompose(self):
+        shards = partition_tile2d(100, 100, 64, 16, m_r=8, n_r=4)
+        assert recomposed_elements(shards) == 100 * 100
+        assert all(shard.k == 64 for shard in shards)
+
+    def test_rows_and_columns_recompose(self):
+        shards = partition_tile2d(50, 70, 16, 4, m_r=4, n_r=4)
+        rows = sorted({(shard.row0, shard.m) for shard in shards})
+        cols = sorted({(shard.col0, shard.n) for shard in shards})
+        assert sum(m for _, m in rows) == 50
+        assert sum(n for _, n in cols) == 70
+
+    def test_odd_cores_odd_sizes(self):
+        shards = partition_tile2d(33, 65, 17, 6, m_r=4, n_r=4)
+        assert recomposed_elements(shards) == 33 * 65
+        assert all(shard.m > 0 and shard.n > 0 for shard in shards)
+
+    def test_core_ids_unique(self):
+        shards = partition_tile2d(64, 64, 64, 8, m_r=4, n_r=4)
+        cores = [shard.core for shard in shards]
+        assert len(cores) == len(set(cores))
+
+
+class TestPartitionGemm:
+    def test_strategy_dispatch(self):
+        npanel = partition_gemm(32, 32, 32, 4, strategy="npanel", n_r=4)
+        tile2d = partition_gemm(32, 32, 32, 4, strategy="tile2d",
+                                m_r=4, n_r=4)
+        assert all(shard.m == 32 for shard in npanel)
+        assert {shard.m for shard in tile2d} == {16}
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            partition_gemm(32, 32, 32, 4, strategy="hilbert")
+
+
+class TestPartitionLayers:
+    def test_every_layer_recomposes(self):
+        layers = [
+            GemmShape(169, 256, 3456, label="conv"),
+            GemmShape(128, 3072, 768, label="ff"),
+            GemmShape(7, 13, 29, label="odd"),
+        ]
+        sharded = partition_layers(layers, 16, n_r=4)
+        assert [shape for shape, _ in sharded] == layers
+        for shape, shards in sharded:
+            assert sum(shard.n for shard in shards) == shape.n
+            assert all(
+                shard.m == shape.m and shard.k == shape.k for shard in shards
+            )
+
+    def test_tile2d_strategy(self):
+        layers = [GemmShape(56, 56, 64, label="pw")]
+        ((shape, shards),) = partition_layers(
+            layers, 4, strategy="tile2d", m_r=4, n_r=4
+        )
+        assert recomposed_elements(shards) == shape.m * shape.n
+
+
+class TestShard:
+    def test_macs_and_shape(self):
+        shard = GemmShard(core=2, m=8, n=12, k=16, col0=24)
+        assert shard.macs == 8 * 12 * 16
+        assert shard.shape.label == "core2"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(1, 300),
+    n=st.integers(1, 300),
+    k=st.integers(1, 300),
+    cores=st.integers(1, 32),
+    n_r=st.sampled_from([1, 2, 4, 16]),
+    m_r=st.sampled_from([1, 4, 8]),
+)
+def test_fuzz_recomposition_identities(m, n, k, cores, n_r, m_r):
+    npanel = partition_npanel(m, n, k, cores, n_r=n_r)
+    assert sum(shard.n for shard in npanel) == n
+    assert all(shard.n > 0 for shard in npanel)
+    assert len(npanel) <= cores
+
+    tile2d = partition_tile2d(m, n, k, cores, m_r=m_r, n_r=n_r)
+    assert recomposed_elements(tile2d) == m * n
+    assert all(shard.m > 0 and shard.n > 0 for shard in tile2d)
+    assert len(tile2d) <= cores
+    # shards tile the output: no overlaps, full cover
+    cells = set()
+    for shard in tile2d:
+        cell = (shard.row0, shard.col0)
+        assert cell not in cells
+        cells.add(cell)
