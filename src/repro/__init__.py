@@ -10,6 +10,8 @@ The package is organised as:
 - :mod:`repro.core` — the paper's contribution: hybrid multiplier,
   ``camp`` instruction semantics, lane/accumulator models.
 - :mod:`repro.isa` — vector instruction set, registers, programs.
+- :mod:`repro.machines` — declarative machine descriptions: frozen
+  specs, a process-wide registry, TOML/JSON machine files.
 - :mod:`repro.simulator` — cycle-approximate pipeline simulator.
 - :mod:`repro.memory` — cache hierarchy with stride prefetcher.
 - :mod:`repro.gemm` — GotoBLAS-style blocked GEMM and micro-kernels.
@@ -22,6 +24,7 @@ The package is organised as:
 from repro.core.camp import camp_reference, CampMode
 from repro.core.hybrid_multiplier import HybridMultiplier
 from repro.gemm.api import gemm, GemmResult
+from repro.machines import MachineSpec, get_spec, machine_names
 from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
 
 __version__ = "1.0.0"
@@ -33,7 +36,10 @@ __all__ = [
     "gemm",
     "GemmResult",
     "MachineConfig",
+    "MachineSpec",
     "a64fx_config",
+    "get_spec",
+    "machine_names",
     "sargantana_config",
     "__version__",
 ]

@@ -27,6 +27,14 @@ Experiments and ablations run through the orchestrator
 
 ``sweep`` drives shapes x methods x machines through
 ``runner.speedup_rows`` with the same cache/artifact plumbing.
+
+Machines resolve through the declarative registry
+(:mod:`repro.machines`): ``list``'s machine line, every ``--machine`` /
+``--machines`` validation, and the per-platform sweep baselines all
+derive from registered specs. ``--machine-file PATH`` (or
+``$REPRO_MACHINE_PATH``) loads user-defined TOML/JSON machine
+descriptions; the registry digest joins the result-cache key, so an
+edited machine file never serves stale cached records.
 """
 
 import argparse
@@ -49,15 +57,57 @@ def _apply_engine(args):
         set_default_engine(engine)
 
 
+def _apply_machine_files(args):
+    """Load every ``--machine-file`` into the process-wide registry.
+
+    Also appended to ``$REPRO_MACHINE_PATH`` so any spawned worker
+    process resolves the same registry regardless of start method.
+    """
+    paths = getattr(args, "machine_file", None) or []
+    if not paths:
+        return 0
+    from repro.machines import (
+        MACHINE_PATH_ENV,
+        MachineSpecError,
+        load_machine_file,
+    )
+
+    for path in paths:
+        try:
+            load_machine_file(path)
+        except MachineSpecError as error:
+            print("machine file error: %s" % error, file=sys.stderr)
+            return 2
+    existing = os.environ.get(MACHINE_PATH_ENV, "")
+    entries = [e for e in existing.split(os.pathsep) if e]
+    entries += [p for p in paths if p not in entries]
+    os.environ[MACHINE_PATH_ENV] = os.pathsep.join(entries)
+    return 0
+
+
 def _cmd_list(_args):
     from repro.experiments import orchestrator
     from repro.gemm.microkernel import kernel_names
+    from repro.machines import machine_names
 
     print("kernels     :", ", ".join(kernel_names()))
-    print("machines    : a64fx, sargantana")
+    print("machines    :", ", ".join(machine_names()))
     print("experiments :", ", ".join(sorted(orchestrator.names("experiment"))))
     print("ablations   :", ", ".join(sorted(orchestrator.names("ablation"))))
     return 0
+
+
+def _unknown_machine(name):
+    from repro.machines import machine_names
+
+    if name in machine_names():
+        return 0
+    print(
+        "unknown machine %r; available: %s (load more with --machine-file)"
+        % (name, ", ".join(machine_names())),
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _cmd_gemm(args):
@@ -65,6 +115,8 @@ def _cmd_gemm(args):
 
     from repro.gemm.api import analyze, gemm
 
+    if _unknown_machine(args.machine):
+        return 2
     if args.verify:
         rng = np.random.default_rng(args.seed)
         bits = 4 if args.method == "camp4" else 8
@@ -161,6 +213,25 @@ def _run_registered(kind, args):
             )
             return 2
         run_kwargs = {"cores": core_counts, "jobs": args.jobs}
+    if getattr(args, "machine", None):
+        if _unknown_machine(args.machine):
+            return 2
+        unsupported = [
+            name for name in requested
+            if name not in orchestrator.MACHINE_AWARE
+        ]
+        if unsupported:
+            print(
+                "--machine only applies to the machine-parametric "
+                "experiments (%s); the paper figures are platform-pinned, "
+                "not: %s" % (
+                    ", ".join(sorted(orchestrator.MACHINE_AWARE)),
+                    ", ".join(unsupported),
+                ),
+                file=sys.stderr,
+            )
+            return 2
+        run_kwargs["machine"] = args.machine
     results = orchestrator.run_many(
         requested, fast=args.fast, jobs=args.jobs,
         cache=_cache_from_args(args), run_kwargs=run_kwargs,
@@ -200,6 +271,7 @@ def _sweep_error(message):
 def _cmd_sweep(args):
     from repro.experiments import orchestrator
     from repro.gemm.microkernel import kernel_names
+    from repro.machines import machine_names
 
     try:
         sizes = _parse_int_list(args.sizes)
@@ -210,7 +282,7 @@ def _cmd_sweep(args):
         return _sweep_error("need at least one of --sizes / --shapes")
     methods = [m for m in args.methods.split(",") if m]
     machines = [m for m in args.machines.split(",") if m]
-    known_machines = sorted(orchestrator.SWEEP_BASELINES)
+    known_machines = machine_names()
     known_methods = set(kernel_names())
     for machine in machines:
         if machine not in known_machines:
@@ -330,6 +402,21 @@ def _add_cores_option(parser):
              "e.g. 1,4,16 (multi-core experiments and sweep only)")
 
 
+def _add_machine_file_option(parser):
+    parser.add_argument(
+        "--machine-file", action="append", metavar="PATH",
+        help="load a TOML/JSON machine description into the registry "
+             "(repeatable; also honoured process-wide via "
+             "$REPRO_MACHINE_PATH)")
+
+
+def _add_machine_option(parser):
+    parser.add_argument(
+        "--machine",
+        help="registered machine to run on (machine-parametric "
+             "experiments only; see `repro-camp list`)")
+
+
 def _add_orchestrator_options(parser):
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for cache misses")
@@ -361,7 +448,9 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list kernels, machines and experiments")
+    list_parser = sub.add_parser(
+        "list", help="list kernels, machines and experiments")
+    _add_machine_file_option(list_parser)
 
     gemm_parser = sub.add_parser("gemm", help="analyze (or run) one GEMM")
     gemm_parser.add_argument("m", type=int)
@@ -372,18 +461,23 @@ def build_parser():
     gemm_parser.add_argument("--verify", action="store_true",
                              help="also compute numerically on random data")
     gemm_parser.add_argument("--seed", type=int, default=0)
+    _add_machine_file_option(gemm_parser)
     _add_engine_option(gemm_parser)
 
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument("name")
     exp_parser.add_argument("--fast", action="store_true")
     _add_cores_option(exp_parser)
+    _add_machine_option(exp_parser)
+    _add_machine_file_option(exp_parser)
     _add_orchestrator_options(exp_parser)
 
     abl_parser = sub.add_parser("ablation", help="run a design-choice study")
     abl_parser.add_argument("name")
     abl_parser.add_argument("--fast", action="store_true")
     _add_cores_option(abl_parser)
+    _add_machine_option(abl_parser)
+    _add_machine_file_option(abl_parser)
     _add_orchestrator_options(abl_parser)
 
     sweep_parser = sub.add_parser(
@@ -396,6 +490,7 @@ def build_parser():
     sweep_parser.add_argument("--machines", default="a64fx")
     sweep_parser.add_argument("--baseline",
                               help="override the per-machine baseline method")
+    _add_machine_file_option(sweep_parser)
     _add_cores_option(sweep_parser)
     sweep_parser.add_argument(
         "--strategy", choices=("npanel", "tile2d"), default="npanel",
@@ -451,6 +546,9 @@ _COMMANDS = {
 def main(argv=None):
     args = build_parser().parse_args(argv)
     _apply_engine(args)
+    code = _apply_machine_files(args)
+    if code:
+        return code
     return _COMMANDS[args.command](args)
 
 

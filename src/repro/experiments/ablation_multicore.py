@@ -35,7 +35,7 @@ class ScalingRow:
 
 
 def run(fast=False, size=None, methods=("camp8", "openblas-fp32"),
-        cores=None, strategy="npanel", jobs=1):
+        cores=None, strategy="npanel", machine="a64fx", jobs=1):
     if size is None:
         size = 256 if fast else 1024
     if cores is None:
@@ -46,10 +46,10 @@ def run(fast=False, size=None, methods=("camp8", "openblas-fp32"),
     for method in methods:
         simulated = simulate_scaling_curve(
             method, size, size, size, core_counts=core_counts,
-            strategy=strategy, jobs=jobs,
+            strategy=strategy, machine=machine, jobs=jobs,
         )
         analytic = scaling_curve(
-            driver_for(method, "a64fx"), size, size, size, core_counts
+            driver_for(method, machine), size, size, size, core_counts
         )
         for sim, ana in zip(simulated, analytic):
             rows.append(

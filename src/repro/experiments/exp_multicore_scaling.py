@@ -41,7 +41,7 @@ class MulticoreScalingRow:
 
 
 def run(fast=False, size=None, methods=None, cores=None,
-        strategies=STRATEGIES, jobs=1):
+        strategies=STRATEGIES, machine="a64fx", jobs=1):
     if size is None:
         size = 192 if fast else 512
     if methods is None:
@@ -55,7 +55,7 @@ def run(fast=False, size=None, methods=None, cores=None,
         for strategy in strategies:
             for point in simulate_scaling_curve(
                 method, size, size, size, core_counts=core_counts,
-                strategy=strategy, jobs=jobs,
+                strategy=strategy, machine=machine, jobs=jobs,
             ):
                 rows.append(
                     MulticoreScalingRow(

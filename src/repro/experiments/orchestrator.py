@@ -43,6 +43,7 @@ EXPERIMENT_MODULES = {
     "fig18": "repro.experiments.exp_fig18_mmla",
     "table4": "repro.experiments.exp_table4",
     "multicore-scaling": "repro.experiments.exp_multicore_scaling",
+    "machine-sweep": "repro.experiments.exp_machine_sweep",
 }
 
 #: experiments whose ``run`` accepts the ``cores`` / ``jobs`` kwargs of
@@ -56,7 +57,10 @@ ABLATION_MODULES = {
     "multicore": "repro.experiments.ablation_multicore",
 }
 
-SWEEP_BASELINES = {"a64fx": "openblas-fp32", "sargantana": "blis-int32"}
+#: experiments whose ``run`` accepts a ``machine`` kwarg (CLI
+#: ``--machine`` refuses everything else — the paper figures are
+#: platform-pinned)
+MACHINE_AWARE = {"multicore-scaling", "multicore", "machine-sweep"}
 
 
 @dataclass(frozen=True)
@@ -121,6 +125,7 @@ def _compute(spec, fast, run_kwargs):
 
 
 def _cache_key(cache, spec, fast, run_kwargs):
+    from repro.machines import machines_digest
     from repro.simulator.engine import get_default_engine
 
     # the pipeline engine is part of the result's provenance: scalar and
@@ -131,6 +136,10 @@ def _cache_key(cache, spec, fast, run_kwargs):
     # runs in the parent), so a --jobs change must not invalidate
     params.pop("jobs", None)
     params["pipeline_engine"] = get_default_engine()
+    # the resolved machine registry is provenance too: editing a user
+    # machine file (or loading a new one) must never serve records
+    # computed under the old description
+    params["machines_digest"] = machines_digest()
     return cache.key_for(
         spec.name, fast, source_digest(), config_digest(params)
     )
@@ -320,7 +329,7 @@ def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
     gemm_shapes = _sweep_shapes(sizes, shapes)
     out = []
     for machine in machines:
-        base_method = baseline or SWEEP_BASELINES[machine]
+        base_method = baseline or runner.baseline_for(machine)
         sweep_methods = [m for m in methods if m != base_method]
         rows = runner.speedup_rows(gemm_shapes, sweep_methods, machine,
                                    base_method)
@@ -370,11 +379,14 @@ def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
     speedup-vs-baseline sweep. ``jobs`` fans the per-core engine runs
     and never affects results, so it stays out of the cache key.
     """
+    from repro.machines import machines_digest
+
     params = {
         "sizes": list(sizes),
         "shapes": [list(s) for s in shapes],
         "methods": list(methods),
         "machines": list(machines),
+        "machines_digest": machines_digest(),
     }
     if core_counts is not None:
         # baseline is meaningless on the multi-core path (speedups are

@@ -12,19 +12,35 @@ be identical anyway — this is belt-and-braces for benchmark cold runs).
 """
 
 from repro.gemm.api import make_driver
+from repro.machines import get_spec
 
-#: the method set of Section 5.3 compared on the A64FX platform
-A64FX_METHODS = (
-    "camp4",
-    "camp8",
-    "handv-int8",
-    "gemmlowp",
-    "handv-int32",
-    "openblas-fp32",
-)
-A64FX_BASELINE = "openblas-fp32"
 
-RISCV_BASELINE = "blis-int32"
+def methods_for(machine):
+    """The machine's default sweep method set (spec metadata)."""
+    return tuple(get_spec(machine).methods)
+
+
+def baseline_for(machine):
+    """The machine's default baseline method (spec metadata)."""
+    return get_spec(machine).baseline
+
+
+#: the legacy per-platform constants (A64FX_METHODS — the method set of
+#: Section 5.3 — A64FX_BASELINE, RISCV_BASELINE) are served lazily via
+#: PEP 562 so they always reflect the *active* machine registry rather
+#: than whatever registry existed when this module was first imported
+_SPEC_CONSTANTS = {
+    "A64FX_METHODS": lambda: methods_for("a64fx"),
+    "A64FX_BASELINE": lambda: baseline_for("a64fx"),
+    "RISCV_BASELINE": lambda: baseline_for("sargantana"),
+}
+
+
+def __getattr__(name):
+    if name in _SPEC_CONSTANTS:
+        return _SPEC_CONSTANTS[name]()
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
 
 _DRIVERS = {}
 
@@ -41,8 +57,16 @@ def reset_drivers():
 
 def driver_for(method, machine="a64fx"):
     """Cached driver per (method, machine): micro-kernel simulations are
-    shape-independent, so one driver serves a whole sweep."""
+    shape-independent, so one driver serves a whole sweep.
+
+    Machine names are additionally keyed by the resolved spec's digest,
+    so overriding a registered machine (a user ``--machine-file``
+    reusing a preset name, a registry swap in tests) can never serve a
+    driver built from the superseded description.
+    """
     key = (method, machine)
+    if isinstance(machine, str):
+        key = (method, machine, get_spec(machine).digest())
     if key not in _DRIVERS:
         _DRIVERS[key] = make_driver(method, machine)
     return _DRIVERS[key]

@@ -14,19 +14,21 @@ import repro.gemm.kernels  # noqa: F401  (populates the registry)
 from repro.gemm.goto import GemmExecution, GotoBlasDriver
 from repro.gemm.microkernel import get_kernel
 from repro.isa.instructions import FUClass
-from repro.simulator.config import MachineConfig, a64fx_config, sargantana_config
-
-_MACHINES = {
-    "a64fx": a64fx_config,
-    "sargantana": sargantana_config,
-}
+from repro.machines import MachineSpec, get_spec
+from repro.simulator.config import MachineConfig
 
 #: kernels that need the MATRIX functional unit
 _MATRIX_KERNELS = {"camp8", "camp4", "camp8-requant", "mmla"}
 
 
 def resolve_machine(machine, method):
-    """Turn a machine name/config into a config with the right FUs."""
+    """Turn a machine name/spec/config into a config with the right FUs.
+
+    Names resolve through the machine registry
+    (:mod:`repro.machines`), so user machines loaded via
+    ``--machine-file`` / ``$REPRO_MACHINE_PATH`` work everywhere a
+    preset does.
+    """
     needs_matrix = method in _MATRIX_KERNELS
     if isinstance(machine, MachineConfig):
         if needs_matrix and not machine.units_of(FUClass.MATRIX):
@@ -37,14 +39,8 @@ def resolve_machine(machine, method):
         return machine
     if machine is None:
         machine = "a64fx"
-    try:
-        factory = _MACHINES[machine]
-    except KeyError:
-        raise KeyError(
-            "unknown machine %r; available: %s"
-            % (machine, ", ".join(sorted(_MACHINES)))
-        ) from None
-    return factory(camp_enabled=needs_matrix)
+    spec = machine if isinstance(machine, MachineSpec) else get_spec(machine)
+    return spec.config(camp_enabled=needs_matrix)
 
 
 def make_driver(method, machine=None, blocking=None):
@@ -82,7 +78,9 @@ def gemm(a, b, method="camp8", machine=None, blocking=None):
     method:
         Micro-kernel name — one of :func:`repro.gemm.kernel_names`.
     machine:
-        ``"a64fx"`` (default), ``"sargantana"``, or a
+        Any registered machine name (``"a64fx"`` by default — see
+        :func:`repro.machines.machine_names`), a
+        :class:`~repro.machines.MachineSpec`, or a
         :class:`~repro.simulator.config.MachineConfig`.
 
     Returns

@@ -147,7 +147,12 @@ class SimulatedScaling:
 
 
 def make_recording_driver(method, machine):
-    """A fresh driver whose representative simulations record DRAM traffic."""
+    """A fresh driver whose representative simulations record DRAM traffic.
+
+    ``machine`` is a registered machine name (resolved through
+    :mod:`repro.machines`, so user ``--machine-file`` machines work) or
+    an explicit :class:`~repro.simulator.config.MachineConfig`.
+    """
     from repro.gemm.api import resolve_machine
     from repro.gemm.goto import GotoBlasDriver
     from repro.gemm.microkernel import get_kernel
@@ -206,7 +211,13 @@ _RECORDING_DRIVERS = {}
 
 
 def _recording_driver_for(method, machine):
+    # machine names carry the resolved spec digest so a registry
+    # override of the same name can never serve a stale driver
     key = (method, machine)
+    if isinstance(machine, str):
+        from repro.machines import get_spec
+
+        key = (method, machine, get_spec(machine).digest())
     if key not in _RECORDING_DRIVERS:
         _RECORDING_DRIVERS[key] = make_recording_driver(method, machine)
     return _RECORDING_DRIVERS[key]

@@ -1,0 +1,53 @@
+"""Declarative machine descriptions and the process-wide registry.
+
+Machine knowledge lives here as *data*: a frozen
+:class:`~repro.machines.spec.MachineSpec` per platform (core + FU
+table + cache levels + DRAM + store buffer + sweep metadata),
+registered in a process-wide registry, serializable to/from TOML/JSON,
+derivable for ablations (``spec.derive(vector_length_bits=256)``), and
+extensible with user files via ``--machine-file`` /
+``$REPRO_MACHINE_PATH``. Every consumer — the simulator presets, the
+GEMM driver factory, the experiment runner's per-platform baselines,
+the orchestrator's cache key, the CLI's validation and ``list``
+output — resolves machines through this package.
+"""
+
+from repro.machines.registry import (
+    MACHINE_PATH_ENV,
+    MachineRegistry,
+    active_registry,
+    as_config,
+    default_registry,
+    get_spec,
+    load_machine_file,
+    machine_names,
+    machines_digest,
+    register,
+    swap,
+)
+from repro.machines.spec import (
+    FU_CLASS_NAMES,
+    OPCODE_NAMES,
+    MachineSpec,
+    MachineSpecError,
+    StoreBufferSpec,
+)
+
+__all__ = [
+    "FU_CLASS_NAMES",
+    "MACHINE_PATH_ENV",
+    "MachineRegistry",
+    "MachineSpec",
+    "MachineSpecError",
+    "OPCODE_NAMES",
+    "StoreBufferSpec",
+    "active_registry",
+    "as_config",
+    "default_registry",
+    "get_spec",
+    "load_machine_file",
+    "machine_names",
+    "machines_digest",
+    "register",
+    "swap",
+]

@@ -1,0 +1,273 @@
+"""Built-in machine presets.
+
+The two evaluation platforms of the paper — ``a64fx`` mirrors Table 2
+(A64FX-like superscalar out-of-order core, 512-bit SVE, 64KB L1D / 8MB
+shared L2, HBM2) and ``sargantana`` the Sargantana-like edge RISC-V SoC
+of Section 5.1 (in-order, single-issue, 32KB L1 / 512KB L2) — plus
+three beyond-the-paper platforms opening new sweep axes: a 256-bit
+SVE2-class edge core, an x280-like dual-issue RISC-V vector core, and
+an HBM-heavy many-core server part.
+
+These specs resolve through the registry to configs equal to the
+legacy ``a64fx_config()`` / ``sargantana_config()`` factory outputs
+(parity is pinned in ``tests/test_machines.py``), so every existing
+experiment and golden file is bit-identical.
+"""
+
+from repro.machines.spec import MachineSpec, StoreBufferSpec
+from repro.memory.cache import CacheConfig
+
+#: A64FX-like OoO SVE core (Table 2). Two SIMD pipelines shared between
+#: vector add/permute and multiply work (one VALU + one VMUL models the
+#: pair for GEMM's balanced dup/MLA mix), 512-bit vectors, L1D 64KB
+#: 8-way with 4-cycle load-to-use, shared L2 8MB 16-way at 37 cycles,
+#: HBM2-class DRAM. The CAMP unit, when enabled, is one matrix-class FU
+#: with a 6-cycle latency and single-cycle initiation (Section 6.1
+#: reports positive slack at the 2 GHz target).
+A64FX = MachineSpec(
+    name="a64fx",
+    description="A64FX-like OoO SVE core (Table 2): 512-bit SVE, HBM2",
+    frequency_ghz=2.0,
+    vector_length_bits=512,
+    issue_width=2,
+    window=32,
+    cores=16,
+    fu_counts={
+        "scalar": 2,
+        "branch": 1,
+        "load": 2,
+        "store": 1,
+        "valu": 1,
+        "vmul": 1,
+        "matrix": 1,
+    },
+    fu_latency={
+        "scalar": 1,
+        "branch": 1,
+        "load": 4,  # L1 hit; cache model overrides on miss
+        "store": 1,
+        "valu": 2,
+        "vmul": 4,
+        "matrix": 6,
+    },
+    opcode_latency={
+        "fmla": 9,  # A64FX FLA fp latency
+        "vreduce": 6,
+        "vreinterpret": 1,
+        "vmov": 1,
+    },
+    caches=(
+        CacheConfig("l1", 64 * 1024, 256, 8, load_to_use=4),
+        CacheConfig("l2", 8 * 1024 * 1024, 256, 16, load_to_use=37),
+    ),
+    dram_latency=100,
+    dram_bytes_per_cycle=128.0,
+    dram_channels=4,  # HBM2 stack, as the DRAM model docstring notes
+    store_buffer=StoreBufferSpec(entries=24, drain_latency=2),
+    baseline="openblas-fp32",
+    methods=(
+        "camp4",
+        "camp8",
+        "handv-int8",
+        "gemmlowp",
+        "handv-int32",
+        "openblas-fp32",
+    ),
+)
+
+#: Sargantana-like in-order RISC-V edge SoC (Section 5.1): single-issue
+#: 7-stage in-order pipeline with a 128-bit SIMD unit, 32KB L1D, 512KB
+#: L2, modest DDR bandwidth, 1 GHz in GF 22nm FDX. The 128-bit datapath
+#: is what puts the paper's edge throughput in the 13-28 GOPS range.
+SARGANTANA = MachineSpec(
+    name="sargantana",
+    description="Sargantana-like in-order RISC-V edge SoC (Section 5.1)",
+    frequency_ghz=1.0,
+    vector_length_bits=128,
+    issue_width=1,
+    window=1,
+    cores=1,
+    fu_counts={
+        "scalar": 1,
+        "branch": 1,
+        "load": 1,
+        "store": 1,
+        "valu": 1,
+        "vmul": 1,
+        "matrix": 1,
+    },
+    fu_latency={
+        "scalar": 1,
+        "branch": 1,
+        "load": 2,
+        "store": 1,
+        "valu": 2,
+        "vmul": 3,
+        "matrix": 4,
+    },
+    opcode_latency={
+        "fmla": 5,
+        "vreduce": 4,
+    },
+    fu_interval={
+        # the edge SIMD unit is not fully pipelined for wide ops
+        "vmul": 2,
+    },
+    caches=(
+        CacheConfig("l1", 32 * 1024, 64, 4, load_to_use=2),
+        CacheConfig("l2", 512 * 1024, 64, 8, load_to_use=12),
+    ),
+    dram_latency=60,
+    dram_bytes_per_cycle=8.0,
+    dram_channels=1,
+    store_buffer=StoreBufferSpec(entries=8, drain_latency=2),
+    baseline="blis-int32",
+    methods=("camp8", "camp4", "handv-int8", "blis-int32"),
+)
+
+#: 256-bit SVE2-class mobile/edge core: dual-issue with a small OoO
+#: window, LPDDR5-class bandwidth over two channels. Halving the vector
+#: length against a64fx (same kernel code — kernels are VL-agnostic)
+#: isolates how much of CAMP's win survives a narrower datapath.
+SVE2_EDGE = MachineSpec(
+    name="sve2-edge",
+    description="256-bit SVE2-class edge core, dual-issue, LPDDR5",
+    frequency_ghz=1.5,
+    vector_length_bits=256,
+    issue_width=2,
+    window=16,
+    cores=4,
+    fu_counts={
+        "scalar": 2,
+        "branch": 1,
+        "load": 2,
+        "store": 1,
+        "valu": 1,
+        "vmul": 1,
+        "matrix": 1,
+    },
+    fu_latency={
+        "scalar": 1,
+        "branch": 1,
+        "load": 3,
+        "store": 1,
+        "valu": 2,
+        "vmul": 4,
+        "matrix": 5,
+    },
+    opcode_latency={
+        "fmla": 8,
+        "vreduce": 5,
+        "vmov": 1,
+    },
+    caches=(
+        CacheConfig("l1", 32 * 1024, 64, 4, load_to_use=3),
+        CacheConfig("l2", 1024 * 1024, 64, 8, load_to_use=16),
+    ),
+    dram_latency=70,
+    dram_bytes_per_cycle=16.0,
+    dram_channels=2,
+    store_buffer=StoreBufferSpec(entries=12, drain_latency=2),
+    baseline="gemmlowp",
+    methods=("camp8", "camp4", "handv-int8", "gemmlowp"),
+)
+
+#: x280-like RISC-V vector core: dual-issue in-order with a 512-bit
+#: vector unit whose multiplier is not fully pipelined, served by a
+#: 2MB L2 and two DDR channels. The in-order + wide-vector combination
+#: sits between the two paper platforms.
+X280 = MachineSpec(
+    name="x280",
+    description="x280-like dual-issue in-order RISC-V vector core",
+    frequency_ghz=1.2,
+    vector_length_bits=512,
+    issue_width=2,
+    window=1,
+    cores=4,
+    fu_counts={
+        "scalar": 2,
+        "branch": 1,
+        "load": 1,
+        "store": 1,
+        "valu": 1,
+        "vmul": 1,
+        "matrix": 1,
+    },
+    fu_latency={
+        "scalar": 1,
+        "branch": 1,
+        "load": 3,
+        "store": 1,
+        "valu": 2,
+        "vmul": 4,
+        "matrix": 5,
+    },
+    opcode_latency={
+        "fmla": 6,
+        "vreduce": 5,
+    },
+    fu_interval={
+        "vmul": 2,
+    },
+    caches=(
+        CacheConfig("l1", 32 * 1024, 64, 8, load_to_use=3),
+        CacheConfig("l2", 2 * 1024 * 1024, 64, 16, load_to_use=20),
+    ),
+    dram_latency=80,
+    dram_bytes_per_cycle=32.0,
+    dram_channels=2,
+    store_buffer=StoreBufferSpec(entries=12, drain_latency=2),
+    baseline="blis-int32",
+    methods=("camp8", "camp4", "handv-int32", "blis-int32"),
+)
+
+#: HBM-heavy many-core server part: wide issue, deep window, 16MB of
+#: last-level-private cache per core slice and eight HBM channels.
+#: Stresses the opposite end of the bandwidth/compute balance from the
+#: edge cores — CAMP's memory-bound regime arrives much later here.
+HBM_SERVER = MachineSpec(
+    name="hbm-server",
+    description="HBM-heavy many-core server core: 4-wide OoO, 8 channels",
+    frequency_ghz=2.4,
+    vector_length_bits=512,
+    issue_width=4,
+    window=64,
+    cores=32,
+    fu_counts={
+        "scalar": 3,
+        "branch": 1,
+        "load": 3,
+        "store": 2,
+        "valu": 2,
+        "vmul": 2,
+        "matrix": 1,
+    },
+    fu_latency={
+        "scalar": 1,
+        "branch": 1,
+        "load": 4,
+        "store": 1,
+        "valu": 2,
+        "vmul": 4,
+        "matrix": 6,
+    },
+    opcode_latency={
+        "fmla": 8,
+        "vreduce": 6,
+        "vreinterpret": 1,
+        "vmov": 1,
+    },
+    caches=(
+        CacheConfig("l1", 64 * 1024, 256, 8, load_to_use=4),
+        CacheConfig("l2", 16 * 1024 * 1024, 256, 16, load_to_use=40),
+    ),
+    dram_latency=110,
+    dram_bytes_per_cycle=256.0,
+    dram_channels=8,
+    store_buffer=StoreBufferSpec(entries=32, drain_latency=2),
+    baseline="openblas-fp32",
+    methods=("camp8", "camp4", "mmla", "openblas-fp32"),
+)
+
+#: every built-in preset, in registration order
+PRESETS = (A64FX, SARGANTANA, SVE2_EDGE, X280, HBM_SERVER)

@@ -1,0 +1,216 @@
+"""Process-wide machine registry with user-loadable spec files.
+
+The active registry maps machine names to :class:`MachineSpec`s. It is
+created lazily on first use from the built-in presets plus any files
+named by ``$REPRO_MACHINE_PATH`` (an ``os.pathsep``-separated list of
+TOML/JSON machine files or directories of them). User files may reuse
+a preset name to override it — the combined registry digest joins the
+orchestrator's result-cache key, so editing a machine file invalidates
+exactly the cached records it could affect.
+
+``swap``/``default_registry`` exist for test isolation (the
+``fresh_registry`` pytest fixture): swap in a presets-only registry,
+mutate freely, swap the previous one back.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.machines.presets import PRESETS
+from repro.machines.spec import MachineSpec, MachineSpecError
+
+#: environment variable naming extra machine files/directories to load
+MACHINE_PATH_ENV = "REPRO_MACHINE_PATH"
+
+_SUFFIXES = (".toml", ".json")
+
+
+class MachineRegistry:
+    """Name -> :class:`MachineSpec` map with file loading and a digest."""
+
+    def __init__(self):
+        self._specs = {}
+
+    def register(self, spec, replace=False):
+        """Add a spec; duplicate names are an error unless ``replace``."""
+        if not isinstance(spec, MachineSpec):
+            raise MachineSpecError(
+                "only MachineSpec instances can be registered, got %r"
+                % (spec,)
+            )
+        if spec.name in self._specs and not replace:
+            raise MachineSpecError(
+                "machine %r is already registered; pass replace=True to "
+                "override it" % spec.name
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name):
+        """The registered spec, or ``KeyError`` listing what exists."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                "unknown machine %r; available: %s"
+                % (name, ", ".join(sorted(self._specs)))
+            ) from None
+
+    def names(self):
+        """Registered machine names, sorted."""
+        return sorted(self._specs)
+
+    def specs(self):
+        """Registered specs, in name order."""
+        return [self._specs[name] for name in self.names()]
+
+    def digest(self):
+        """Sha256 over every registered spec (name + canonical content).
+
+        This is the machines component of the orchestrator result-cache
+        key: registering, replacing or editing any machine changes it.
+        """
+        canonical = json.dumps(
+            {name: spec.to_dict() for name, spec in self._specs.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def load_file(self, path):
+        """Load one ``.toml`` / ``.json`` machine file and register it.
+
+        A file may define one machine (a top-level machine table) and
+        always *replaces* any same-named spec — user files win over
+        presets.
+        """
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix not in _SUFFIXES:
+            raise MachineSpecError(
+                "machine file %s: unsupported suffix %r (expected %s)"
+                % (path, path.suffix, " or ".join(_SUFFIXES))
+            )
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise MachineSpecError(
+                "machine file %s: cannot read: %s" % (path, error)
+            ) from None
+        try:
+            if suffix == ".toml":
+                data = _toml_module(path).loads(text)
+            else:
+                data = json.loads(text)
+        except ValueError as error:
+            raise MachineSpecError(
+                "machine file %s: parse error: %s" % (path, error)
+            ) from None
+        try:
+            spec = MachineSpec.from_dict(data)
+        except MachineSpecError as error:
+            raise MachineSpecError(
+                "machine file %s: %s" % (path, error)
+            ) from None
+        return self.register(spec, replace=True)
+
+    def load_path(self, path):
+        """Load a machine file, or every machine file in a directory."""
+        path = Path(path)
+        if path.is_dir():
+            return [
+                self.load_file(child)
+                for child in sorted(path.iterdir())
+                if child.suffix.lower() in _SUFFIXES
+            ]
+        return [self.load_file(path)]
+
+
+def _toml_module(path):
+    """The TOML parser: stdlib on 3.11+, the tomli backport on 3.10."""
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        try:
+            import tomli as tomllib
+        except ModuleNotFoundError:
+            raise MachineSpecError(
+                "machine file %s: TOML support needs Python 3.11+ "
+                "(tomllib) or the tomli package; JSON machine files work "
+                "everywhere" % path
+            ) from None
+    return tomllib
+
+
+def default_registry(load_env=True):
+    """A fresh registry with every preset (and, optionally, env files)."""
+    registry = MachineRegistry()
+    for spec in PRESETS:
+        registry.register(spec)
+    if load_env:
+        for entry in os.environ.get(MACHINE_PATH_ENV, "").split(os.pathsep):
+            if entry:
+                registry.load_path(entry)
+    return registry
+
+
+_ACTIVE = None
+
+
+def active_registry():
+    """The process-wide registry, built on first use."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = default_registry()
+    return _ACTIVE
+
+
+def swap(registry):
+    """Install ``registry`` as the active one; returns the previous.
+
+    Pass the previous value back to restore it (``None`` resets to the
+    lazily-rebuilt default — which re-reads ``$REPRO_MACHINE_PATH``).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+# -- module-level conveniences over the active registry -------------------
+
+
+def get_spec(name):
+    return active_registry().get(name)
+
+
+def machine_names():
+    return active_registry().names()
+
+
+def machines_digest():
+    return active_registry().digest()
+
+
+def register(spec, replace=False):
+    return active_registry().register(spec, replace=replace)
+
+
+def load_machine_file(path):
+    return active_registry().load_file(path)
+
+
+def as_config(machine, camp_enabled=False):
+    """Coerce a machine name / spec / config into a ``MachineConfig``.
+
+    Strings resolve through the active registry; specs build their
+    config; an existing :class:`~repro.simulator.config.MachineConfig`
+    passes through untouched (its camp flag is already decided).
+    """
+    if isinstance(machine, str):
+        return get_spec(machine).config(camp_enabled=camp_enabled)
+    if isinstance(machine, MachineSpec):
+        return machine.config(camp_enabled=camp_enabled)
+    return machine

@@ -1,9 +1,12 @@
-"""Machine configurations for the two evaluation platforms.
+"""Machine configuration consumed by the simulator.
 
-``a64fx_config`` mirrors Table 2 (A64FX-like superscalar out-of-order
-core, 512-bit SVE, 64KB L1D / 8MB shared L2, HBM2); ``sargantana_config``
-mirrors the Sargantana-like edge RISC-V SoC of Section 5.1 (in-order,
-single-issue, 32KB L1 / 512KB L2).
+:class:`MachineConfig` is the engine-facing form of a machine: enum-
+keyed FU tables, cache geometry, DRAM timing. The platform *data* lives
+in :mod:`repro.machines` as declarative, registry-managed
+:class:`~repro.machines.spec.MachineSpec`s; the legacy
+``a64fx_config``/``sargantana_config`` factories below now resolve
+through that registry (bit-identical to their historical outputs —
+parity is pinned in ``tests/test_machines.py``).
 """
 
 from dataclasses import dataclass, field, replace
@@ -68,106 +71,15 @@ class MachineConfig:
 
 
 def a64fx_config(camp_enabled=False):
-    """A64FX-like OoO SVE core (Table 2).
+    """A64FX-like OoO SVE core (Table 2), from the machine registry."""
+    from repro.machines import get_spec
 
-    Two SIMD pipelines, 512-bit vectors, L1D 64KB 8-way with 4-cycle
-    load-to-use, shared L2 8MB 16-way at 37 cycles, HBM2-class DRAM.
-    The CAMP unit, when enabled, is one matrix-class FU with a 6-cycle
-    latency and single-cycle initiation (Section 6.1 reports positive
-    slack at the 2 GHz target, i.e. the unit pipelines cleanly).
-    """
-    return MachineConfig(
-        name="a64fx" + ("+camp" if camp_enabled else ""),
-        frequency_ghz=2.0,
-        vector_length_bits=512,
-        issue_width=2,
-        window=32,
-        fu_counts={
-            # A64FX exposes two SIMD pipelines shared between vector
-            # add/permute and multiply work; one VALU + one VMUL unit
-            # models that shared pair for GEMM's balanced dup/MLA mix
-            FUClass.SCALAR: 2,
-            FUClass.BRANCH: 1,
-            FUClass.LOAD: 2,
-            FUClass.STORE: 1,
-            FUClass.VALU: 1,
-            FUClass.VMUL: 1,
-            FUClass.MATRIX: 1 if camp_enabled else 0,
-        },
-        fu_latency={
-            FUClass.SCALAR: 1,
-            FUClass.BRANCH: 1,
-            FUClass.LOAD: 4,    # L1 hit; cache model overrides on miss
-            FUClass.STORE: 1,
-            FUClass.VALU: 2,
-            FUClass.VMUL: 4,
-            FUClass.MATRIX: 6,
-        },
-        opcode_latency={
-            Opcode.FMLA: 9,     # A64FX FLA fp latency
-            Opcode.VREDUCE: 6,
-            Opcode.VREINTERPRET: 1,
-            Opcode.VMOV: 1,
-        },
-        cache_configs=(
-            CacheConfig("l1", 64 * 1024, 256, 8, load_to_use=4),
-            CacheConfig("l2", 8 * 1024 * 1024, 256, 16, load_to_use=37),
-        ),
-        dram_latency=100,
-        dram_bytes_per_cycle=128.0,
-        dram_channels=4,  # HBM2 stack, as the DRAM model docstring notes
-        store_buffer=StoreBufferConfig(entries=24, drain_latency=2),
-        camp_enabled=camp_enabled,
-    )
+    return get_spec("a64fx").config(camp_enabled=camp_enabled)
 
 
 def sargantana_config(camp_enabled=False):
-    """Sargantana-like in-order RISC-V edge SoC (Section 5.1).
+    """Sargantana-like in-order RISC-V edge SoC (Section 5.1), from the
+    machine registry."""
+    from repro.machines import get_spec
 
-    Single-issue 7-stage in-order pipeline with a 128-bit SIMD unit
-    (the edge SoC implements "a subset of the vector instruction"
-    features), 32KB L1D, 512KB L2, modest DDR bandwidth, 1 GHz in
-    GF 22nm FDX. The 128-bit datapath is what puts the paper's edge
-    throughput in the 13-28 GOPS range.
-    """
-    return MachineConfig(
-        name="sargantana" + ("+camp" if camp_enabled else ""),
-        frequency_ghz=1.0,
-        vector_length_bits=128,
-        issue_width=1,
-        window=1,
-        fu_counts={
-            FUClass.SCALAR: 1,
-            FUClass.BRANCH: 1,
-            FUClass.LOAD: 1,
-            FUClass.STORE: 1,
-            FUClass.VALU: 1,
-            FUClass.VMUL: 1,
-            FUClass.MATRIX: 1 if camp_enabled else 0,
-        },
-        fu_latency={
-            FUClass.SCALAR: 1,
-            FUClass.BRANCH: 1,
-            FUClass.LOAD: 2,
-            FUClass.STORE: 1,
-            FUClass.VALU: 2,
-            FUClass.VMUL: 3,
-            FUClass.MATRIX: 4,
-        },
-        opcode_latency={
-            Opcode.FMLA: 5,
-            Opcode.VREDUCE: 4,
-        },
-        fu_interval={
-            # the edge SIMD unit is not fully pipelined for wide ops
-            FUClass.VMUL: 2,
-        },
-        cache_configs=(
-            CacheConfig("l1", 32 * 1024, 64, 4, load_to_use=2),
-            CacheConfig("l2", 512 * 1024, 64, 8, load_to_use=12),
-        ),
-        dram_latency=60,
-        dram_bytes_per_cycle=8.0,
-        store_buffer=StoreBufferConfig(entries=8, drain_latency=2),
-        camp_enabled=camp_enabled,
-    )
+    return get_spec("sargantana").config(camp_enabled=camp_enabled)

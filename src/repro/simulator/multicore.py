@@ -274,12 +274,18 @@ def run_multicore(config, programs, warm_addresses=None, jobs=1,
                   addr_stride=CORE_ADDR_STRIDE):
     """Simulate one program per core over the shared memory system.
 
-    ``programs`` is a list of instruction traces, one per core;
-    ``warm_addresses`` an optional matching list of warm-up address
-    streams. ``jobs > 1`` fans the isolated per-core runs across a
-    process pool (the arbitration itself always happens in the parent,
-    so results do not depend on ``jobs``).
+    ``config`` may be a :class:`MachineConfig`, a registered machine
+    name, or a :class:`~repro.machines.MachineSpec` (names resolve
+    through :mod:`repro.machines`). ``programs`` is a list of
+    instruction traces, one per core; ``warm_addresses`` an optional
+    matching list of warm-up address streams. ``jobs > 1`` fans the
+    isolated per-core runs across a process pool (the arbitration
+    itself always happens in the parent, so results do not depend on
+    ``jobs``).
     """
+    from repro.machines import as_config
+
+    config = as_config(config)
     cores = len(programs)
     if cores < 1:
         raise ValueError("at least one core program is required")

@@ -39,6 +39,49 @@ def _isolated_result_cache(request, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_NO_RESULT_CACHE", "1")
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_machine_registry():
+    """Keep a developer's $REPRO_MACHINE_PATH out of the whole session.
+
+    The process-wide machine registry may already have been built from
+    the live environment during collection (module imports touch it),
+    so clearing the variable is not enough: swap in a presets-only
+    registry for the session. Without this, a stray user machine file
+    would widen `machine-sweep` and perturb its golden fixture.
+    """
+    import os
+
+    from repro import machines
+
+    os.environ.pop("REPRO_MACHINE_PATH", None)
+    previous = machines.swap(machines.default_registry(load_env=False))
+    yield
+    machines.swap(previous)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_machine_path(monkeypatch):
+    """Per-test guard: $REPRO_MACHINE_PATH stays unset unless a test
+    sets it itself (registry-building tests use monkeypatch.setenv)."""
+    monkeypatch.delenv("REPRO_MACHINE_PATH", raising=False)
+
+
+@pytest.fixture
+def fresh_registry():
+    """Run a test against a presets-only machine registry.
+
+    The active registry is process-wide state: tests that register,
+    replace or load machines must use this fixture so their specs never
+    leak into other tests (or into the goldens' `machine-sweep` run).
+    """
+    from repro import machines
+
+    registry = machines.default_registry(load_env=False)
+    previous = machines.swap(registry)
+    yield registry
+    machines.swap(previous)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -200,6 +200,127 @@ class TestCoresOption:
         ) == 2
 
 
+MACHINE_TOML = """
+name = "cli-test"
+frequency_ghz = 1.0
+vector_length_bits = 128
+issue_width = 1
+window = 1
+
+[fu_counts]
+scalar = 1
+branch = 1
+load = 1
+store = 1
+valu = 1
+vmul = 1
+matrix = 1
+
+[fu_latency]
+scalar = 1
+branch = 1
+load = 2
+store = 1
+valu = 2
+vmul = 3
+matrix = 4
+
+[[caches]]
+name = "l1"
+size_bytes = 32768
+line_bytes = 64
+ways = 4
+load_to_use = 2
+
+[dram]
+latency = 60
+bytes_per_cycle = 8.0
+channels = 1
+
+[sweep]
+baseline = "handv-int8"
+methods = ["camp8", "handv-int8"]
+"""
+
+
+class TestMachineSurface:
+    """--machine-file loading, registry-derived list/validation."""
+
+    @pytest.fixture
+    def machine_file(self, tmp_path):
+        path = tmp_path / "cli-test.toml"
+        path.write_text(MACHINE_TOML)
+        return str(path)
+
+    def test_list_machines_from_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("a64fx", "sargantana", "sve2-edge", "x280",
+                     "hbm-server"):
+            assert name in out
+        assert "machine-sweep" in out
+
+    def test_list_includes_loaded_machine_file(self, capsys, machine_file,
+                                               fresh_registry):
+        assert main(["list", "--machine-file", machine_file]) == 0
+        assert "cli-test" in capsys.readouterr().out
+
+    def test_gemm_on_machine_file(self, capsys, machine_file,
+                                  fresh_registry):
+        assert main(["gemm", "32", "32", "32", "--machine", "cli-test",
+                     "--machine-file", machine_file]) == 0
+        assert "camp8 on cli-test+camp" in capsys.readouterr().out
+
+    def test_gemm_unknown_machine_exit_code(self, capsys):
+        assert main(["gemm", "32", "32", "32", "--machine", "z80"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine 'z80'" in err and "a64fx" in err
+
+    def test_malformed_machine_file_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = 'broken'\n")
+        assert main(["list", "--machine-file", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "machine file error" in err
+        assert "missing required field" in err
+
+    def test_sweep_on_machine_file_uses_its_baseline(self, capsys,
+                                                     machine_file,
+                                                     fresh_registry):
+        assert main(["sweep", "--sizes", "32", "--methods", "camp8",
+                     "--machines", "cli-test", "--machine-file",
+                     machine_file, "--no-cache", "--format", "json"]) == 0
+        record = json.loads(capsys.readouterr().out)[0]["records"][0]
+        assert record["machine"] == "cli-test"
+        assert record["baseline"] == "handv-int8"
+
+    def test_sweep_unknown_machine_lists_registry(self, capsys):
+        assert main(["sweep", "--sizes", "32", "--machines", "z80",
+                     "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "z80" in err and "sve2-edge" in err
+
+    def test_machine_sweep_experiment(self, capsys, fresh_registry):
+        assert main(["experiment", "machine-sweep", "--fast", "--machine",
+                     "sargantana", "--format", "csv", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "sargantana" in out and "blis-int32" in out
+
+    def test_machine_option_rejected_for_pinned_experiments(self, capsys):
+        assert main(["experiment", "fig1", "--machine", "x280"]) == 2
+        assert "--machine" in capsys.readouterr().err
+
+    def test_machine_option_unknown_machine(self, capsys):
+        assert main(["experiment", "machine-sweep", "--machine", "z80"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_ablation_multicore_on_other_machine(self, capsys,
+                                                 fresh_registry):
+        assert main(["ablation", "multicore", "--fast", "--cores", "1,2",
+                     "--machine", "x280", "--no-cache"]) == 0
+        assert "multi-core scaling" in capsys.readouterr().out
+
+
 class TestBenchMulticore:
     def test_bench_and_gate(self, tmp_path, capsys, monkeypatch):
         from repro.experiments import bench_multicore
