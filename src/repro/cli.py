@@ -26,7 +26,13 @@ Experiments and ablations run through the orchestrator
 - ``--format text|json|csv`` selects the stdout rendering.
 
 ``sweep`` drives shapes x methods x machines through
-``runner.speedup_rows`` with the same cache/artifact plumbing.
+``runner.speedup_rows`` with the same cache/artifact plumbing. Sweeps
+(and experiment batches) decompose into per-point tasks on the
+work-queue executor: ``--retries`` / ``--task-timeout`` apply per
+point, ``--run-id NAME`` journals progress so an interrupted run (exit
+code 3) continues with ``--resume NAME`` recomputing only unfinished
+points, ``experiment runs`` lists resumable journals, and ``cache
+stats`` / ``cache prune`` keep the result store bounded.
 
 Machines resolve through the declarative registry
 (:mod:`repro.machines`): ``list``'s machine line, every ``--machine`` /
@@ -41,6 +47,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 
 def _apply_engine(args):
@@ -155,6 +162,106 @@ def _cache_from_args(args):
     return ResultCache(getattr(args, "cache_dir", None))
 
 
+def _progress_printer(args):
+    """Per-point progress lines for long sweeps (stderr).
+
+    Enabled by ``--progress``, or automatically when stderr is a
+    terminal — an hour-long grid should not look hung.
+    """
+    enabled = getattr(args, "progress", False) or (
+        hasattr(sys.stderr, "isatty") and sys.stderr.isatty()
+    )
+    if not enabled:
+        return None
+
+    def on_point(done, total, point_id, status, elapsed_s):
+        detail = status if status != "computed" else "%.2fs" % elapsed_s
+        print("[%d/%d] %s (%s)" % (done, total, point_id, detail),
+              file=sys.stderr)
+
+    return on_point
+
+
+def _executor_kwargs(args):
+    """``run_many``/``run_sweep`` kwargs from the executor CLI options."""
+    return {
+        "retries": getattr(args, "retries", 0),
+        "task_timeout": getattr(args, "task_timeout", None),
+        "run_id": getattr(args, "run_id", None),
+        "resume": getattr(args, "resume", None),
+        "on_point": _progress_printer(args),
+    }
+
+
+def _run_interrupted(error, command):
+    """Report an interrupted/failed executor run with the resume hint."""
+    from repro.experiments import executor
+
+    interrupted = isinstance(error, executor.InterruptedRun)
+    print("%s %s: %s" % (command,
+                         "interrupted" if interrupted else "failed", error),
+          file=sys.stderr)
+    if error.run_id:
+        print("resume with: --resume %s" % error.run_id, file=sys.stderr)
+    return 3 if interrupted else 1
+
+
+def _cmd_runs(args):
+    """List (and optionally prune) the journals under the cache dir."""
+    from repro.experiments import executor
+
+    if getattr(args, "prune_days", None) is not None:
+        removed = executor.prune_runs(args.prune_days)
+        print("pruned %d journal%s%s"
+              % (len(removed), "" if len(removed) == 1 else "s",
+                 (": " + ", ".join(removed)) if removed else ""))
+        return 0
+    runs = executor.list_runs()
+    if not runs:
+        print("no recorded runs under %s" % executor.journals_dir())
+        return 0
+    print("%-34s %-18s %-20s %7s %s"
+          % ("run id", "experiment", "created", "points", "state"))
+    for entry in runs:
+        created = "?"
+        if entry["created_unix"]:
+            created = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(entry["created_unix"])
+            )
+        print("%-34s %-18s %-20s %7d %s"
+              % (entry["run_id"], entry["experiment"], created,
+                 entry["points"],
+                 "done" if entry["done"] else "resumable"))
+    return 0
+
+
+def _cmd_cache(args):
+    """Result-cache maintenance: ``cache stats`` / ``cache prune``."""
+    from repro.experiments.cache import ResultCache
+
+    cache = ResultCache(getattr(args, "cache_dir", None))
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        print("cache root   : %s" % stats["root"])
+        print("entries      : %d" % stats["entries"])
+        print("total size   : %.2f MB" % (stats["total_bytes"] / 1e6))
+        if stats["oldest_age_s"] is not None:
+            print("oldest entry : %.1f days" % (stats["oldest_age_s"] / 86400))
+            print("newest entry : %.1f days" % (stats["newest_age_s"] / 86400))
+        return 0
+    # prune
+    if args.max_age_days is None and args.max_size_mb is None:
+        print("cache prune needs --max-age-days and/or --max-size-mb",
+              file=sys.stderr)
+        return 2
+    removed, freed = cache.prune(
+        max_age_days=args.max_age_days, max_size_mb=args.max_size_mb
+    )
+    print("pruned %d entr%s (%.2f MB freed)"
+          % (removed, "y" if removed == 1 else "ies", freed / 1e6))
+    return 0
+
+
 def _emit_results(results, args, jobs=1):
     """Render results to stdout per --format and write --out artifacts."""
     from repro.experiments import artifacts
@@ -177,8 +284,10 @@ def _emit_results(results, args, jobs=1):
 
 
 def _run_registered(kind, args):
-    from repro.experiments import orchestrator
+    from repro.experiments import executor, orchestrator
 
+    if kind == "experiment" and args.name == "runs":
+        return _cmd_runs(args)
     known = orchestrator.names(kind)
     if args.name == "all":
         requested = known
@@ -232,10 +341,17 @@ def _run_registered(kind, args):
             )
             return 2
         run_kwargs["machine"] = args.machine
-    results = orchestrator.run_many(
-        requested, fast=args.fast, jobs=args.jobs,
-        cache=_cache_from_args(args), run_kwargs=run_kwargs,
-    )
+    try:
+        results = orchestrator.run_many(
+            requested, fast=args.fast, jobs=args.jobs,
+            cache=_cache_from_args(args), run_kwargs=run_kwargs,
+            **_executor_kwargs(args),
+        )
+    except executor.JournalError as error:
+        print("%s error: %s" % (kind, error), file=sys.stderr)
+        return 2
+    except executor.ExecutorError as error:
+        return _run_interrupted(error, kind)
     return _emit_results(results, args, jobs=args.jobs)
 
 
@@ -269,7 +385,7 @@ def _sweep_error(message):
 
 
 def _cmd_sweep(args):
-    from repro.experiments import orchestrator
+    from repro.experiments import executor, orchestrator
     from repro.gemm.microkernel import kernel_names
     from repro.machines import machine_names
 
@@ -309,17 +425,23 @@ def _cmd_sweep(args):
                 "--baseline does not apply to --cores runs (multi-core "
                 "speedups are against each method's own single-core run)"
             )
-    result = orchestrator.run_sweep(
-        sizes=sizes,
-        shapes=shapes,
-        methods=methods,
-        machines=machines,
-        baseline=args.baseline,
-        cache=_cache_from_args(args),
-        core_counts=core_counts,
-        strategy=args.strategy,
-        jobs=args.jobs,
-    )
+    try:
+        result = orchestrator.run_sweep(
+            sizes=sizes,
+            shapes=shapes,
+            methods=methods,
+            machines=machines,
+            baseline=args.baseline,
+            cache=_cache_from_args(args),
+            core_counts=core_counts,
+            strategy=args.strategy,
+            jobs=args.jobs,
+            **_executor_kwargs(args),
+        )
+    except executor.JournalError as error:
+        return _sweep_error(error)
+    except executor.ExecutorError as error:
+        return _run_interrupted(error, "sweep")
     return _emit_results([result], args)
 
 
@@ -395,6 +517,46 @@ def _cmd_bench_multicore(args):
     return 0
 
 
+def _cmd_bench_sweep(args):
+    from repro.experiments import bench_sweep
+
+    grid = {}
+    try:
+        if args.sizes:
+            grid["sizes"] = tuple(_parse_int_list(args.sizes))
+        if args.cores:
+            grid["core_counts"] = tuple(_parse_int_list(args.cores))
+    except ValueError as error:
+        print("bad bench grid: %s" % error, file=sys.stderr)
+        return 2
+    if args.methods:
+        grid["methods"] = tuple(m for m in args.methods.split(",") if m)
+    payload = bench_sweep.run_bench(repeats=args.repeats, grid=grid or None)
+    print(
+        "sweep bench (%d points): cold %.3fs | warm %.3fs (%.1fx) | "
+        "resumed %.3fs (recomputed %d, replayed %d) | identical: %s"
+        % (payload["points_total"], payload["cold_s"], payload["warm_s"],
+           payload["warm_speedup"], payload["resume_s"],
+           payload["resume_recomputed"], payload["resume_replayed"],
+           payload["warm_identical"] and payload["resume_identical"])
+    )
+    if args.out:
+        path = bench_sweep.write_bench(payload, args.out)
+        print("wrote %s" % path)
+    if args.check:
+        baseline = json.loads(open(args.check).read())
+        problems = bench_sweep.check_regression(
+            payload, baseline, min_warm_speedup=args.min_warm_speedup
+        )
+        for problem in problems:
+            print("PERF REGRESSION: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("sweep perf gate passed (warm >= %.1fx faster, resume exact)"
+              % args.min_warm_speedup)
+    return 0
+
+
 def _add_cores_option(parser):
     parser.add_argument(
         "--cores", default="",
@@ -420,7 +582,27 @@ def _add_machine_option(parser):
 def _add_orchestrator_options(parser):
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for cache misses")
+    _add_executor_options(parser)
     _add_output_options(parser)
+
+
+def _add_executor_options(parser):
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry each failed point up to N times "
+                             "(exponential backoff)")
+    parser.add_argument("--task-timeout", type=float, metavar="SECONDS",
+                        help="kill and retry any point running longer than "
+                             "this (forces process workers)")
+    parser.add_argument("--run-id", metavar="NAME",
+                        help="journal this run under NAME so it can be "
+                             "resumed after an interruption")
+    parser.add_argument("--resume", metavar="RUN_ID",
+                        help="resume a journaled run: completed points are "
+                             "replayed, only the rest are computed "
+                             "(see `repro-camp experiment runs`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-point progress lines to stderr "
+                             "(automatic on a terminal)")
 
 
 def _add_output_options(parser):
@@ -465,8 +647,13 @@ def build_parser():
     _add_engine_option(gemm_parser)
 
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
-    exp_parser.add_argument("name")
+    exp_parser.add_argument(
+        "name",
+        help="experiment name, 'all', or 'runs' to list resumable journals")
     exp_parser.add_argument("--fast", action="store_true")
+    exp_parser.add_argument(
+        "--prune-days", type=float, metavar="DAYS",
+        help="with `experiment runs`: delete journals older than DAYS")
     _add_cores_option(exp_parser)
     _add_machine_option(exp_parser)
     _add_machine_file_option(exp_parser)
@@ -499,6 +686,17 @@ def build_parser():
 
     sub.add_parser("area", help="print the physical-design report")
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or prune the on-disk result cache")
+    cache_parser.add_argument("action", choices=("stats", "prune"))
+    cache_parser.add_argument("--max-age-days", type=float, metavar="DAYS",
+                              help="prune: delete entries older than DAYS")
+    cache_parser.add_argument("--max-size-mb", type=float, metavar="MB",
+                              help="prune: evict oldest entries until the "
+                                   "store fits in MB")
+    cache_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="cache root (default ~/.cache/repro-camp)")
+
     bench_parser = sub.add_parser(
         "bench-pipeline",
         help="benchmark the pipeline engines, write BENCH_pipeline.json")
@@ -528,6 +726,26 @@ def build_parser():
                                "and fail on perf regression")
     bench_mc.add_argument("--max-regression", type=float, default=3.0,
                           help="allowed cold-run slowdown vs baseline")
+
+    bench_sw = sub.add_parser(
+        "bench-sweep",
+        help="benchmark cold vs warm vs resumed sweeps, write "
+             "BENCH_sweep.json")
+    bench_sw.add_argument("--repeats", type=int, default=1,
+                          help="cold sweeps to time (best is kept)")
+    bench_sw.add_argument("--sizes", default="",
+                          help="override the benchmark grid's square sizes")
+    bench_sw.add_argument("--methods", default="",
+                          help="override the benchmark grid's methods")
+    bench_sw.add_argument("--cores", default="",
+                          help="override the benchmark grid's core counts")
+    bench_sw.add_argument("--out", default="BENCH_sweep.json",
+                          help="output JSON path ('' to skip writing)")
+    bench_sw.add_argument("--check", metavar="BASELINE",
+                          help="compare against a committed baseline JSON "
+                               "and fail on perf regression")
+    bench_sw.add_argument("--min-warm-speedup", type=float, default=5.0,
+                          help="required cold/warm wall-time ratio")
     return parser
 
 
@@ -538,8 +756,10 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "sweep": _cmd_sweep,
     "area": _cmd_area,
+    "cache": _cmd_cache,
     "bench-pipeline": _cmd_bench,
     "bench-multicore": _cmd_bench_multicore,
+    "bench-sweep": _cmd_bench_sweep,
 }
 
 

@@ -11,12 +11,20 @@ a kernel tweak, a new blocking heuristic — invalidates all entries; the
 sweep parameters invalidates just that run. Entries are JSON payloads
 (records + formatted text + metadata) written atomically, one file per
 key, under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-camp``).
+
+Beneath those whole-run entries sits a *point-granular* layer keyed by
+(experiment, point id, source digest, point-config digest, the point's
+machine-spec digest, pipeline engine): one entry per grid cell of a
+sweep, so changing one grid dimension value recomputes only the
+affected cells while the rest load from cache. ``prune`` /
+``disk_stats`` keep the one-file-per-key store bounded and observable.
 """
 
 import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -48,10 +56,47 @@ def source_digest(root=None):
     return _source_digests[root]
 
 
+def _canonical_config(value, where="$"):
+    """Restrict config values to types with an unambiguous encoding.
+
+    The old ``json.dumps(..., default=str)`` silently coerced arbitrary
+    objects through ``str()``, so two distinct configs whose reprs
+    collided (or one object whose repr drifted across versions) could
+    alias a cache entry. Only JSON-native types plus tuples and
+    ``pathlib`` paths are accepted; anything else raises a ``TypeError``
+    naming the offending key path.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonical_config(v, "%s[%d]" % (where, i))
+            for i, v in enumerate(value)
+        ]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    "config key %r at %s is %s; cache keys require string "
+                    "keys" % (key, where, type(key).__name__)
+                )
+            out[key] = _canonical_config(item, "%s.%s" % (where, key))
+        return out
+    raise TypeError(
+        "config value at %s is %r (%s); cache keys accept only JSON-native "
+        "types, tuples and pathlib paths — digest the object explicitly "
+        "(e.g. a machine spec's .digest()) and pass the hex string instead"
+        % (where, value, type(value).__name__)
+    )
+
+
 def config_digest(params):
     """Sha256 of the canonical JSON encoding of a run's parameters."""
-    canonical = json.dumps(params, sort_keys=True, separators=(",", ":"),
-                           default=str)
+    canonical = json.dumps(_canonical_config(params), sort_keys=True,
+                           separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
@@ -77,6 +122,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: point-granular entries (per grid cell) are accounted separately
+    #: so tests and progress lines can tell cell reuse from run reuse
+    point_hits: int = 0
+    point_misses: int = 0
+    point_stores: int = 0
 
 
 class ResultCache:
@@ -91,25 +141,58 @@ class ResultCache:
                          source_dig, config_dig])
         return hashlib.sha256(raw.encode()).hexdigest()
 
+    def point_key_for(self, experiment, point_id, source_dig, config_dig,
+                      machines_dig, engine):
+        """Key for one grid point, layered beneath the whole-run entry.
+
+        Unlike the whole-run key, the machines digest here is the digest
+        of the *point's own* machine spec (when the point is pinned to
+        one), so editing one machine file invalidates only that
+        machine's cells; the engine joins the key because scalar and
+        batch runs must never alias.
+        """
+        raw = "\0".join(["point", experiment, point_id, source_dig,
+                         config_dig, machines_dig, engine])
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    def load_point(self, key):
+        """Point-granular load with separate hit/miss accounting."""
+        payload = self.load(key, _point=True)
+        return payload
+
+    def store_point(self, key, payload):
+        self.store(key, payload, _point=True)
+
     def path_for(self, key):
         return self.root / key[:2] / (key + ".json")
 
-    def load(self, key):
+    def load(self, key, _point=False):
         """Return the stored payload dict, or None on a miss."""
         if cache_disabled():
-            self.stats.misses += 1
+            self._count_load(False, _point)
             return None
         path = self.path_for(key)
         try:
             with open(path) as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
-            self.stats.misses += 1
+            self._count_load(False, _point)
             return None
-        self.stats.hits += 1
+        self._count_load(True, _point)
         return payload
 
-    def store(self, key, payload):
+    def _count_load(self, hit, point):
+        if point:
+            if hit:
+                self.stats.point_hits += 1
+            else:
+                self.stats.point_misses += 1
+        elif hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+
+    def store(self, key, payload, _point=False):
         """Atomically persist a payload (tempfile + rename)."""
         if cache_disabled():
             return
@@ -126,4 +209,86 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        if _point:
+            self.stats.point_stores += 1
+        else:
+            self.stats.stores += 1
+
+    def entries(self):
+        """Every stored entry file (excludes journals and tempfiles)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("[0-9a-f][0-9a-f]/*.json"))
+
+    def disk_stats(self):
+        """On-disk inventory: entry count, bytes, oldest/newest ages."""
+        now = time.time()
+        count = 0
+        total = 0
+        oldest = newest = None
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            count += 1
+            total += stat.st_size
+            age = now - stat.st_mtime
+            oldest = age if oldest is None else max(oldest, age)
+            newest = age if newest is None else min(newest, age)
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "total_bytes": total,
+            "oldest_age_s": oldest,
+            "newest_age_s": newest,
+        }
+
+    def prune(self, max_age_days=None, max_size_mb=None):
+        """Evict entries by age and/or total size (oldest first).
+
+        The one-file-per-key store grows without bound otherwise; this
+        removes every entry older than ``max_age_days``, then — if the
+        survivors still exceed ``max_size_mb`` — evicts oldest-first
+        until the store fits. Returns ``(removed_count, freed_bytes)``.
+        """
+        stamped = []
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+        stamped.sort()  # oldest first
+        removed = 0
+        freed = 0
+
+        def evict(entry):
+            nonlocal removed, freed
+            _, size, path = entry
+            try:
+                path.unlink()
+            except OSError:
+                return
+            removed += 1
+            freed += size
+
+        survivors = []
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            for entry in stamped:
+                if entry[0] < cutoff:
+                    evict(entry)
+                else:
+                    survivors.append(entry)
+        else:
+            survivors = stamped
+        if max_size_mb is not None:
+            budget = max_size_mb * 1024 * 1024
+            total = sum(size for _, size, _ in survivors)
+            for entry in survivors:
+                if total <= budget:
+                    break
+                evict(entry)
+                total -= entry[1]
+        return removed, freed

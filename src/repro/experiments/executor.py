@@ -1,0 +1,554 @@
+"""Point-granular task-graph executor with checkpoint/resume.
+
+The orchestrator used to treat a whole sweep as one opaque unit: a
+single ``Pool.map`` whose partial progress evaporated on the first
+crash, timeout or Ctrl-C. This module decomposes that unit into
+:class:`Task`\\ s — one per grid point, each a stable point id plus a
+dotted callable and canonical JSON parameters — and executes them
+through a work-queue scheduler that survives the failure modes a
+monolithic map cannot:
+
+- **result-by-result consumption** — every point's outcome is collected
+  independently, so one crashed point fails that point, not the batch;
+- **per-task retry with exponential backoff** and **per-task timeout**
+  (a hung simulation kills and respawns only its worker);
+- **dead-worker recovery** — a worker that exits mid-task (segfault,
+  ``os._exit``, OOM kill) is detected, blamed for exactly its in-flight
+  point, and replaced;
+- **a durable run journal** — every completed point is appended (and
+  fsync'd) to ``$REPRO_CACHE_DIR/journals/<run-id>.jsonl`` before the
+  run proceeds, so an interrupted sweep resumes from where it stopped
+  with byte-identical results.
+
+Workers are plain ``multiprocessing.Process`` loops fed through
+per-worker queues: the parent always knows which point each worker
+holds, which is what makes targeted timeout kills and dead-worker
+blame possible (a shared ``Pool`` queue cannot attribute a lost task).
+
+Test/CI hooks (environment variables):
+
+- ``REPRO_EXECUTOR_ABORT_AFTER=N`` — deterministically interrupt the
+  run after N completed points (raises :class:`InterruptedRun` with the
+  journal intact), used by the interrupt-resume CI smoke job;
+- ``REPRO_EXECUTOR_POINT_DELAY_S=X`` — sleep X seconds before each
+  point, used to make SIGTERM-mid-run tests timing-robust.
+"""
+
+import importlib
+import json
+import os
+import secrets
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import Process, Queue
+from pathlib import Path
+from queue import Empty
+
+from repro.experiments.cache import default_cache_dir
+
+#: see module docstring — deterministic-interruption test hook
+ABORT_AFTER_ENV = "REPRO_EXECUTOR_ABORT_AFTER"
+#: see module docstring — per-point artificial delay test hook
+POINT_DELAY_ENV = "REPRO_EXECUTOR_POINT_DELAY_S"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable grid point.
+
+    ``point_id`` is the stable identity a journal/cache entry hangs off
+    (unique within a run, reproducible across runs); ``fn`` is a
+    ``"package.module:callable"`` reference resolved in the worker;
+    ``params`` are JSON-canonical keyword arguments for it. The
+    callable's return value must be JSON-serializable — it is journaled
+    verbatim and crosses the process boundary.
+    """
+
+    point_id: str
+    fn: str
+    params: dict = field(default_factory=dict)
+
+
+class ExecutorError(RuntimeError):
+    """A run finished with failed points (retries exhausted)."""
+
+    def __init__(self, message, failures=None, run_id=None):
+        super().__init__(message)
+        self.failures = dict(failures or {})
+        self.run_id = run_id
+
+
+class InterruptedRun(ExecutorError):
+    """The run was interrupted (SIGTERM or the abort-after test hook).
+
+    Every point completed before the interruption is already journaled;
+    resuming with the same run id recomputes only the remainder.
+    """
+
+
+class JournalError(RuntimeError):
+    """A journal could not be created, found, or safely resumed."""
+
+
+@dataclass
+class Outcome:
+    """What :func:`run_tasks` produced: payloads, failures, accounting."""
+
+    results: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
+    attempts: dict = field(default_factory=dict)
+    #: points computed by this call (excludes journal/cache prefills)
+    computed: int = 0
+
+
+def resolve_callable(spec):
+    """Import and return the ``"package.module:callable"`` target."""
+    module_path, sep, attr = spec.partition(":")
+    if not sep or not attr:
+        raise ValueError(
+            "task fn %r is not a 'package.module:callable' reference" % spec
+        )
+    return getattr(importlib.import_module(module_path), attr)
+
+
+def new_run_id(prefix="run"):
+    """A fresh journal run id: ``<prefix>-<utc stamp>-<random hex>``."""
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return "%s-%s-%s" % (prefix, stamp, secrets.token_hex(3))
+
+
+def journals_dir(root=None):
+    """Where run journals live (``<cache root>/journals``)."""
+    base = Path(root) if root is not None else default_cache_dir()
+    return base / "journals"
+
+
+class RunJournal:
+    """Append-only JSONL record of a run's completed points.
+
+    Line types: one leading ``meta`` line (run id, experiment, grid and
+    source digests), one ``point`` line per completed point (payload +
+    elapsed time), and a trailing ``done`` line on clean completion.
+    Appends are flushed and fsync'd before the run proceeds, so a kill
+    at any instant loses at most the point in flight. A torn final line
+    (killed mid-write) is tolerated and ignored on resume.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle = None
+
+    @property
+    def run_id(self):
+        return self.path.stem
+
+    @classmethod
+    def create(cls, run_id=None, root=None, meta=None):
+        """Start a new journal; refuses to clobber an existing run id."""
+        run_id = run_id or new_run_id()
+        path = journals_dir(root) / (run_id + ".jsonl")
+        if path.exists():
+            raise JournalError(
+                "journal for run id %r already exists (%s); pick another "
+                "--run-id or resume it with --resume" % (run_id, path)
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        journal = cls(path)
+        journal._append(dict(
+            {"type": "meta", "run_id": run_id, "created_unix": time.time()},
+            **(meta or {}),
+        ))
+        return journal
+
+    @classmethod
+    def resume(cls, run_id, root=None):
+        path = journals_dir(root) / (run_id + ".jsonl")
+        if not path.exists():
+            known = sorted(p.stem for p in journals_dir(root).glob("*.jsonl"))
+            raise JournalError(
+                "no journal for run id %r under %s%s"
+                % (run_id, path.parent,
+                   ("; known runs: " + ", ".join(known)) if known else "")
+            )
+        return cls(path)
+
+    def entries(self):
+        """Parsed journal lines, skipping any torn trailing write."""
+        out = []
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return out
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                continue  # torn write from a kill mid-append
+        return out
+
+    def meta(self):
+        for entry in self.entries():
+            if entry.get("type") == "meta":
+                return entry
+        return {}
+
+    def completed(self):
+        """``point_id -> payload`` for every journaled point (last wins)."""
+        done = {}
+        for entry in self.entries():
+            if entry.get("type") == "point":
+                done[entry["point_id"]] = entry.get("payload")
+        return done
+
+    def is_done(self):
+        return any(e.get("type") == "done" for e in self.entries())
+
+    def record(self, point_id, payload, elapsed_s=0.0):
+        self._append({
+            "type": "point",
+            "point_id": point_id,
+            "elapsed_s": round(elapsed_s, 6),
+            "payload": payload,
+        })
+
+    def finish(self):
+        """Mark the run complete (listing shows it as resumable=no)."""
+        self._append({"type": "done", "finished_unix": time.time()})
+
+    def _append(self, entry):
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+
+
+def list_runs(root=None):
+    """Journal inventory, newest first: one summary dict per run."""
+    out = []
+    directory = journals_dir(root)
+    for path in sorted(directory.glob("*.jsonl")):
+        journal = RunJournal(path)
+        meta = journal.meta()
+        entries = journal.entries()
+        points = sum(1 for e in entries if e.get("type") == "point")
+        out.append({
+            "run_id": journal.run_id,
+            "experiment": meta.get("experiment", "?"),
+            "created_unix": meta.get("created_unix"),
+            "points": points,
+            "done": any(e.get("type") == "done" for e in entries),
+            "bytes": path.stat().st_size,
+            "path": str(path),
+        })
+    out.sort(key=lambda r: r["created_unix"] or 0, reverse=True)
+    return out
+
+
+def prune_runs(max_age_days, root=None):
+    """Delete journals older than ``max_age_days``; returns their ids."""
+    cutoff = time.time() - max_age_days * 86400.0
+    removed = []
+    for path in journals_dir(root).glob("*.jsonl"):
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink()
+                removed.append(path.stem)
+        except OSError:
+            continue
+    return sorted(removed)
+
+
+def _point_delay():
+    raw = os.environ.get(POINT_DELAY_ENV, "")
+    try:
+        return float(raw) if raw else 0.0
+    except ValueError:
+        return 0.0
+
+
+def _abort_after():
+    raw = os.environ.get(ABORT_AFTER_ENV, "")
+    try:
+        return int(raw) if raw else 0
+    except ValueError:
+        return 0
+
+
+def _run_callable(task):
+    """Execute one task in this process; returns (payload, elapsed_s)."""
+    delay = _point_delay()
+    if delay > 0:
+        time.sleep(delay)
+    start = time.perf_counter()
+    payload = resolve_callable(task.fn)(**task.params)
+    return payload, time.perf_counter() - start
+
+
+def _worker_main(task_q, result_q):
+    """Worker loop: pull (Task, attempt) items until the None sentinel."""
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        task = item
+        try:
+            payload, elapsed = _run_callable(task)
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:
+            result_q.put((
+                "error", task.point_id,
+                "%s: %s" % (type(exc).__name__, exc),
+                traceback.format_exc(),
+            ))
+        else:
+            result_q.put(("ok", task.point_id, payload, elapsed))
+
+
+class _Worker:
+    """One worker process plus its private task queue."""
+
+    _counter = 0
+
+    def __init__(self, result_q):
+        _Worker._counter += 1
+        self.task_q = Queue()
+        self.busy = None  # point_id in flight
+        self.deadline = None  # monotonic deadline for the in-flight point
+        self.process = Process(
+            target=_worker_main,
+            args=(self.task_q, result_q),
+            daemon=True,
+            name="repro-executor-%d" % _Worker._counter,
+        )
+        self.process.start()
+
+    def dispatch(self, task, timeout):
+        self.busy = task.point_id
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        self.task_q.put(task)
+
+    def idle(self):
+        self.busy = None
+        self.deadline = None
+
+    def stop(self):
+        try:
+            self.task_q.put(None)
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+        self.task_q.close()
+
+
+class _SigtermInterrupt(BaseException):
+    """Internal: SIGTERM converted to an exception for clean teardown."""
+
+
+def _install_sigterm():
+    """Route SIGTERM through an exception so journals close cleanly.
+
+    Only possible from the main thread; elsewhere the default handler
+    stays (the journal's per-point fsync keeps kills safe regardless).
+    Returns the previous handler, or None when not installed.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def _handler(_signum, _frame):
+        raise _SigtermInterrupt()
+
+    try:
+        return signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):
+        return None
+
+
+def run_tasks(tasks, jobs=1, retries=0, task_timeout=None, journal=None,
+              on_result=None, backoff_s=0.05):
+    """Execute ``tasks`` through the work-queue scheduler.
+
+    - ``jobs`` — worker processes; ``jobs <= 1`` without a timeout runs
+      serially in-process (``task_timeout`` forces worker processes, a
+      hung in-process call could never be killed).
+    - ``retries`` — extra attempts per point; attempt N waits
+      ``backoff_s * 2**(N-1)`` before requeueing.
+    - ``journal`` — a :class:`RunJournal`; every success is appended and
+      fsync'd before the run proceeds.
+    - ``on_result(point_id, payload, elapsed_s, attempts)`` — called in
+      the parent per completed point (progress lines, cache stores).
+
+    Returns an :class:`Outcome`; exhausted points land in
+    ``outcome.failures`` instead of aborting the batch. Raises
+    :class:`InterruptedRun` on SIGTERM or the abort-after hook, with
+    everything completed so far journaled.
+    """
+    tasks = list(tasks)
+    outcome = Outcome()
+    run_id = journal.run_id if journal is not None else None
+    if not tasks:
+        return outcome
+    seen = set()
+    for task in tasks:
+        if task.point_id in seen:
+            raise ValueError("duplicate point id %r" % task.point_id)
+        seen.add(task.point_id)
+    abort_after = _abort_after()
+    previous_sigterm = _install_sigterm()
+
+    def finalize(task, payload, elapsed):
+        outcome.results[task.point_id] = payload
+        outcome.computed += 1
+        if journal is not None:
+            journal.record(task.point_id, payload, elapsed)
+        if on_result is not None:
+            on_result(task.point_id, payload, elapsed,
+                      outcome.attempts[task.point_id])
+        if abort_after and outcome.computed >= abort_after:
+            raise InterruptedRun(
+                "run aborted after %d points (%s)"
+                % (outcome.computed, ABORT_AFTER_ENV),
+                run_id=run_id,
+            )
+
+    try:
+        if task_timeout is None and jobs <= 1:
+            _run_serial(tasks, retries, backoff_s, outcome, finalize)
+        else:
+            _run_pooled(tasks, jobs, retries, task_timeout, backoff_s,
+                        outcome, finalize)
+    except _SigtermInterrupt:
+        raise InterruptedRun(
+            "run terminated by SIGTERM after %d points" % outcome.computed,
+            run_id=run_id,
+        ) from None
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+    return outcome
+
+
+def _run_serial(tasks, retries, backoff_s, outcome, finalize):
+    for task in tasks:
+        for attempt in range(1, retries + 2):
+            outcome.attempts[task.point_id] = attempt
+            try:
+                payload, elapsed = _run_callable(task)
+            except (KeyboardInterrupt, _SigtermInterrupt):
+                raise
+            except BaseException as exc:
+                message = "%s: %s" % (type(exc).__name__, exc)
+                if attempt > retries:
+                    outcome.failures[task.point_id] = message
+                else:
+                    time.sleep(backoff_s * 2 ** (attempt - 1))
+            else:
+                finalize(task, payload, elapsed)
+                break
+
+
+def _run_pooled(tasks, jobs, retries, task_timeout, backoff_s, outcome,
+                finalize):
+    by_id = {task.point_id: task for task in tasks}
+    # pre-resolve every distinct callable in the parent: workers fork
+    # with the modules already imported, and a bad fn reference fails
+    # fast instead of once per retry in a child
+    for fn in {task.fn for task in tasks}:
+        resolve_callable(fn)
+    ready = deque(tasks)
+    delayed = []  # (due_monotonic, task) retry backoff queue
+    result_q = Queue()
+    workers = [
+        _Worker(result_q) for _ in range(max(1, min(jobs, len(tasks))))
+    ]
+
+    def open_points():
+        return len(outcome.results) + len(outcome.failures) < len(by_id)
+
+    def attempt_failed(point_id, message):
+        task = by_id[point_id]
+        attempt = outcome.attempts[point_id]
+        if attempt > retries:
+            outcome.failures[point_id] = message
+        else:
+            due = time.monotonic() + backoff_s * 2 ** (attempt - 1)
+            delayed.append((due, task))
+
+    try:
+        while open_points():
+            now = time.monotonic()
+            for due, task in list(delayed):
+                if due <= now:
+                    delayed.remove((due, task))
+                    ready.append(task)
+            for worker in workers:
+                if worker.busy is None and ready:
+                    task = ready.popleft()
+                    outcome.attempts[task.point_id] = (
+                        outcome.attempts.get(task.point_id, 0) + 1
+                    )
+                    worker.dispatch(task, task_timeout)
+            try:
+                kind, point_id, a, b = result_q.get(timeout=0.05)
+            except Empty:
+                kind = point_id = a = b = None
+            if kind is not None:
+                for worker in workers:
+                    if worker.busy == point_id:
+                        worker.idle()
+                        break
+                settled = (point_id in outcome.results
+                           or point_id in outcome.failures)
+                if kind == "ok" and not settled:
+                    finalize(by_id[point_id], a, b)
+                elif kind == "error" and not settled:
+                    attempt_failed(point_id, a)
+            now = time.monotonic()
+            for index, worker in enumerate(workers):
+                if (worker.busy is not None and worker.deadline is not None
+                        and now > worker.deadline):
+                    point_id = worker.busy
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+                    attempt_failed(
+                        point_id,
+                        "timed out after %.3gs" % task_timeout,
+                    )
+                    workers[index] = _Worker(result_q)
+                elif not worker.process.is_alive():
+                    if worker.busy is not None:
+                        attempt_failed(
+                            worker.busy,
+                            "worker died mid-task (exit code %s)"
+                            % worker.process.exitcode,
+                        )
+                    if open_points():
+                        workers[index] = _Worker(result_q)
+    finally:
+        for worker in workers:
+            worker.stop()
+        result_q.close()

@@ -32,6 +32,69 @@ class MachineSweepRow:
     gops: float
 
 
+def _normalize_grid(fast, size, machine):
+    if size is None:
+        size = 96 if fast else 512
+    machines = [machine] if machine else machine_names()
+    return size, machines
+
+
+def _machine_methods(spec, fast):
+    methods = [m for m in spec.methods if m != spec.baseline]
+    if fast:
+        methods = methods[:2]
+    return methods
+
+
+def iter_points(fast=False, size=None, machine=None):
+    """Enumerate the grid as ``(point id, run_point params)`` pairs.
+
+    Same normalization and iteration order as :func:`run`. The baseline
+    is resolved here (from each machine's spec) and pinned into the
+    point params so a spec edit that changes the baseline changes the
+    point identity, not just its payload.
+    """
+    size, machines = _normalize_grid(fast, size, machine)
+    points = []
+    for name in machines:
+        spec = get_spec(name)
+        for method in _machine_methods(spec, fast):
+            points.append((
+                "machine=%s/method=%s" % (name, method),
+                {"machine": name, "method": method, "size": size,
+                 "baseline": spec.baseline},
+            ))
+    return points
+
+
+def run_point(machine, method, size, baseline):
+    """Compute one (machine, method) cell; returns a JSON-safe payload."""
+    from dataclasses import asdict
+
+    from repro.experiments.records import scrub
+
+    spec = get_spec(machine)
+    shape = GemmShape(size, size, size, label="smm-%d" % size)
+    data = speedup_rows([shape], [method], machine, baseline)[0]
+    cell = data[method]
+    row = MachineSweepRow(
+        machine=machine,
+        vector_bits=spec.vector_length_bits,
+        dram_channels=spec.dram_channels,
+        method=method,
+        baseline=baseline,
+        speedup=cell["speedup"],
+        ic_ratio=cell["ic_ratio"],
+        gops=cell["execution"].gops,
+    )
+    return scrub(asdict(row))
+
+
+def merge_points(payloads):
+    """Reassemble executor payloads into the rows :func:`run` returns."""
+    return [MachineSweepRow(**payload) for payload in payloads]
+
+
 def run(fast=False, size=None, machine=None):
     """One speedup row per (machine, method) across the registry.
 

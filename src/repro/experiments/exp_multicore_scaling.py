@@ -40,8 +40,7 @@ class MulticoreScalingRow:
     converged: bool
 
 
-def run(fast=False, size=None, methods=None, cores=None,
-        strategies=STRATEGIES, machine="a64fx", jobs=1):
+def _normalize_grid(fast, size, methods, cores):
     if size is None:
         size = 192 if fast else 512
     if methods is None:
@@ -50,6 +49,65 @@ def run(fast=False, size=None, methods=None, cores=None,
         core_counts = (1, 4, 16) if fast else (1, 2, 4, 8, 16)
     else:
         core_counts = tuple(cores)
+    return size, methods, core_counts
+
+
+def iter_points(fast=False, size=None, methods=None, cores=None,
+                strategies=STRATEGIES, machine="a64fx", jobs=1):
+    """Enumerate the grid as ``(point id, run_point params)`` pairs.
+
+    Same normalization and iteration order as :func:`run`, so records
+    assembled point-by-point are byte-identical to the monolithic path.
+    ``jobs`` is accepted (and ignored) so the orchestrator can pass the
+    CLI kwargs through unchanged — fan-out is the executor's job.
+    """
+    size, methods, core_counts = _normalize_grid(fast, size, methods, cores)
+    points = []
+    for method in methods:
+        for strategy in strategies:
+            for cores_ in core_counts:
+                points.append((
+                    "method=%s/strategy=%s/cores=%d"
+                    % (method, strategy, cores_),
+                    {"method": method, "strategy": strategy,
+                     "cores": cores_, "size": size, "machine": machine},
+                ))
+    return points
+
+
+def run_point(method, strategy, cores, size, machine="a64fx"):
+    """Compute one grid cell; returns a JSON-safe record payload."""
+    from dataclasses import asdict
+
+    from repro.experiments.records import scrub
+    from repro.gemm.multicore import simulate_parallel_gemm
+
+    point = simulate_parallel_gemm(
+        method, size, size, size, cores, machine=machine, strategy=strategy,
+        jobs=1,
+    )
+    row = MulticoreScalingRow(
+        method=method,
+        strategy=strategy,
+        cores=point.cores,
+        speedup=point.speedup,
+        efficiency=point.efficiency,
+        dram_limited=point.dram_limited,
+        contention_stall_cycles=point.contention_stall_cycles,
+        llc_hit_rate=point.llc_hit_rate,
+        converged=point.replay_converged,
+    )
+    return scrub(asdict(row))
+
+
+def merge_points(payloads):
+    """Reassemble executor payloads into the rows :func:`run` returns."""
+    return [MulticoreScalingRow(**payload) for payload in payloads]
+
+
+def run(fast=False, size=None, methods=None, cores=None,
+        strategies=STRATEGIES, machine="a64fx", jobs=1):
+    size, methods, core_counts = _normalize_grid(fast, size, methods, cores)
     rows = []
     for method in methods:
         for strategy in strategies:

@@ -10,21 +10,25 @@ Execution model
 ---------------
 ``run_many`` first probes the :class:`~repro.experiments.cache.ResultCache`
 for every requested experiment in the parent process. Only the misses
-are computed — serially for ``jobs=1``, otherwise fanned out across a
-``multiprocessing`` pool whose workers keep their per-process
-``runner._DRIVERS`` caches warm across tasks. Records are emitted by
-each module's ``to_records`` and are byte-identical between the serial
-and parallel paths (same pure functions, order restored from the
-request). Computed payloads are stored by the parent, so workers never
+are computed. Misses run through the point-granular work-queue
+executor (:mod:`repro.experiments.executor`): combinatorial
+experiments (:data:`POINTWISE`) and ``run_sweep`` grids decompose into
+one task per grid cell — each cell independently cached, retried,
+timed out, journaled and resumable — while the remaining experiments
+run as one task each. Records are emitted by each module's
+``to_records`` and are byte-identical between the serial, parallel and
+resumed paths (same pure functions, order restored from the request).
+Computed payloads are journaled/stored by the parent, so workers never
 write the cache concurrently.
 """
 
 import importlib
 import time
 from dataclasses import dataclass, field
-from multiprocessing import Pool
 
+from repro.experiments import executor
 from repro.experiments.cache import config_digest, source_digest
+from repro.experiments.executor import RunJournal, Task
 
 #: registry metadata: experiment name -> dotted module path, in the
 #: canonical (paper) order that `experiment all` runs and reports.
@@ -61,6 +65,12 @@ ABLATION_MODULES = {
 #: ``--machine`` refuses everything else — the paper figures are
 #: platform-pinned)
 MACHINE_AWARE = {"multicore-scaling", "multicore", "machine-sweep"}
+
+#: combinatorial experiments implementing the point protocol
+#: (``iter_points`` / ``run_point`` / ``merge_points``): the
+#: orchestrator decomposes these into per-cell executor tasks with
+#: point-granular caching instead of one monolithic ``run`` call
+POINTWISE = {"multicore-scaling", "machine-sweep"}
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,8 @@ class ExperimentResult:
     cache_key: str = None
     #: live row objects; only set when computed in this process
     rows: object = field(default=None, repr=False, compare=False)
+    #: journal run id when the run was journaled (resumable)
+    run_id: str = None
 
 
 def _compute(spec, fast, run_kwargs):
@@ -192,56 +204,295 @@ def run_experiment(name, fast=False, cache=None, run_kwargs=None,
     return result
 
 
-def _worker(task):
-    """Pool worker: compute one experiment, return a lean result.
+def _engine_name():
+    from repro.simulator.engine import get_default_engine
 
-    Rows can hold whole simulator executions; drop them before the
-    result crosses the process boundary.
+    return get_default_engine()
+
+
+def _point_machines_digest(params):
+    """The machines digest joining a point's cache key.
+
+    A point pinned to one machine keys on that spec's own digest, so
+    editing one machine file invalidates only that machine's cells;
+    unpinned points fall back to the whole-registry digest.
     """
-    name, fast, run_kwargs = task
-    result = _compute(REGISTRY[name], fast, run_kwargs)
-    result.rows = None
-    return result
+    from repro.machines import get_spec, machines_digest
+
+    machine = params.get("machine")
+    if machine:
+        return get_spec(machine).digest()
+    return machines_digest()
+
+
+def _point_cache_key(cache, experiment, point_id, params):
+    return cache.point_key_for(
+        experiment, point_id, source_digest(), config_digest(params),
+        _point_machines_digest(params), _engine_name(),
+    )
+
+
+def _journal_for(run_id, resume, experiment, grid_params):
+    """Open (or create) the run journal; None when journaling is off.
+
+    A resumed journal must have been recorded for the *same* grid and
+    the *same* source tree — a stale journal must never splice foreign
+    payloads into a sweep.
+    """
+    if resume:
+        journal = RunJournal.resume(resume)
+        meta = journal.meta()
+        expected = {
+            "experiment": experiment,
+            "grid_digest": config_digest(grid_params),
+            "source_digest": source_digest(),
+        }
+        for field_, want in expected.items():
+            got = meta.get(field_)
+            if got != want:
+                raise executor.JournalError(
+                    "journal %r was recorded for a different %s "
+                    "(%s vs %s): start a fresh run instead of --resume"
+                    % (resume, field_.replace("_", " "), got, want)
+                )
+        return journal
+    if run_id is None:
+        return None
+    return RunJournal.create(run_id=run_id, meta={
+        "experiment": experiment,
+        "grid_digest": config_digest(grid_params),
+        "source_digest": source_digest(),
+    })
+
+
+def _run_point_tasks(experiment, order, tasks, cache, jobs=1, retries=0,
+                     task_timeout=None, journal=None, on_point=None):
+    """Resolve every point: cache hit, journal replay, or execution.
+
+    ``order`` lists point ids in assembly order; ``tasks`` maps each to
+    its :class:`~repro.experiments.executor.Task`. Completed points are
+    journaled and point-cached as they finish. Returns ``point_id ->
+    payload``; raises :class:`~repro.experiments.executor.ExecutorError`
+    if any point exhausts its retries (with every other point already
+    journaled, so the run is resumable).
+    """
+    payloads = {}
+    keys = {}
+    done = 0
+    total = len(order)
+
+    def report(point_id, status, elapsed=0.0):
+        nonlocal done
+        done += 1
+        if on_point is not None:
+            on_point(done, total, point_id, status, elapsed)
+
+    if cache is not None:
+        for point_id in order:
+            keys[point_id] = _point_cache_key(
+                cache, experiment, point_id, tasks[point_id].params
+            )
+            entry = cache.load_point(keys[point_id])
+            if entry is not None:
+                payloads[point_id] = entry["payload"]
+                report(point_id, "cached")
+    if journal is not None:
+        for point_id, payload in journal.completed().items():
+            if point_id in payloads or point_id not in tasks:
+                continue
+            payloads[point_id] = payload
+            if cache is not None:
+                cache.store_point(
+                    keys[point_id],
+                    {"point_id": point_id, "payload": payload},
+                )
+            report(point_id, "journaled")
+
+    todo = [tasks[point_id] for point_id in order if point_id not in payloads]
+    if todo:
+        def on_result(point_id, payload, elapsed, _attempts):
+            if cache is not None:
+                cache.store_point(
+                    keys[point_id],
+                    {"point_id": point_id, "payload": payload},
+                )
+            report(point_id, "computed", elapsed)
+
+        outcome = executor.run_tasks(
+            todo, jobs=jobs, retries=retries, task_timeout=task_timeout,
+            journal=journal, on_result=on_result,
+        )
+        payloads.update(outcome.results)
+        if outcome.failures:
+            run_id = journal.run_id if journal is not None else None
+            detail = "; ".join(
+                "%s: %s" % (point_id, message)
+                for point_id, message in sorted(outcome.failures.items())
+            )
+            raise executor.ExecutorError(
+                "%d of %d points failed after exhausting retries (%s)%s"
+                % (len(outcome.failures), total, detail,
+                   ("; completed points are journaled — rerun with "
+                    "--resume %s" % run_id) if run_id else ""),
+                failures=outcome.failures,
+                run_id=run_id,
+            )
+    return payloads
+
+
+def _experiment_task(name, fast, run_kwargs):
+    """Executor task body for one whole (non-pointwise) experiment."""
+    result = _compute(REGISTRY[name], fast, run_kwargs or {})
+    return {
+        "records": result.records,
+        "text": result.text,
+        "elapsed_s": result.elapsed_s,
+    }
+
+
+def _pointwise_tasks(spec, fast, run_kwargs):
+    """Expand a point-protocol experiment into executor tasks."""
+    module = spec.load()
+    kwargs = dict(run_kwargs)
+    kwargs.pop("jobs", None)  # fan-out belongs to the executor now
+    order = []
+    tasks = {}
+    for coords, params in module.iter_points(fast=fast, **kwargs):
+        point_id = "%s::%s" % (spec.name, coords)
+        order.append(point_id)
+        tasks[point_id] = Task(
+            point_id=point_id,
+            fn=spec.module_path + ":run_point",
+            params=params,
+        )
+    return module, order, tasks
+
+
+def _run_pointwise(spec, fast, run_kwargs, cache, jobs=1, retries=0,
+                   task_timeout=None, journal=None, on_point=None):
+    """Run one point-protocol experiment cell-by-cell and reassemble."""
+    module, order, tasks = _pointwise_tasks(spec, fast, run_kwargs)
+    start = time.perf_counter()
+    payloads = _run_point_tasks(
+        spec.name, order, tasks, cache, jobs=jobs, retries=retries,
+        task_timeout=task_timeout, journal=journal, on_point=on_point,
+    )
+    rows = module.merge_points([payloads[point_id] for point_id in order])
+    return ExperimentResult(
+        name=spec.name,
+        kind=spec.kind,
+        fast=fast,
+        records=module.to_records(rows),
+        text=module.format_results(rows),
+        from_cache=False,
+        elapsed_s=time.perf_counter() - start,
+        rows=rows,
+    )
 
 
 def run_many(names_, fast=False, jobs=1, cache=None, run_kwargs=None,
-             on_compute=None):
+             on_compute=None, retries=0, task_timeout=None, run_id=None,
+             resume=None, on_point=None):
     """Run a batch of experiments, fanning cache misses across ``jobs``.
 
     Returns results in the order of ``names_``. The parent resolves all
-    cache hits first; only misses are dispatched, so a fully-warm batch
-    never forks.
+    cache hits first; only misses are dispatched. Misses run through
+    the work-queue executor (:mod:`repro.experiments.executor`):
+    point-protocol experiments (:data:`POINTWISE`) decompose into
+    per-cell tasks layered over the point cache, everything else runs
+    as one task per experiment. ``retries`` / ``task_timeout`` apply
+    per task; ``run_id`` journals the run for ``resume``.
+
+    A plain serial call (``jobs=1``, no executor options, no cache)
+    keeps the legacy in-process path, which also carries live row
+    objects on the results.
     """
     run_kwargs = run_kwargs or {}
     results = {}
+    keys = {}
     misses = []
     for name in names_:
         spec = REGISTRY[name]
         if cache is not None:
-            key = _cache_key(cache, spec, fast, run_kwargs)
-            payload = cache.load(key)
+            # probe once and carry the key to the store step below —
+            # digesting the source tree twice per miss is pure waste
+            keys[name] = _cache_key(cache, spec, fast, run_kwargs)
+            payload = cache.load(keys[name])
             if payload is not None:
-                results[name] = _result_from_payload(spec, fast, key, payload)
+                results[name] = _result_from_payload(
+                    spec, fast, keys[name], payload
+                )
                 continue
         misses.append(name)
     if misses and on_compute is not None:
         for name in misses:
             on_compute(name)
-    if len(misses) <= 1 or jobs <= 1:
-        computed = [_compute(REGISTRY[name], fast, run_kwargs)
-                    for name in misses]
-    else:
-        # Import the miss modules (and transitively numpy) before the
-        # pool forks, so workers inherit them instead of re-importing.
-        for name in misses:
-            REGISTRY[name].load()
-        tasks = [(name, fast, run_kwargs) for name in misses]
-        with Pool(processes=min(jobs, len(tasks))) as pool:
-            computed = pool.map(_worker, tasks)
+    engaged = (jobs > 1 or retries > 0 or task_timeout is not None
+               or run_id is not None or resume is not None)
+    pointwise = [
+        name for name in misses
+        if name in POINTWISE and (cache is not None or engaged)
+    ]
+    plain = [name for name in misses if name not in pointwise]
+    journal = None
+    computed = []
+    try:
+        if engaged or pointwise:
+            journal = _journal_for(run_id, resume, "batch", {
+                "names": list(names_), "fast": fast,
+                "run_kwargs": dict(run_kwargs),
+            })
+        for name in pointwise:
+            computed.append(_run_pointwise(
+                REGISTRY[name], fast, run_kwargs, cache, jobs=jobs,
+                retries=retries, task_timeout=task_timeout, journal=journal,
+                on_point=on_point,
+            ))
+        if plain and not engaged:
+            computed += [_compute(REGISTRY[name], fast, run_kwargs)
+                         for name in plain]
+        elif plain:
+            # Import the miss modules (and transitively numpy) before
+            # the executor forks, so workers inherit them.
+            for name in plain:
+                REGISTRY[name].load()
+            tasks = {}
+            order = []
+            for name in plain:
+                point_id = "experiment::" + name
+                order.append(point_id)
+                tasks[point_id] = Task(
+                    point_id=point_id,
+                    fn=__name__ + ":_experiment_task",
+                    params={"name": name, "fast": fast,
+                            "run_kwargs": dict(run_kwargs)},
+                )
+            payloads = _run_point_tasks(
+                "batch", order, tasks, None, jobs=jobs, retries=retries,
+                task_timeout=task_timeout, journal=journal,
+                on_point=on_point,
+            )
+            for name, point_id in zip(plain, order):
+                payload = payloads[point_id]
+                computed.append(ExperimentResult(
+                    name=name,
+                    kind=REGISTRY[name].kind,
+                    fast=fast,
+                    records=payload["records"],
+                    text=payload["text"],
+                    from_cache=False,
+                    elapsed_s=payload["elapsed_s"],
+                ))
+        if journal is not None:
+            journal.finish()
+    finally:
+        if journal is not None:
+            journal.close()
     for result in computed:
         if cache is not None:
-            key = _cache_key(cache, REGISTRY[result.name], fast, run_kwargs)
-            _store(cache, key, result)
+            _store(cache, keys[result.name], result)
+        if journal is not None:
+            result.run_id = journal.run_id
         results[result.name] = result
     return [results[name] for name in names_]
 
@@ -256,6 +507,99 @@ def _sweep_shapes(sizes, shapes):
     if not gemm_shapes:
         raise ValueError("sweep needs at least one size or shape")
     return gemm_shapes
+
+
+def _sweep_point_single(machine, m, n, k, label, method, baseline):
+    """One (machine, shape, method) cell of the speedup-vs-baseline sweep."""
+    from repro.experiments import runner
+    from repro.experiments.records import scrub
+    from repro.workloads.shapes import GemmShape
+
+    shape = GemmShape(m, n, k, label=label)
+    row = runner.speedup_rows([shape], [method], machine, baseline)[0]
+    cell = row[method]
+    return scrub({
+        "machine": machine,
+        "shape": label,
+        "m": m,
+        "n": n,
+        "k": k,
+        "method": method,
+        "baseline": baseline,
+        "speedup": cell["speedup"],
+        "ic_ratio": cell["ic_ratio"],
+        "cycles": cell["execution"].cycles,
+        "instructions": cell["execution"].total_instructions,
+    })
+
+
+def _sweep_point_multicore(machine, m, n, k, label, method, cores, strategy):
+    """One (machine, shape, method, cores) cell of the multi-core sweep."""
+    from repro.experiments.records import scrub
+    from repro.gemm.multicore import simulate_parallel_gemm
+
+    point = simulate_parallel_gemm(
+        method, m, n, k, cores, machine=machine, strategy=strategy, jobs=1,
+    )
+    return scrub({
+        "machine": machine,
+        "shape": label,
+        "m": m,
+        "n": n,
+        "k": k,
+        "method": method,
+        "strategy": strategy,
+        "cores": cores,
+        "speedup": point.speedup,
+        "efficiency": point.efficiency,
+        "dram_limited": point.dram_limited,
+        "contention_stall_cycles": point.contention_stall_cycles,
+        "llc_hit_rate": point.llc_hit_rate,
+        "parallel_cycles": point.parallel_cycles,
+    })
+
+
+def _sweep_point_tasks(gemm_shapes, methods, machines, baseline, core_counts,
+                       strategy):
+    """Enumerate a sweep grid as executor tasks, in assembly order."""
+    from repro.experiments import runner
+
+    order = []
+    tasks = {}
+
+    def add(point_id, fn, params):
+        order.append(point_id)
+        tasks[point_id] = Task(point_id=point_id, fn=fn, params=params)
+
+    for machine in machines:
+        if core_counts is not None:
+            for shape in gemm_shapes:
+                for method in methods:
+                    for cores in core_counts:
+                        add(
+                            "sweep::machine=%s/shape=%s/method=%s/cores=%d"
+                            % (machine, shape.label, method, cores),
+                            __name__ + ":_sweep_point_multicore",
+                            {"machine": machine, "m": shape.m, "n": shape.n,
+                             "k": shape.k, "label": shape.label,
+                             "method": method, "cores": cores,
+                             "strategy": strategy},
+                        )
+        else:
+            base_method = baseline or runner.baseline_for(machine)
+            for shape in gemm_shapes:
+                for method in methods:
+                    if method == base_method:
+                        continue
+                    add(
+                        "sweep::machine=%s/shape=%s/method=%s"
+                        % (machine, shape.label, method),
+                        __name__ + ":_sweep_point_single",
+                        {"machine": machine, "m": shape.m, "n": shape.n,
+                         "k": shape.k, "label": shape.label,
+                         "method": method, "baseline": base_method},
+                    )
+    return order, tasks
 
 
 def multicore_sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
@@ -371,13 +715,24 @@ def format_sweep(records):
 
 def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
               machines=("a64fx",), baseline=None, cache=None,
-              core_counts=None, strategy="npanel", jobs=1):
+              core_counts=None, strategy="npanel", jobs=1, retries=0,
+              task_timeout=None, run_id=None, resume=None, on_point=None):
     """Cached sweep wrapper returning an :class:`ExperimentResult`.
 
     With ``core_counts`` the sweep runs on the multi-core cycle-level
     simulator (``--cores`` on the CLI); otherwise it is the single-core
-    speedup-vs-baseline sweep. ``jobs`` fans the per-core engine runs
-    and never affects results, so it stays out of the cache key.
+    speedup-vs-baseline sweep.
+
+    The grid is decomposed into per-cell tasks executed through the
+    work-queue executor: ``jobs`` fans points across worker processes,
+    ``retries``/``task_timeout`` apply per point, each cell is cached
+    point-granularly (so changing one grid dimension value recomputes
+    only the affected cells), and — when ``run_id`` is given — every
+    completed point is journaled so an interrupted sweep resumes with
+    ``resume=<run id>``. Assembled records are byte-identical to the
+    serial reference path (:func:`sweep_records` /
+    :func:`multicore_sweep_records`). ``jobs`` never affects results,
+    so it stays out of the cache key.
     """
     from repro.machines import machines_digest
 
@@ -405,16 +760,28 @@ def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
             return _result_from_payload(
                 ExperimentSpec("sweep", "sweep", ""), False, key, payload
             )
+    gemm_shapes = _sweep_shapes(sizes, shapes)
+    order, tasks = _sweep_point_tasks(
+        gemm_shapes, methods, machines, baseline, core_counts, strategy
+    )
     start = time.perf_counter()
-    if core_counts is not None:
-        records = multicore_sweep_records(
-            sizes=sizes, shapes=shapes, methods=methods, machines=machines,
-            core_counts=core_counts, strategy=strategy, jobs=jobs,
+    journal = _journal_for(run_id, resume, "sweep", params)
+    try:
+        payloads = _run_point_tasks(
+            "sweep", order, tasks, cache, jobs=jobs, retries=retries,
+            task_timeout=task_timeout, journal=journal, on_point=on_point,
         )
+        if journal is not None:
+            journal.finish()
+    finally:
+        if journal is not None:
+            journal.close()
+    from repro.experiments.records import make
+
+    records = make([payloads[point_id] for point_id in order])
+    if core_counts is not None:
         text = format_multicore_sweep(records)
     else:
-        records = sweep_records(sizes=sizes, shapes=shapes, methods=methods,
-                                machines=machines, baseline=baseline)
         text = format_sweep(records)
     result = ExperimentResult(
         name="sweep",
@@ -424,6 +791,7 @@ def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
         text=text,
         from_cache=False,
         elapsed_s=time.perf_counter() - start,
+        run_id=journal.run_id if journal is not None else None,
     )
     if cache is not None:
         _store(cache, key, result)

@@ -1,0 +1,44 @@
+"""Importable task callables for the executor tests.
+
+Executor tasks reference their callables as ``"module:attr"`` strings
+and may run them in forked worker processes, so lambdas and closures
+cannot be tasks — these module-level helpers can. The stateful ones
+(``flaky``) count attempts through a scratch file because worker
+processes share no memory with the test.
+"""
+
+import os
+import time
+
+
+def echo(value):
+    return {"value": value}
+
+
+def boom(message="poisoned"):
+    raise RuntimeError(message)
+
+
+def flaky(scratch, value, fail_first=1):
+    """Fail the first ``fail_first`` calls, counted via a scratch file."""
+    path = os.path.join(scratch, "attempts-%s" % value)
+    count = 0
+    if os.path.exists(path):
+        with open(path) as handle:
+            count = int(handle.read() or 0)
+    count += 1
+    with open(path, "w") as handle:
+        handle.write(str(count))
+    if count <= fail_first:
+        raise RuntimeError("flaky failure %d" % count)
+    return {"value": value, "attempts": count}
+
+
+def crash():
+    """Die without a traceback or a result (simulates segfault/OOM kill)."""
+    os._exit(13)
+
+
+def sleepy(seconds, value=None):
+    time.sleep(seconds)
+    return {"value": value}

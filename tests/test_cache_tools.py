@@ -1,0 +1,136 @@
+"""Config-digest hardening, the point-key layer, and cache maintenance."""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cache import ResultCache, config_digest
+
+
+class TestConfigDigest:
+    def test_tuples_and_paths_canonicalize(self):
+        assert config_digest({"a": (1, 2), "p": Path("/x/y")}) == (
+            config_digest({"a": [1, 2], "p": "/x/y"})
+        )
+
+    def test_stable_across_key_order(self):
+        assert config_digest({"a": 1, "b": 2}) == (
+            config_digest({"b": 2, "a": 1})
+        )
+
+    def test_value_types_distinguished(self):
+        digests = {
+            config_digest({"v": v})
+            for v in (1, 1.5, "1", True, None, [1])
+        }
+        assert len(digests) == 6
+
+    def test_rejects_arbitrary_objects_naming_key_path(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError) as err:
+            config_digest({"outer": {"inner": [Opaque()]}})
+        message = str(err.value)
+        assert "$.outer.inner[0]" in message
+        assert "digest" in message  # points at the .digest() remedy
+
+    def test_rejects_sets(self):
+        with pytest.raises(TypeError):
+            config_digest({"v": {1, 2}})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError, match="string"):
+            config_digest({"outer": {1: "x"}})
+
+
+class TestPointKeys:
+    BASE = {
+        "experiment": "sweep",
+        "point_id": "machine=a64fx/method=camp8",
+        "source_dig": "s" * 8,
+        "config_dig": "c" * 8,
+        "machines_dig": "m" * 8,
+        "engine": "batch",
+    }
+
+    def test_every_dimension_changes_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = {cache.point_key_for(**self.BASE)}
+        for dim in self.BASE:
+            keys.add(cache.point_key_for(**{**self.BASE, dim: "other"}))
+        assert len(keys) == len(self.BASE) + 1
+
+    def test_point_layer_accounts_separately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.point_key_for(**self.BASE)
+        assert cache.load_point(key) is None
+        cache.store_point(key, {"speedup": 2.0})
+        assert cache.load_point(key) == {"speedup": 2.0}
+        assert (cache.stats.point_misses, cache.stats.point_hits,
+                cache.stats.point_stores) == (1, 1, 1)
+        assert (cache.stats.misses, cache.stats.hits,
+                cache.stats.stores) == (0, 0, 0)
+
+
+def _store_entries(cache, count):
+    keys = []
+    for index in range(count):
+        key = cache.key_for("exp%d" % index, False, "s", "c")
+        cache.store(key, {"index": index, "pad": "x" * 200})
+        keys.append(key)
+    return keys
+
+
+def _age(cache, key, days):
+    path = cache.path_for(key)
+    stamp = time.time() - days * 86400
+    os.utime(path, (stamp, stamp))
+
+
+class TestPruneAndStats:
+    def test_disk_stats_empty(self, tmp_path):
+        stats = ResultCache(tmp_path / "none").disk_stats()
+        assert stats["entries"] == 0
+        assert stats["oldest_age_s"] is None
+
+    def test_disk_stats_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _store_entries(cache, 3)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == str(tmp_path)
+
+    def test_prune_by_age(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _store_entries(cache, 3)
+        _age(cache, keys[0], days=30)
+        _age(cache, keys[1], days=30)
+        removed, freed = cache.prune(max_age_days=7)
+        assert removed == 2 and freed > 0
+        assert cache.load(keys[2]) is not None
+        assert cache.load(keys[0]) is None
+
+    def test_prune_by_size_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _store_entries(cache, 4)
+        for index, key in enumerate(keys):
+            _age(cache, key, days=len(keys) - index)
+        entry_mb = cache.path_for(keys[0]).stat().st_size / (1024 * 1024)
+        removed, _ = cache.prune(max_size_mb=2.5 * entry_mb)
+        assert removed == 2
+        assert cache.load(keys[0]) is None  # oldest went first
+        assert cache.load(keys[3]) is not None
+
+    def test_prune_ignores_journals(self, tmp_path):
+        from repro.experiments.executor import RunJournal
+
+        cache = ResultCache(tmp_path)
+        _store_entries(cache, 1)
+        RunJournal.create(run_id="keepme", root=tmp_path).close()
+        removed, _ = cache.prune(max_age_days=0, max_size_mb=0)
+        assert removed == 1
+        assert (tmp_path / "journals" / "keepme.jsonl").exists()

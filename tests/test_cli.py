@@ -376,3 +376,136 @@ class TestBenchMulticore:
         baseline = {"scaling": {"best_s": 0.1}}
         problems = bench_multicore.check_regression(payload, baseline)
         assert any("deterministic" in problem for problem in problems)
+
+
+class TestExecutorCli:
+    SWEEP = ["sweep", "--sizes", "48", "--methods", "camp8",
+             "--cores", "1,2"]
+
+    def test_interrupt_resume_cycle(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_EXECUTOR_ABORT_AFTER", "1")
+        assert main(self.SWEEP + ["--run-id", "cli-ir"]) == 3
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "--resume cli-ir" in err
+
+        monkeypatch.delenv("REPRO_EXECUTOR_ABORT_AFTER")
+        assert main(["experiment", "runs"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-ir" in out and "resumable" in out
+
+        assert main(self.SWEEP + ["--resume", "cli-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "camp8" in out
+
+        assert main(["experiment", "runs"]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_resume_unknown_run_exits_2(self, capsys):
+        assert main(self.SWEEP + ["--resume", "ghost"]) == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_resume_different_grid_exits_2(self, capsys):
+        assert main(self.SWEEP + ["--run-id", "grid-pin"]) == 0
+        capsys.readouterr()
+        other = ["sweep", "--sizes", "64", "--methods", "camp8",
+                 "--cores", "1,2"]
+        assert main(other + ["--resume", "grid-pin"]) == 2
+        assert "different grid" in capsys.readouterr().err
+
+    def test_progress_lines(self, capsys):
+        assert main(self.SWEEP + ["--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
+
+    def test_experiment_resume_flags(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_EXECUTOR_ABORT_AFTER", "1")
+        code = main(["experiment", "multicore-scaling", "--fast",
+                     "--cores", "1,2", "--run-id", "exp-ir"])
+        assert code == 3
+        monkeypatch.delenv("REPRO_EXECUTOR_ABORT_AFTER")
+        capsys.readouterr()
+        code = main(["experiment", "multicore-scaling", "--fast",
+                     "--cores", "1,2", "--resume", "exp-ir"])
+        assert code == 0
+        assert "scaling" in capsys.readouterr().out
+
+    def test_runs_empty(self, capsys):
+        assert main(["experiment", "runs"]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+    def test_runs_prune_days(self, capsys):
+        assert main(self.SWEEP + ["--run-id", "prunable"]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "runs", "--prune-days", "0"]) == 0
+        assert "prunable" in capsys.readouterr().out
+        assert main(["experiment", "runs"]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+    def test_retries_flag_smoke(self, capsys):
+        assert main(self.SWEEP + ["--retries", "1"]) == 0
+        assert "camp8" in capsys.readouterr().out
+
+    def test_task_timeout_flag_smoke(self, capsys):
+        assert main(self.SWEEP + ["--task-timeout", "60"]) == 0
+        assert "camp8" in capsys.readouterr().out
+
+
+class TestCacheCli:
+    def test_stats_smoke(self, capsys):
+        assert main(["sweep", "--sizes", "48", "--methods", "camp8"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "result-cache" in out
+
+    def test_prune_requires_a_bound(self, capsys):
+        assert main(["cache", "prune"]) == 2
+        assert "--max-age-days" in capsys.readouterr().err
+
+    def test_prune_by_age(self, capsys):
+        assert main(["sweep", "--sizes", "48", "--methods", "camp8"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-age-days", "0"]) == 0
+        assert "pruned" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries      : 0" in capsys.readouterr().out
+
+
+class TestBenchSweep:
+    def test_smoke_and_gate(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sweep.json"
+        code = main(["bench-sweep", "--sizes", "48", "--methods", "camp8",
+                     "--cores", "1,2", "--out", str(out),
+                     "--check", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "sweep bench (2 points)" in printed
+        assert "perf gate passed" in printed
+        payload = json.loads(out.read_text())
+        assert payload["points_total"] == 2
+        assert payload["resume_recomputed"] == 1
+        assert payload["warm_identical"] and payload["resume_identical"]
+
+    def test_gate_catches_replay_leak(self):
+        from repro.experiments import bench_sweep
+
+        payload = {
+            "cold_s": 1.0, "warm_s": 0.01, "warm_speedup": 100.0,
+            "warm_identical": True, "interrupted": True,
+            "interrupt_after": 2, "points_total": 4,
+            "resume_recomputed": 4, "resume_identical": True,
+        }
+        problems = bench_sweep.check_regression(payload, {"cold_s": 1.0})
+        assert any("journal replay leak" in p for p in problems)
+
+    def test_gate_catches_slow_warm_rerun(self):
+        from repro.experiments import bench_sweep
+
+        payload = {
+            "cold_s": 1.0, "warm_s": 0.9, "warm_speedup": 1.1,
+            "warm_identical": True, "interrupted": True,
+            "interrupt_after": 2, "points_total": 4,
+            "resume_recomputed": 2, "resume_identical": True,
+        }
+        problems = bench_sweep.check_regression(payload, {"cold_s": 1.0})
+        assert any("warm sweep rerun" in p for p in problems)

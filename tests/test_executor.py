@@ -1,0 +1,235 @@
+"""Tests for the work-queue executor and its durable run journal."""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import executor
+from repro.experiments.executor import RunJournal, Task
+
+HELPERS = "tests.executor_helpers"
+
+
+def _echo_tasks(count):
+    return [
+        Task("p%d" % i, HELPERS + ":echo", {"value": i})
+        for i in range(count)
+    ]
+
+
+def _expected_results(count):
+    return {"p%d" % i: {"value": i} for i in range(count)}
+
+
+class TestTaskBasics:
+    def test_resolve_callable(self):
+        fn = executor.resolve_callable(HELPERS + ":echo")
+        assert fn(value=3) == {"value": 3}
+
+    def test_resolve_rejects_bad_reference(self):
+        with pytest.raises(ValueError, match="package.module:callable"):
+            executor.resolve_callable("no_colon_here")
+
+    def test_duplicate_point_ids_rejected(self):
+        tasks = [Task("same", HELPERS + ":echo", {"value": 1}),
+                 Task("same", HELPERS + ":echo", {"value": 2})]
+        with pytest.raises(ValueError, match="duplicate point id"):
+            executor.run_tasks(tasks)
+
+    def test_new_run_ids_are_unique(self):
+        ids = {executor.new_run_id("t") for _ in range(32)}
+        assert len(ids) == 32
+        assert all(i.startswith("t-") for i in ids)
+
+
+class TestSerialExecution:
+    def test_results_and_accounting(self):
+        outcome = executor.run_tasks(_echo_tasks(4))
+        assert outcome.results == _expected_results(4)
+        assert outcome.failures == {}
+        assert outcome.computed == 4
+        assert all(n == 1 for n in outcome.attempts.values())
+
+    def test_one_failed_point_does_not_fail_the_batch(self):
+        tasks = _echo_tasks(3)
+        tasks.insert(1, Task("bad", HELPERS + ":boom", {}))
+        outcome = executor.run_tasks(tasks)
+        assert outcome.results == _expected_results(3)
+        assert list(outcome.failures) == ["bad"]
+        assert "poisoned" in outcome.failures["bad"]
+
+    def test_retry_exhaustion_records_attempts(self):
+        outcome = executor.run_tasks(
+            [Task("bad", HELPERS + ":boom", {})], retries=2, backoff_s=0.001
+        )
+        assert outcome.attempts["bad"] == 3
+        assert "bad" in outcome.failures
+
+    def test_flaky_point_succeeds_after_retry(self, tmp_path):
+        task = Task("fl", HELPERS + ":flaky",
+                    {"scratch": str(tmp_path), "value": 7, "fail_first": 1})
+        outcome = executor.run_tasks([task], retries=1, backoff_s=0.001)
+        assert outcome.results["fl"] == {"value": 7, "attempts": 2}
+        assert outcome.failures == {}
+
+    def test_on_result_callback_sees_every_point(self):
+        seen = []
+
+        def on_result(point_id, payload, elapsed_s, attempts):
+            seen.append((point_id, payload["value"], attempts))
+
+        executor.run_tasks(_echo_tasks(3), on_result=on_result)
+        assert seen == [("p0", 0, 1), ("p1", 1, 1), ("p2", 2, 1)]
+
+    def test_empty_task_list(self):
+        outcome = executor.run_tasks([])
+        assert outcome.results == {} and outcome.computed == 0
+
+
+class TestPooledExecution:
+    def test_process_mode_matches_serial(self):
+        serial = executor.run_tasks(_echo_tasks(6))
+        pooled = executor.run_tasks(_echo_tasks(6), jobs=3)
+        assert pooled.results == serial.results
+        assert pooled.failures == {}
+
+    def test_dead_worker_blamed_and_replaced(self):
+        tasks = _echo_tasks(4)
+        tasks.insert(0, Task("crash", HELPERS + ":crash", {}))
+        outcome = executor.run_tasks(tasks, jobs=2)
+        assert outcome.results == _expected_results(4)
+        assert "worker died mid-task" in outcome.failures["crash"]
+        assert "13" in outcome.failures["crash"]
+
+    def test_task_timeout_kills_hung_point(self):
+        tasks = _echo_tasks(2)
+        tasks.append(Task("hung", HELPERS + ":sleepy", {"seconds": 60.0}))
+        start = time.monotonic()
+        outcome = executor.run_tasks(tasks, jobs=2, task_timeout=0.5)
+        assert time.monotonic() - start < 30
+        assert outcome.results == _expected_results(2)
+        assert "timed out after" in outcome.failures["hung"]
+
+    def test_timeout_forces_process_workers_even_serial(self):
+        # jobs=1 + a timeout must still use a killable worker process
+        outcome = executor.run_tasks(
+            _echo_tasks(3), jobs=1, task_timeout=30.0
+        )
+        assert outcome.results == _expected_results(3)
+
+    def test_pooled_retry_exhaustion(self):
+        outcome = executor.run_tasks(
+            [Task("bad", HELPERS + ":boom", {})] + _echo_tasks(2),
+            jobs=2, retries=1, backoff_s=0.001,
+        )
+        assert outcome.attempts["bad"] == 2
+        assert "bad" in outcome.failures
+        assert outcome.results == _expected_results(2)
+
+    def test_bad_fn_reference_fails_fast_in_parent(self):
+        with pytest.raises(ModuleNotFoundError):
+            executor.run_tasks(
+                [Task("x", "no.such.module:fn", {})], jobs=2
+            )
+
+
+class TestJournal:
+    def test_round_trip(self):
+        with RunJournal.create(run_id="rt", meta={"experiment": "t"}) as j:
+            j.record("a", {"v": 1}, 0.5)
+            j.record("b", {"v": 2}, 0.25)
+        resumed = RunJournal.resume("rt")
+        assert resumed.meta()["experiment"] == "t"
+        assert resumed.completed() == {"a": {"v": 1}, "b": {"v": 2}}
+        assert not resumed.is_done()
+
+    def test_finish_marks_done(self):
+        with RunJournal.create(run_id="fin") as j:
+            j.record("a", {"v": 1})
+            j.finish()
+        assert RunJournal.resume("fin").is_done()
+
+    def test_create_refuses_existing_run_id(self):
+        RunJournal.create(run_id="dup").close()
+        with pytest.raises(executor.JournalError, match="already exists"):
+            RunJournal.create(run_id="dup")
+
+    def test_resume_unknown_lists_known_runs(self):
+        RunJournal.create(run_id="known-one").close()
+        with pytest.raises(executor.JournalError, match="known-one"):
+            RunJournal.resume("missing")
+
+    def test_torn_trailing_line_tolerated(self):
+        with RunJournal.create(run_id="torn") as j:
+            j.record("a", {"v": 1})
+        path = executor.journals_dir() / "torn.jsonl"
+        with open(path, "a") as handle:
+            handle.write('{"type": "point", "point_id": "b", "pay')
+        resumed = RunJournal.resume("torn")
+        assert resumed.completed() == {"a": {"v": 1}}
+
+    def test_last_record_wins(self):
+        with RunJournal.create(run_id="lw") as j:
+            j.record("a", {"v": 1})
+            j.record("a", {"v": 2})
+        assert RunJournal.resume("lw").completed() == {"a": {"v": 2}}
+
+    def test_explicit_root(self, tmp_path):
+        root = tmp_path / "elsewhere"
+        RunJournal.create(run_id="r1", root=root).close()
+        assert (root / "journals" / "r1.jsonl").exists()
+        assert [r["run_id"] for r in executor.list_runs(root=root)] == ["r1"]
+
+
+class TestRunInventory:
+    def test_list_runs_summarizes(self):
+        with RunJournal.create(run_id="r-old",
+                               meta={"experiment": "sweep"}) as j:
+            j.record("a", {"v": 1})
+        with RunJournal.create(run_id="r-new",
+                               meta={"experiment": "batch"}) as j:
+            j.record("a", {"v": 1})
+            j.record("b", {"v": 2})
+            j.finish()
+        runs = {r["run_id"]: r for r in executor.list_runs()}
+        assert runs["r-old"]["points"] == 1
+        assert runs["r-old"]["experiment"] == "sweep"
+        assert not runs["r-old"]["done"]
+        assert runs["r-new"]["points"] == 2
+        assert runs["r-new"]["done"]
+
+    def test_prune_runs_by_age(self):
+        RunJournal.create(run_id="ancient").close()
+        RunJournal.create(run_id="recent").close()
+        old = executor.journals_dir() / "ancient.jsonl"
+        stamp = time.time() - 10 * 86400
+        os.utime(old, (stamp, stamp))
+        assert executor.prune_runs(max_age_days=5) == ["ancient"]
+        assert [r["run_id"] for r in executor.list_runs()] == ["recent"]
+
+
+class TestInterruption:
+    def test_abort_after_hook_raises_with_journal_intact(self, monkeypatch):
+        monkeypatch.setenv(executor.ABORT_AFTER_ENV, "2")
+        journal = RunJournal.create(run_id="abrt")
+        with pytest.raises(executor.InterruptedRun) as err:
+            executor.run_tasks(_echo_tasks(5), journal=journal)
+        journal.close()
+        assert err.value.run_id == "abrt"
+        assert len(RunJournal.resume("abrt").completed()) == 2
+
+    def test_journal_records_every_completed_point(self):
+        journal = RunJournal.create(run_id="full")
+        outcome = executor.run_tasks(_echo_tasks(3), journal=journal)
+        journal.finish()
+        journal.close()
+        resumed = RunJournal.resume("full")
+        assert resumed.completed() == outcome.results
+        assert resumed.is_done()
+
+    def test_point_delay_hook(self, monkeypatch):
+        monkeypatch.setenv(executor.POINT_DELAY_ENV, "0.05")
+        start = time.monotonic()
+        executor.run_tasks(_echo_tasks(2))
+        assert time.monotonic() - start >= 0.1

@@ -1,0 +1,222 @@
+"""Interrupt/resume behavior of the point-granular sweep path.
+
+The acceptance bar for the executor refactor: an interrupted sweep
+resumes byte-identical to an uninterrupted one, journaled points are
+never recomputed, and changing one grid dimension recomputes only the
+affected points.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import artifacts, executor, orchestrator
+from repro.experiments.cache import ResultCache
+
+#: 1 size x 1 method x 2 core counts x 1 machine = 2 points, plus
+#: easy extension along any dimension
+GRID = {
+    "sizes": [48],
+    "shapes": [],
+    "methods": ["camp8"],
+    "machines": ["a64fx"],
+    "baseline": None,
+    "core_counts": [1, 2],
+    "strategy": "npanel",
+}
+
+
+def _sweep(cache=None, grid=None, statuses=None, **extra):
+    def on_point(done, total, point_id, status, elapsed_s):
+        if statuses is not None:
+            statuses.append((point_id, status))
+
+    return orchestrator.run_sweep(
+        cache=cache, on_point=on_point, **(grid or GRID), **extra
+    )
+
+
+def _canonical(result):
+    return artifacts.dumps_canonical(result.records)
+
+
+class TestInterruptResume:
+    def test_resume_is_byte_identical(self, monkeypatch):
+        grid = dict(GRID, sizes=[48, 64])  # 4 points
+        reference = _canonical(_sweep(grid=grid))
+
+        monkeypatch.setenv(executor.ABORT_AFTER_ENV, "2")
+        with pytest.raises(executor.InterruptedRun) as err:
+            _sweep(grid=grid, run_id="ir")
+        assert err.value.run_id == "ir"
+        monkeypatch.delenv(executor.ABORT_AFTER_ENV)
+
+        statuses = []
+        resumed = _sweep(grid=grid, statuses=statuses, resume="ir")
+        assert _canonical(resumed) == reference
+        assert [s for _, s in statuses] == [
+            "journaled", "journaled", "computed", "computed"
+        ]
+        assert resumed.run_id == "ir"
+
+    def test_journaled_points_never_recomputed(self, monkeypatch):
+        """Recompute counter: resume must not re-run journaled cells."""
+        calls = []
+        real = orchestrator._sweep_point_multicore
+
+        def counting(**kwargs):
+            calls.append(kwargs["cores"])
+            return real(**kwargs)
+
+        monkeypatch.setattr(
+            orchestrator, "_sweep_point_multicore", counting
+        )
+        monkeypatch.setenv(executor.ABORT_AFTER_ENV, "1")
+        with pytest.raises(executor.InterruptedRun):
+            _sweep(run_id="rc")
+        monkeypatch.delenv(executor.ABORT_AFTER_ENV)
+        assert calls == [1]
+
+        resumed = _sweep(resume="rc")
+        assert calls == [1, 2]  # cores=1 replayed from the journal
+        assert [r["cores"] for r in resumed.records] == [1, 2]
+
+    def test_finished_journal_replays_entirely(self):
+        first = _sweep(run_id="fin")
+        calls = []
+        resumed = _sweep(
+            statuses=calls, resume="fin"
+        )
+        assert [s for _, s in calls] == ["journaled", "journaled"]
+        assert _canonical(resumed) == _canonical(first)
+
+    def test_resume_refuses_different_grid(self):
+        _sweep(run_id="grid-a")
+        with pytest.raises(executor.JournalError, match="different grid"):
+            _sweep(grid=dict(GRID, sizes=[64]), resume="grid-a")
+
+    def test_resume_unknown_run(self):
+        with pytest.raises(executor.JournalError, match="no journal"):
+            _sweep(resume="never-created")
+
+
+class TestPointCacheInvalidation:
+    def test_extending_one_dimension_recomputes_only_new_points(self):
+        cache = ResultCache()
+        _sweep(cache=cache, grid=dict(GRID, core_counts=[1, 2]))
+
+        cache2 = ResultCache()
+        statuses = []
+        result = _sweep(
+            cache=cache2, grid=dict(GRID, core_counts=[1, 2, 4]),
+            statuses=statuses,
+        )
+        assert [s for _, s in statuses] == ["cached", "cached", "computed"]
+        assert cache2.stats.point_hits == 2
+        assert cache2.stats.point_misses == 1
+        assert cache2.stats.point_stores == 1
+        assert [r["cores"] for r in result.records] == [1, 2, 4]
+
+    def test_cached_grid_is_byte_identical_to_cold(self):
+        cold = _sweep(grid=dict(GRID, sizes=[48, 64]))
+        cache = ResultCache()
+        _sweep(cache=cache, grid=dict(GRID, sizes=[48]))
+        warm = _sweep(cache=ResultCache(), grid=dict(GRID, sizes=[48, 64]))
+        assert _canonical(warm) == _canonical(cold)
+
+    def test_single_core_sweep_points_cache_too(self):
+        cache = ResultCache()
+        _sweep(cache=cache, grid=dict(GRID, core_counts=None,
+                                      methods=["camp8"]))
+        assert cache.stats.point_stores == 1
+        reference = _sweep(grid=dict(GRID, core_counts=None,
+                                     methods=["camp8", "camp4"]))
+        statuses = []
+        extended = _sweep(
+            cache=ResultCache(), statuses=statuses,
+            grid=dict(GRID, core_counts=None, methods=["camp8", "camp4"]),
+        )
+        assert [s for _, s in statuses] == ["cached", "computed"]
+        assert _canonical(extended) == _canonical(reference)
+
+
+class TestRunManyResume:
+    def test_pointwise_experiment_resumes(self, monkeypatch):
+        run_kwargs = {"methods": ["camp8"], "cores": [1, 2], "size": 64,
+                      "jobs": 1}
+        reference = orchestrator.run_many(
+            ["multicore-scaling"], fast=True, run_kwargs=run_kwargs
+        )[0]
+
+        monkeypatch.setenv(executor.ABORT_AFTER_ENV, "2")
+        with pytest.raises(executor.InterruptedRun):
+            orchestrator.run_many(
+                ["multicore-scaling"], fast=True, run_kwargs=run_kwargs,
+                cache=ResultCache(), run_id="rm",
+            )
+        monkeypatch.delenv(executor.ABORT_AFTER_ENV)
+
+        resumed = orchestrator.run_many(
+            ["multicore-scaling"], fast=True, run_kwargs=run_kwargs,
+            cache=ResultCache(), resume="rm",
+        )[0]
+        assert artifacts.dumps_canonical(resumed.records) == (
+            artifacts.dumps_canonical(reference.records)
+        )
+        assert resumed.text == reference.text
+
+
+class TestSigterm:
+    def test_sigterm_mid_sweep_resumes_byte_identical(self, tmp_path):
+        """Kill a real CLI sweep mid-run, then resume it cleanly."""
+        cache_dir = Path(os.environ["REPRO_CACHE_DIR"])
+        grid_args = ["sweep", "--sizes", "48", "--methods", "camp8",
+                     "--cores", "1,2,3,4"]
+        env = dict(
+            os.environ,
+            REPRO_EXECUTOR_POINT_DELAY_S="0.25",
+            PYTHONPATH=(
+                str(Path("src").resolve()) + os.pathsep
+                + os.environ.get("PYTHONPATH", "")
+            ),
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *grid_args,
+             "--run-id", "sig"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        journal_path = cache_dir / "journals" / "sig.jsonl"
+        deadline = time.monotonic() + 30
+        try:
+            while time.monotonic() < deadline:
+                if (journal_path.exists()
+                        and '"type": "point"' in journal_path.read_text()):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("no point journaled before the deadline")
+            proc.send_signal(signal.SIGTERM)
+            _, stderr = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 3, stderr.decode()
+        assert "--resume sig" in stderr.decode()
+
+        journaled = executor.RunJournal.resume("sig").completed()
+        assert 1 <= len(journaled) < 4
+
+        grid = dict(GRID, core_counts=[1, 2, 3, 4])
+        statuses = []
+        resumed = _sweep(grid=grid, statuses=statuses, resume="sig")
+        assert sum(1 for _, s in statuses if s == "computed") == (
+            4 - len(journaled)
+        )
+        assert _canonical(resumed) == _canonical(_sweep(grid=grid))
