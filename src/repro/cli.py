@@ -62,6 +62,12 @@ def _apply_engine(args):
 
         os.environ["REPRO_PIPELINE_ENGINE"] = engine
         set_default_engine(engine)
+    if getattr(args, "no_trace_cache", False):
+        # env-only: the trace cache re-reads the variable on every
+        # lookup, and worker processes inherit the environment
+        from repro.simulator.engine import TRACE_CACHE_ENV
+
+        os.environ[TRACE_CACHE_ENV] = "1"
 
 
 def _apply_machine_files(args):
@@ -235,19 +241,33 @@ def _cmd_runs(args):
     return 0
 
 
-def _cmd_cache(args):
-    """Result-cache maintenance: ``cache stats`` / ``cache prune``."""
-    from repro.experiments.cache import ResultCache
+def _print_tier_stats(stats):
+    print("cache root   : %s" % stats["root"])
+    print("entries      : %d" % stats["entries"])
+    print("total size   : %.2f MB" % (stats["total_bytes"] / 1e6))
+    if stats["oldest_age_s"] is not None:
+        print("oldest entry : %.1f days" % (stats["oldest_age_s"] / 86400))
+        print("newest entry : %.1f days" % (stats["newest_age_s"] / 86400))
 
-    cache = ResultCache(getattr(args, "cache_dir", None))
+
+def _cmd_cache(args):
+    """Cache maintenance over both tiers: ``cache stats`` / ``cache prune``.
+
+    The result tier holds experiment records (JSON), the trace tier
+    holds the batch engine's persisted compiled traces (``.rptc``);
+    both live under the same root and are inspected/pruned together.
+    """
+    from repro.experiments.cache import ResultCache
+    from repro.simulator import trace_cache
+
+    cache_dir = getattr(args, "cache_dir", None)
+    cache = ResultCache(cache_dir)
     if args.action == "stats":
-        stats = cache.disk_stats()
-        print("cache root   : %s" % stats["root"])
-        print("entries      : %d" % stats["entries"])
-        print("total size   : %.2f MB" % (stats["total_bytes"] / 1e6))
-        if stats["oldest_age_s"] is not None:
-            print("oldest entry : %.1f days" % (stats["oldest_age_s"] / 86400))
-            print("newest entry : %.1f days" % (stats["newest_age_s"] / 86400))
+        print("result tier")
+        _print_tier_stats(cache.disk_stats())
+        print()
+        print("compiled-trace tier")
+        _print_tier_stats(trace_cache.disk_stats(cache_dir))
         return 0
     # prune
     if args.max_age_days is None and args.max_size_mb is None:
@@ -257,8 +277,15 @@ def _cmd_cache(args):
     removed, freed = cache.prune(
         max_age_days=args.max_age_days, max_size_mb=args.max_size_mb
     )
-    print("pruned %d entr%s (%.2f MB freed)"
-          % (removed, "y" if removed == 1 else "ies", freed / 1e6))
+    trace_removed, trace_freed = trace_cache.prune(
+        max_age_days=args.max_age_days, max_size_mb=args.max_size_mb,
+        base=cache_dir,
+    )
+    print("pruned %d result entr%s (%.2f MB freed), %d compiled-trace "
+          "entr%s (%.2f MB freed)"
+          % (removed, "y" if removed == 1 else "ies", freed / 1e6,
+             trace_removed, "y" if trace_removed == 1 else "ies",
+             trace_freed / 1e6))
     return 0
 
 
@@ -469,20 +496,27 @@ def _cmd_bench(args):
     suite = payload["fast_suite"]
     print("fast suite: cold %.3fs, warm %.3fs (%d cache hits)"
           % (suite["cold_s"], suite["warm_s"], suite["warm_cache_hits"]))
+    trace = payload["trace_cache"]
+    print("trace cache: cold compile %.3fs, warm load %.3fs (%.1fx, "
+          "%d instructions) | traces identical: %s"
+          % (trace["cold_s"], trace["warm_s"], trace["speedup_best"],
+             trace["instructions"], trace["identical"]))
     if args.out:
         path = bench_pipeline.write_bench(payload, args.out)
         print("wrote %s" % path)
     if args.check:
         baseline = json.loads(open(args.check).read())
         problems = bench_pipeline.check_regression(
-            payload, baseline, max_warm_ratio=args.max_warm_regression
+            payload, baseline, max_warm_ratio=args.max_warm_regression,
+            min_compile_speedup=args.min_compile_speedup,
         )
         for problem in problems:
             print("PERF REGRESSION: %s" % problem, file=sys.stderr)
         if problems:
             return 1
-        print("perf gate passed (warm rerun within %.1fx of baseline)"
-              % args.max_warm_regression)
+        print("perf gate passed (warm rerun within %.1fx of baseline, "
+              "trace cache >= %.1fx)"
+              % (args.max_warm_regression, args.min_compile_speedup))
     return 0
 
 
@@ -540,20 +574,27 @@ def _cmd_bench_sweep(args):
            payload["resume_recomputed"], payload["resume_replayed"],
            payload["warm_identical"] and payload["resume_identical"])
     )
+    trace = payload["trace_cache"]
+    print("trace cache: cold compile %.3fs, warm load %.3fs (%.1fx, "
+          "%d instructions) | traces identical: %s"
+          % (trace["cold_s"], trace["warm_s"], trace["speedup_best"],
+             trace["instructions"], trace["identical"]))
     if args.out:
         path = bench_sweep.write_bench(payload, args.out)
         print("wrote %s" % path)
     if args.check:
         baseline = json.loads(open(args.check).read())
         problems = bench_sweep.check_regression(
-            payload, baseline, min_warm_speedup=args.min_warm_speedup
+            payload, baseline, min_warm_speedup=args.min_warm_speedup,
+            min_compile_speedup=args.min_compile_speedup,
         )
         for problem in problems:
             print("PERF REGRESSION: %s" % problem, file=sys.stderr)
         if problems:
             return 1
-        print("sweep perf gate passed (warm >= %.1fx faster, resume exact)"
-              % args.min_warm_speedup)
+        print("sweep perf gate passed (warm >= %.1fx faster, resume exact, "
+              "trace cache >= %.1fx)"
+              % (args.min_warm_speedup, args.min_compile_speedup))
     return 0
 
 
@@ -621,6 +662,10 @@ def _add_engine_option(parser):
     parser.add_argument("--engine", choices=("batch", "scalar"),
                         help="pipeline engine (default: batch; both are "
                              "bit-identical, scalar is the reference loop)")
+    parser.add_argument("--no-trace-cache", action="store_true",
+                        help="bypass the persistent compiled-trace cache "
+                             "(results are bit-identical either way; also "
+                             "honoured via $REPRO_NO_TRACE_CACHE)")
 
 
 def build_parser():
@@ -713,6 +758,9 @@ def build_parser():
                                    "and fail on perf regression")
     bench_parser.add_argument("--max-warm-regression", type=float, default=3.0,
                               help="allowed warm-rerun slowdown vs baseline")
+    bench_parser.add_argument("--min-compile-speedup", type=float, default=2.0,
+                              help="required cold-compile/warm-load ratio for "
+                                   "the compiled-trace cache")
 
     bench_mc = sub.add_parser(
         "bench-multicore",
@@ -746,6 +794,9 @@ def build_parser():
                                "and fail on perf regression")
     bench_sw.add_argument("--min-warm-speedup", type=float, default=5.0,
                           help="required cold/warm wall-time ratio")
+    bench_sw.add_argument("--min-compile-speedup", type=float, default=2.0,
+                          help="required cold-compile/warm-load ratio for "
+                               "the compiled-trace cache")
     return parser
 
 

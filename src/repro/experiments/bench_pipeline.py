@@ -14,9 +14,21 @@ Produces ``BENCH_pipeline.json`` with two measurement families:
   throwaway cache directory. The CI perf-regression gate compares the
   measured warm rerun against the committed baseline and fails if it
   regresses more than the allowed factor.
+
+- **Compiled-trace cache** — cold trace compiles (compile + persist)
+  versus warm loads from the cross-run trace cache
+  (:mod:`repro.simulator.trace_cache`) over a set of real kernel-call
+  and packing programs, in a scratch cache directory. Both phases run
+  with the program content digests precomputed (exactly how the
+  orchestrator and multi-core fan-out amortize them), so the ratio
+  isolates what the cache actually replaces — compile + serialize +
+  store against read + verify + deserialize — and the gate requires
+  the warm side to be at least :data:`MIN_COMPILE_SPEEDUP` x faster
+  with the loaded traces field-identical to fresh compiles.
 """
 
 import json
+import os
 import platform
 import tempfile
 import time
@@ -98,6 +110,150 @@ def bench_suite(jobs=1):
     }
 
 
+#: (machine, method[, kc_scale]) specs the compile-cache bench builds
+#: programs from — both ISAs, CAMP and a conventional int8 kernel. The
+#: optional per-spec k-block scale sizes each call program into the
+#: few-thousand-instruction range: real sweep calls are a few hundred
+#: instructions each (too small to time individually), while gemmlowp's
+#: scalar-heavy inner loop already emits ~15 instructions per k element
+#: and needs no scaling at all
+COMPILE_BENCH_SPECS = (
+    ("a64fx", "camp8", 16),
+    ("a64fx", "gemmlowp", 1),
+    ("sargantana", "camp4", 16),
+)
+
+#: default k-block scale when a spec does not carry its own
+COMPILE_BENCH_KC_SCALE = 16
+
+#: bytes of panel data per bench packing trace (~12k instructions)
+COMPILE_BENCH_PACK_BYTES = 256 * 1024
+
+
+def compile_bench_pairs(specs=COMPILE_BENCH_SPECS):
+    """``(program, config)`` pairs big enough that compile time is signal."""
+    from repro.experiments import runner
+    from repro.gemm.microkernel import A_PANEL_BASE, B_PANEL_BASE
+    from repro.gemm.packing import emit_pack_trace
+    from repro.isa.builder import ProgramBuilder
+
+    pairs = []
+    for spec in specs:
+        machine, method = spec[0], spec[1]
+        scale = spec[2] if len(spec) > 2 else COMPILE_BENCH_KC_SCALE
+        driver = runner.driver_for(method, machine)
+        kc = driver.blocking.kc * scale
+        for first in (True, False):
+            pairs.append(
+                (driver.kernel.build_call(kc, first_k_block=first),
+                 driver.config)
+            )
+        builder = ProgramBuilder(
+            name="bench-pack-%s-%s" % (machine, method),
+            vector_length_bits=driver.config.vector_length_bits,
+        )
+        emit_pack_trace(builder, A_PANEL_BASE, B_PANEL_BASE,
+                        COMPILE_BENCH_PACK_BYTES, driver.kernel.dtype)
+        pairs.append((builder.build(), driver.config))
+    return pairs
+
+
+def measure_compile_cache(pairs=None, repeats=3):
+    """Cold compile+persist vs warm load-from-disk over ``pairs``.
+
+    Every repeat uses a fresh scratch cache subdirectory for the cold
+    phase (so each cold pass really compiles and stores) and then
+    re-reads the entries it just wrote for the warm phase, with the
+    in-memory tier and the per-program memo cleared in between — the
+    warm numbers are pure disk loads, the cross-process hit path.
+    Program content digests are computed once up front (they survive
+    the memo strips, mirroring :func:`repro.simulator.trace_cache.predigest`
+    use in the multi-core fan-out), so both phases time only the work
+    the cache trades: compile + serialize + store against read +
+    verify + deserialize. The cyclic garbage collector is paused over
+    the timed loops — both phases churn large transient lists, and a
+    collection landing in one phase but not the other dominates the
+    ratio with pure noise.
+    """
+    import gc
+
+    from repro.simulator import trace_cache
+    from repro.simulator.engine import trace_caching
+    from repro.simulator.trace_compile import (
+        _COMPILED_ATTR,
+        compile_trace,
+        compiled_for,
+    )
+
+    if pairs is None:
+        pairs = compile_bench_pairs()
+    programs = [program for program, _ in pairs]
+
+    def strip_memos():
+        trace_cache.clear_memory()
+        for program in programs:
+            try:
+                delattr(program, _COMPILED_ATTR)
+            except AttributeError:
+                pass
+
+    cold_walls, warm_walls = [], []
+    warm_traces = []
+    gc_was_enabled = gc.isenabled()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        try:
+            with trace_caching(True):
+                for program in programs:
+                    trace_cache.predigest(program)
+                reference = [
+                    compile_trace(program, config)
+                    for program, config in pairs
+                ]
+                gc.disable()
+                for index in range(max(1, repeats)):
+                    os.environ["REPRO_CACHE_DIR"] = str(
+                        Path(tmp) / ("rep%d" % index)
+                    )
+                    strip_memos()
+                    gc.collect()
+                    start = time.perf_counter()
+                    for program, config in pairs:
+                        compiled_for(program, config)
+                    cold_walls.append(time.perf_counter() - start)
+                    strip_memos()
+                    gc.collect()
+                    start = time.perf_counter()
+                    warm_traces = [
+                        compiled_for(program, config)
+                        for program, config in pairs
+                    ]
+                    warm_walls.append(time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+    identical = len(warm_traces) == len(reference) and all(
+        trace_cache.traces_equal(warm, fresh)
+        for warm, fresh in zip(warm_traces, reference)
+    )
+    cold_s = min(cold_walls)
+    warm_s = min(warm_walls)
+    return {
+        "pairs": len(pairs),
+        "instructions": sum(len(program) for program in programs),
+        "cold_wall_s": [round(wall, 4) for wall in cold_walls],
+        "warm_wall_s": [round(wall, 4) for wall in warm_walls],
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup_best": round(cold_s / max(warm_s, 1e-9), 2),
+        "identical": identical,
+    }
+
+
 def run_bench(repeats=3, fast=False, jobs=1, experiments=ENGINE_EXPERIMENTS):
     """Full benchmark payload for ``BENCH_pipeline.json``."""
     payload = {
@@ -108,6 +264,7 @@ def run_bench(repeats=3, fast=False, jobs=1, experiments=ENGINE_EXPERIMENTS):
             experiments=experiments, fast=fast, repeats=repeats
         ),
         "fast_suite": bench_suite(jobs=jobs),
+        "trace_cache": measure_compile_cache(repeats=max(1, repeats)),
     }
     return payload
 
@@ -123,8 +280,47 @@ def write_bench(payload, out_path):
 #: cross-machine wall-clock comparison that any scheduler hiccup trips
 WARM_FLOOR_S = 0.25
 
+#: required cold-compile / warm-load wall-time ratio for the
+#: compiled-trace cache (the acceptance bar: loading must beat
+#: recompiling by at least this factor)
+MIN_COMPILE_SPEEDUP = 2.0
 
-def check_regression(payload, baseline, max_warm_ratio=3.0):
+#: below this cold-compile time the speedup gate is skipped — both
+#: sides are timed back-to-back in-process, so the floor only needs to
+#: clear timer noise, not cross-machine variance
+COMPILE_FLOOR_S = 0.02
+
+
+def compile_cache_problems(trace, min_compile_speedup=MIN_COMPILE_SPEEDUP):
+    """Gate one ``trace_cache`` bench section; empty list = pass.
+
+    Shared by the bench-pipeline and bench-sweep regression checks:
+    warm loads must be at least ``min_compile_speedup`` x faster than
+    cold compiles (once cold time clears :data:`COMPILE_FLOOR_S`), and
+    the loaded traces must be field-identical to fresh compiles.
+    """
+    problems = []
+    if trace is None:
+        return ["payload has no trace_cache section"]
+    if not trace.get("identical", False):
+        problems.append(
+            "compiled traces loaded from the trace cache differ from "
+            "fresh compiles"
+        )
+    if (trace["cold_s"] >= COMPILE_FLOOR_S
+            and trace["speedup_best"] < min_compile_speedup):
+        problems.append(
+            "warm trace-cache loads are only %.1fx faster than cold "
+            "compiles (%.3fs vs %.3fs over %d instructions); the "
+            "compiled-trace cache should make them >= %.1fx"
+            % (trace["speedup_best"], trace["warm_s"], trace["cold_s"],
+               trace.get("instructions", 0), min_compile_speedup)
+        )
+    return problems
+
+
+def check_regression(payload, baseline, max_warm_ratio=3.0,
+                     min_compile_speedup=MIN_COMPILE_SPEEDUP):
     """Compare a fresh payload against the committed baseline.
 
     Returns a list of human-readable problems (empty = gate passes):
@@ -133,7 +329,10 @@ def check_regression(payload, baseline, max_warm_ratio=3.0):
       ``max_warm_ratio`` x the committed warm time (with an absolute
       floor of :data:`WARM_FLOOR_S`, so a ~1 ms baseline from a faster
       machine cannot fail CI on noise alone);
-    - engine-comparison records must be identical between engines.
+    - engine-comparison records must be identical between engines;
+    - the compiled-trace cache must beat recompiling by at least
+      ``min_compile_speedup`` x with identical traces
+      (:func:`compile_cache_problems`).
     """
     problems = []
     warm = payload["fast_suite"]["warm_s"]
@@ -152,4 +351,10 @@ def check_regression(payload, baseline, max_warm_ratio=3.0):
             problems.append(
                 "experiment %s: scalar and batch engines disagree" % name
             )
+    problems.extend(
+        compile_cache_problems(
+            payload.get("trace_cache"),
+            min_compile_speedup=min_compile_speedup,
+        )
+    )
     return problems

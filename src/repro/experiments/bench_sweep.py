@@ -15,6 +15,11 @@ is timed three ways:
   the points the interruption left unfinished and reassembled records
   identical to the cold run — correctness, not just wall time.
 
+The payload also carries a ``trace_cache`` section — cold trace
+compiles vs warm loads from the cross-run compiled-trace cache over
+the grid's own (machine, method) pairs, measured and gated through
+:mod:`repro.experiments.bench_pipeline`'s shared helpers.
+
 Everything runs in scratch cache directories (``$REPRO_CACHE_DIR`` is
 redirected for the duration), so benching never touches the user's
 real cache or journals.
@@ -140,6 +145,18 @@ def run_bench(repeats=1, grid=None):
         resume_recomputed = sum(1 for s in statuses if s == "computed")
         resume_identical = resume_result.records == cold_records
 
+    from repro.experiments import bench_pipeline
+
+    trace_specs = tuple(
+        (machine, method)
+        for machine in grid["machines"]
+        for method in grid["methods"]
+    )
+    trace_cache_section = bench_pipeline.measure_compile_cache(
+        pairs=bench_pipeline.compile_bench_pairs(trace_specs),
+        repeats=max(1, repeats),
+    )
+
     cold_s = min(cold_walls)
     return {
         "schema": "repro-camp/bench-sweep/v1",
@@ -165,6 +182,7 @@ def run_bench(repeats=1, grid=None):
         "resume_recomputed": resume_recomputed,
         "resume_replayed": points_total - resume_recomputed,
         "resume_identical": resume_identical,
+        "trace_cache": trace_cache_section,
     }
 
 
@@ -175,16 +193,23 @@ def write_bench(payload, out_path):
 
 
 def check_regression(payload, baseline, min_warm_speedup=MIN_WARM_SPEEDUP,
-                     max_cold_ratio=3.0):
+                     max_cold_ratio=3.0, min_compile_speedup=None):
     """Compare a fresh payload against the committed baseline.
 
     Returns a list of human-readable problems (empty = gate passes).
     The gate is part wall time (warm rerun at least
     ``min_warm_speedup`` x faster than cold; cold within
-    ``max_cold_ratio`` x the committed baseline) and part correctness
-    (the abort hook interrupted, the resume recomputed exactly the
-    unfinished points, records byte-identical across all three paths).
+    ``max_cold_ratio`` x the committed baseline; warm trace-cache
+    loads at least ``min_compile_speedup`` x faster than cold
+    compiles) and part correctness (the abort hook interrupted, the
+    resume recomputed exactly the unfinished points, records
+    byte-identical across all three paths, cached traces identical to
+    fresh compiles).
     """
+    from repro.experiments import bench_pipeline
+
+    if min_compile_speedup is None:
+        min_compile_speedup = bench_pipeline.MIN_COMPILE_SPEEDUP
     problems = []
     if (payload["cold_s"] >= COLD_FLOOR_S
             and payload["warm_speedup"] < min_warm_speedup):
@@ -219,4 +244,10 @@ def check_regression(payload, baseline, min_warm_speedup=MIN_WARM_SPEEDUP,
                 % (payload["cold_s"], threshold, max_cold_ratio,
                    base_cold, BENCH_FLOOR_S)
             )
+    problems.extend(
+        bench_pipeline.compile_cache_problems(
+            payload.get("trace_cache"),
+            min_compile_speedup=min_compile_speedup,
+        )
+    )
     return problems

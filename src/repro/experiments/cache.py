@@ -31,29 +31,53 @@ from pathlib import Path
 #: the package source tree whose content keys the cache (src/repro)
 SOURCE_ROOT = Path(__file__).resolve().parents[1]
 
-_source_digests = {}
+_source_digests = {}  # root -> (tree fingerprint, digest)
+
+
+def _tree_files(root):
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def _tree_fingerprint(root):
+    """Cheap (stat-only) change detector for the memoized tree digest."""
+    fingerprint = []
+    for path in _tree_files(root):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        fingerprint.append(
+            (str(path.relative_to(root)), stat.st_mtime_ns, stat.st_size)
+        )
+    return tuple(fingerprint)
 
 
 def source_digest(root=None):
     """Sha256 over every .py file under ``root`` (path and content).
 
-    Memoized per process: the tree cannot change under a running
-    orchestrator invocation.
+    Memoized per process behind an mtime/size fingerprint that is
+    re-checked on every call: a bare per-process memo served cache keys
+    against a dead digest once source files changed under a long-lived
+    process (editable installs, a future ``repro serve`` daemon). A
+    fingerprint mismatch — file edited, added, removed or renamed —
+    re-hashes the tree.
     """
     root = Path(root) if root is not None else SOURCE_ROOT
+    fingerprint = _tree_fingerprint(root)
     cached = _source_digests.get(root)
-    if cached is not None:
-        return cached
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
     digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        if "__pycache__" in path.parts:
-            continue
+    for path in _tree_files(root):
         digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
-    _source_digests[root] = digest.hexdigest()
-    return _source_digests[root]
+    _source_digests[root] = (fingerprint, digest.hexdigest())
+    return _source_digests[root][1]
 
 
 def _canonical_config(value, where="$"):

@@ -3,8 +3,11 @@
 Produces :class:`~repro.simulator.stats.SimStats` bit-identical to the
 scalar reference loop in :mod:`repro.simulator.pipeline`, several times
 faster. The trace is compiled once into structure-of-arrays form
-(:mod:`repro.simulator.trace_compile`); scheduling then picks one of
-three exact engines:
+(:mod:`repro.simulator.trace_compile`) — or loaded from the cross-run
+compiled-trace cache (:mod:`repro.simulator.trace_cache`) when an
+earlier run, another worker process, or a resumed sweep already
+compiled the identical (program, machine) pair; scheduling then picks
+one of three exact engines:
 
 - **In-order direct issue** (``window == 1``). Issue order equals
   program order, so each instruction's issue cycle is computed in one

@@ -14,6 +14,13 @@ The process-wide default is resolved, in order, from an explicit
 environment variable, and finally ``"batch"``. The environment variable
 is re-read on every query so orchestrator worker processes (forked or
 spawned after the CLI sets it) inherit the choice.
+
+The batch engine's cross-run compiled-trace cache
+(:mod:`repro.simulator.trace_cache`) is toggled the same way —
+``REPRO_NO_TRACE_CACHE`` in the environment, an explicit
+:func:`set_trace_cache_enabled` override, or the :func:`trace_caching`
+context manager — and this module re-exports that control surface so
+engine selection and engine caching are configured in one place.
 """
 
 import os
@@ -60,3 +67,36 @@ def engine(name):
         yield
     finally:
         _default = previous
+
+
+TRACE_CACHE_ENV = "REPRO_NO_TRACE_CACHE"
+
+
+def trace_cache_enabled():
+    """Whether the batch engine reuses persisted compiled traces."""
+    from repro.simulator import trace_cache
+
+    return trace_cache.enabled()
+
+
+def set_trace_cache_enabled(value):
+    """Force the compiled-trace cache on/off process-wide.
+
+    ``None`` restores environment control (``REPRO_NO_TRACE_CACHE``).
+    """
+    from repro.simulator import trace_cache
+
+    trace_cache.set_enabled(value)
+
+
+@contextmanager
+def trace_caching(value):
+    """Temporarily force the compiled-trace cache on/off (tests, benches)."""
+    from repro.simulator import trace_cache
+
+    previous = trace_cache._enabled_override
+    trace_cache.set_enabled(value)
+    try:
+        yield
+    finally:
+        trace_cache._enabled_override = previous

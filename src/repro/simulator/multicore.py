@@ -30,6 +30,7 @@ from typing import List
 from repro.memory.cache import CacheConfig
 from repro.memory.dram import MultiChannelDram, RecordingDram
 from repro.memory.hierarchy import MemoryHierarchy, SharedHierarchy
+from repro.simulator import trace_cache
 from repro.simulator.pipeline import PipelineSimulator
 from repro.simulator.stats import SimStats
 
@@ -301,6 +302,13 @@ def run_multicore(config, programs, warm_addresses=None, jobs=1,
         # daemonic pool workers (an orchestrator fan-out already in
         # flight) cannot spawn children; the serial path is
         # result-identical
+        if trace_cache.enabled():
+            # digest once in the parent: the cached (length, digest)
+            # attribute pickles with each program, so every pool worker
+            # skips the digest pass and probes the shared compiled-trace
+            # cache directly instead of recompiling its shard
+            for program in programs:
+                trace_cache.predigest(program)
         with Pool(processes=min(jobs, cores)) as pool:
             stats_events = pool.map(_simulate_core, tasks)
     else:

@@ -10,9 +10,18 @@ by-product, which is installed into the program's
 re-walking the trace.
 
 Per-opcode decode (functional-unit class, latency, initiation interval,
-load/store/vector flags) depends only on the machine config, so it is
-memoized on the config object itself; per-instruction work is one dict
-lookup plus the register dependence bookkeeping.
+load/store/vector flags) depends only on the machine config's FU
+tables, so it is memoized in a module-level table keyed by those
+tables' *values* (an identity-keyed or attribute-stashed memo served
+stale decode after in-place mutation of the frozen dataclass's dict
+fields); per-instruction work is one dict lookup plus the register
+dependence bookkeeping.
+
+Compiled records are also persisted across runs through
+:mod:`repro.simulator.trace_cache`: :func:`compiled_for` probes the
+content-addressed cache before compiling and publishes fresh compiles
+into it, so pool workers and resumed sweeps load shared records
+instead of recompiling per shard.
 """
 
 from collections import Counter
@@ -31,7 +40,35 @@ FU_INDEX = {fu: index for index, fu in enumerate(FU_LIST)}
 # opcode-record slots (records shared by all instructions of one opcode)
 FU_ID, LATENCY, INTERVAL, IS_LOAD, IS_STORE, IS_VECTOR = range(6)
 
-_TABLE_ATTR = "_repro_opcode_table"
+_opcode_tables = {}
+
+#: decode tables are tiny, but hypothesis fuzz sweeps thousands of
+#: random configs through the engine — cap the memo so it cannot grow
+#: without bound in one process
+_TABLE_MEMO_CAP = 512
+
+
+def _table_key(config):
+    """The config content the decode table actually depends on.
+
+    Value-based (not object identity, not an attribute stashed on the
+    config): the dict fields of the frozen ``MachineConfig`` dataclass
+    are mutable in place, and a table memoized per object silently kept
+    serving pre-mutation decode.
+    """
+    return (
+        tuple(sorted(
+            (fu.value, latency) for fu, latency in config.fu_latency.items()
+        )),
+        tuple(sorted(
+            (fu.value, interval)
+            for fu, interval in config.fu_interval.items()
+        )),
+        tuple(sorted(
+            (op.value, latency)
+            for op, latency in config.opcode_latency.items()
+        )),
+    )
 
 
 def opcode_table(config):
@@ -44,7 +81,8 @@ def opcode_table(config):
     memory hierarchy at issue time; the column holds the L1-style
     baseline for them and is unused by the scheduler.
     """
-    table = getattr(config, _TABLE_ATTR, None)
+    key = _table_key(config)
+    table = _opcode_tables.get(key)
     if table is not None:
         return table
     table = {}
@@ -79,9 +117,9 @@ def opcode_table(config):
             is_store,
             op in VECTOR_OPCODES,
         )
-    # MachineConfig is a frozen dataclass; stash the derived table on the
-    # instance (private, excluded from dataclass fields/repr/asdict)
-    object.__setattr__(config, _TABLE_ATTR, table)
+    if len(_opcode_tables) >= _TABLE_MEMO_CAP:
+        _opcode_tables.clear()
+    _opcode_tables[key] = table
     return table
 
 
@@ -285,25 +323,34 @@ _COMPILED_ATTR = "_compiled_traces"
 
 
 def compiled_for(program, config):
-    """Memoized :func:`compile_trace`.
+    """Memoized :func:`compile_trace` with a persistent tier behind it.
 
-    The cache lives on the program object as a small list of
-    ``(config, length, trace)`` entries; identity-compared configs and a
-    length guard keep it correct if a builder keeps emitting into the
-    program after a compile.
+    The in-process memo lives on the program object as a small list of
+    ``(machine digest, length, trace)`` entries — content-keyed (an
+    identity-compared config kept serving stale traces after in-place
+    mutation) with a length guard in case a builder keeps emitting into
+    the program after a compile. Memo misses probe the cross-run
+    :mod:`repro.simulator.trace_cache` before compiling, and fresh
+    compiles are published back into it.
     """
-    entries = getattr(program, _COMPILED_ATTR, None)
+    from repro.simulator import trace_cache
+
     n = len(program)
+    machine_dig = trace_cache.machine_digest(config)
+    entries = getattr(program, _COMPILED_ATTR, None)
     if entries is not None:
-        for cfg, length, trace in entries:
-            if cfg is config and length == n:
+        for dig, length, trace in entries:
+            if dig == machine_dig and length == n:
                 return trace
-    trace = compile_trace(program, config)
+    trace = trace_cache.fetch(program, config, machine_dig)
+    if trace is None:
+        trace = compile_trace(program, config)
+        trace_cache.put(program, config, trace, machine_dig)
     if entries is None:
         entries = []
         try:
             setattr(program, _COMPILED_ATTR, entries)
         except AttributeError:
             return trace  # slotted/foreign program type: skip memoization
-    entries.append((config, n, trace))
+    entries.append((machine_dig, n, trace))
     return trace

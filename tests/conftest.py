@@ -39,6 +39,24 @@ def _isolated_result_cache(request, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_NO_RESULT_CACHE", "1")
 
 
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    """Start every test with an empty in-memory compiled-trace tier.
+
+    The disk tier is already isolated per test (it lives under the
+    redirected ``$REPRO_CACHE_DIR``), but the memory tier and the hit
+    counters are process globals — clear them so tests that count
+    hits/misses see only their own traffic.
+    """
+    from repro.simulator import trace_cache
+
+    trace_cache.clear_memory()
+    trace_cache.reset_stats()
+    yield
+    trace_cache.clear_memory()
+    trace_cache.reset_stats()
+
+
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_machine_registry():
     """Keep a developer's $REPRO_MACHINE_PATH out of the whole session.

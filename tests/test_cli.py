@@ -470,6 +470,28 @@ class TestCacheCli:
         assert main(["cache", "stats"]) == 0
         assert "entries      : 0" in capsys.readouterr().out
 
+    def test_stats_covers_both_tiers(self, capsys, fresh_drivers):
+        assert main(["sweep", "--sizes", "48", "--methods", "camp8"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "result tier" in out
+        assert "compiled-trace tier" in out
+        # the sweep's kernel-call and packing traces were persisted
+        trace_section = out.split("compiled-trace tier", 1)[1]
+        assert "entries      : 0" not in trace_section
+
+    def test_prune_covers_trace_tier(self, capsys, fresh_drivers):
+        from repro.simulator import trace_cache
+
+        assert main(["sweep", "--sizes", "48", "--methods", "camp8"]) == 0
+        assert trace_cache.disk_stats()["entries"] > 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--max-age-days", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "compiled-trace" in out
+        assert trace_cache.disk_stats()["entries"] == 0
+
 
 class TestBenchSweep:
     def test_smoke_and_gate(self, tmp_path, capsys):

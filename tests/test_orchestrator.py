@@ -112,12 +112,26 @@ class TestCache:
         before = source_digest(tree)
         assert before == source_digest(tree)  # memoized, stable
         (tree / "a.py").write_text("x = 2\n")
-        # memoization caches per root; a fresh process would see the
-        # change — emulate by clearing the memo
+        # the memo revalidates against an mtime/size fingerprint on
+        # every call, so a long-lived process sees the edit without any
+        # manual invalidation (this used to require clearing the memo)
+        after_edit = source_digest(tree)
+        assert after_edit != before
+        (tree / "b.py").write_text("y = 3\n")
+        assert source_digest(tree) != after_edit  # new file invalidates too
+
+    def test_source_digest_memo_survives_untouched_tree(self, tmp_path):
         from repro.experiments import cache as cache_module
 
-        cache_module._source_digests.clear()
-        assert source_digest(tree) != before
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        first = source_digest(tree)
+        fingerprint, digest = cache_module._source_digests[tree]
+        # repeat calls with an untouched tree serve the memo (stat-only
+        # revalidation), they do not re-hash into a new entry
+        assert source_digest(tree) == first
+        assert cache_module._source_digests[tree] == (fingerprint, digest)
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
