@@ -1,0 +1,75 @@
+"""Calibrated closed-form cycle model (``backend="analytic"``).
+
+O(1) per-GEMM predictions fitted against the cycle-level simulator:
+:func:`calibrate_machine` runs the pinned probe grid and persists the
+coefficients beside the result cache keyed by the machine spec's
+digest; :func:`get_model` loads (or lazily calibrates) one
+(method, machine) model; :func:`predict` / :func:`predict_parallel`
+are the one-call conveniences the GEMM API and experiments use.
+
+The model's error band against the simulator is pinned by the
+``model-accuracy`` experiment golden and enforced in CI by the
+``bench-analytic`` gate.
+"""
+
+from repro.analytic.calibrate import (
+    MULTICORE_PROBE_CORES,
+    MULTICORE_PROBE_SIZES,
+    calibrate_machine,
+    calibrate_method,
+    probe_kcs,
+)
+from repro.analytic.model import (
+    AnalyticExecution,
+    AnalyticModel,
+    AnalyticScaling,
+    CallFit,
+    ContentionFit,
+    PackFit,
+)
+from repro.analytic.store import (
+    analytic_dir,
+    get_model,
+    load_models,
+    model_path,
+    reset_models,
+    save_models,
+    spec_for,
+)
+
+
+def predict(m, n, k, method="camp8", machine=None):
+    """O(1) analytic prediction for one GEMM (calibrating on demand)."""
+    return get_model(method, machine).predict(m, n, k)
+
+
+def predict_parallel(m, n, k, cores, method="camp8", machine=None,
+                     strategy="npanel"):
+    """O(1) analytic multicore-scaling prediction for one GEMM."""
+    return get_model(method, machine).predict_parallel(
+        m, n, k, cores, strategy=strategy
+    )
+
+
+__all__ = [
+    "AnalyticExecution",
+    "AnalyticModel",
+    "AnalyticScaling",
+    "CallFit",
+    "ContentionFit",
+    "MULTICORE_PROBE_CORES",
+    "MULTICORE_PROBE_SIZES",
+    "PackFit",
+    "analytic_dir",
+    "calibrate_machine",
+    "calibrate_method",
+    "get_model",
+    "load_models",
+    "model_path",
+    "predict",
+    "predict_parallel",
+    "probe_kcs",
+    "reset_models",
+    "save_models",
+    "spec_for",
+]

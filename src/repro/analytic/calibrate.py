@@ -1,0 +1,261 @@
+"""Fit analytic-model coefficients against the cycle-level simulator.
+
+Calibration runs a *pinned probe grid* per (machine, method):
+
+- micro-kernel call probes — the driver's representative call
+  simulation at a fixed ladder of ``kc`` depths, once per first/steady
+  accumulation variant; cycles and instruction counts are least-squares
+  fitted as ``setup + per_k * kc`` (the instruction fit is exact by
+  construction, the cycle fit's worst residual is recorded on the
+  model);
+- a packing probe — the driver's representative 16 KiB packing chunk,
+  already a per-byte rate;
+- multicore contention probes — cycle-level
+  :func:`~repro.gemm.multicore.simulate_parallel_gemm` runs at a small
+  pinned shape across a ladder of core counts, fitting the affine
+  ``(alpha, kappa)`` contention coefficients of
+  :meth:`~repro.analytic.model.AnalyticModel.predict_parallel`.
+
+Every probe is deterministic and independent, so fanning methods
+across ``jobs`` worker processes cannot change any coefficient.
+"""
+
+from dataclasses import replace
+from multiprocessing import Pool, current_process
+
+from repro.analytic.model import (
+    AnalyticModel,
+    CallFit,
+    ContentionFit,
+    PackFit,
+)
+from repro.analytic.store import save_models, spec_for
+from repro.gemm.api import make_driver
+from repro.gemm.packing import element_bytes
+
+#: square GEMM sides of the pinned multicore contention probes — small
+#: enough to stay cheap, wide enough (>= 16 n_r-wide panels) that every
+#: probed core count gets a shard; two sizes so the fitted coefficient
+#: is not an artifact of one compute/traffic ratio
+MULTICORE_PROBE_SIZES = (128, 256)
+
+#: core-count probe ladder; entries above the spec's core count are
+#: dropped per machine
+MULTICORE_PROBE_CORES = (2, 4, 8, 16)
+
+
+#: enumerate every possible call depth when there are at most this many
+#: (the fit is then *exact* for every plan the blocking can produce);
+#: finer-grained kernels fall back to the geometric ladder
+PROBE_ENUM_LIMIT = 64
+
+
+def probe_kcs(k_step, kc):
+    """The pinned ``kc`` probe ladder for one kernel/blocking pair.
+
+    Plan depths are always ``k_step`` multiples in ``[k_step, kc]``.
+    With at most :data:`PROBE_ENUM_LIMIT` rungs the ladder enumerates
+    them all — the call fit is then exact at every reachable depth (the
+    coarse-``k_step`` CAMP/MMLA kernels land here). Otherwise a ~1.5x
+    geometric ladder of ``k_step`` multiples up to (and always
+    including) ``kc`` keeps calibration to tens of simulations while
+    piecewise-linear interpolation covers the rungs in between.
+    """
+    if kc // k_step <= PROBE_ENUM_LIMIT:
+        depths = set(range(k_step, kc + 1, k_step))
+        depths.add(kc)
+        return tuple(sorted(depths))
+    depths = {kc}
+    step = k_step
+    while step < kc:
+        depths.add(step)
+        nxt = (step * 3 // 2) - ((step * 3 // 2) % k_step)
+        step = max(nxt, step + k_step)
+    return tuple(sorted(depths))
+
+
+def _fit_line(points):
+    """Least-squares ``(intercept, slope)`` over ``(x, y)`` pairs."""
+    n = len(points)
+    sx = sum(x for x, _ in points)
+    sy = sum(y for _, y in points)
+    sxx = sum(x * x for x, _ in points)
+    sxy = sum(x * y for x, y in points)
+    denom = n * sxx - sx * sx
+    if denom == 0:  # single probe depth: attribute everything to per_k
+        return 0.0, sy / sx
+    slope = (n * sxy - sx * sy) / denom
+    return sy / n - slope * sx / n, slope
+
+
+def _fit_call(driver, first, kcs):
+    """Fit one call variant's cycle/instruction lines over the probes."""
+    points = []
+    for kc in kcs:
+        program, stats = driver._simulate_call(kc, first_k_block=first)
+        points.append((kc, float(stats.cycles), len(program)))
+    setup, per_k = _fit_line([(kc, cycles) for kc, cycles, _ in points])
+    instr_setup, instr_per_k = _fit_line(
+        [(kc, instrs) for kc, _, instrs in points]
+    )
+    residual = max(
+        abs(setup + per_k * kc - cycles) / cycles
+        for kc, cycles, _ in points
+    )
+    return CallFit(
+        setup=setup,
+        per_k=per_k,
+        instr_setup=instr_setup,
+        instr_per_k=instr_per_k,
+        points=tuple(points),
+        max_rel_residual=residual,
+    )
+
+
+def _multicore_probe_cores(cores):
+    return tuple(sorted({c for c in MULTICORE_PROBE_CORES if c <= cores}))
+
+
+def _fit_contention(base, spec, method, probe_sizes):
+    """Fit ``(alpha, kappa)`` against cycle-level parallel-GEMM probes.
+
+    Affine least squares of the simulator's excess over the model's
+    compute term, in the pressure variable
+    ``dram_floor * (cores - 1) / cores``: the slope ``kappa`` captures
+    pressure-proportional contention, the intercept ``alpha`` the
+    near-constant shared-LLC warmup / arbitration overhead. Both are
+    clamped non-negative (falling back to a through-origin or constant
+    fit when the affine solution goes negative), and the worst relative
+    error of the *resulting* model over the same probes is recorded.
+    """
+    from repro.gemm.multicore import simulate_parallel_gemm
+
+    core_probes = _multicore_probe_cores(spec.cores)
+    if not core_probes:
+        return ContentionFit()
+    sims = []
+    samples = []
+    for size in probe_sizes:
+        for cores in core_probes:
+            sim = simulate_parallel_gemm(
+                method, size, size, size, cores, machine=spec, jobs=1,
+            )
+            pred = base.predict_parallel(size, size, size, cores)
+            x = pred.dram_floor_cycles * (cores - 1) / cores
+            y = max(0.0, sim.parallel_cycles - pred.compute_cycles)
+            samples.append((x, y))
+            sims.append((size, cores, sim.parallel_cycles))
+    n = len(samples)
+    sx = sum(x for x, _ in samples)
+    sy = sum(y for _, y in samples)
+    sxx = sum(x * x for x, _ in samples)
+    sxy = sum(x * y for x, y in samples)
+    denom = n * sxx - sx * sx
+    if denom:
+        kappa = (n * sxy - sx * sy) / denom
+        alpha = (sy - kappa * sx) / n
+    else:
+        kappa, alpha = 0.0, sy / n
+    if kappa < 0.0:  # pressure-independent excess: constant fit
+        kappa, alpha = 0.0, max(0.0, sy / n)
+    elif alpha < 0.0:  # no fixed overhead: through-origin fit
+        kappa = max(0.0, sxy / sxx) if sxx else 0.0
+        alpha = 0.0
+    fitted = replace(base, contention=ContentionFit(kappa, alpha, len(sims)))
+    residual = max(
+        abs(
+            fitted.predict_parallel(size, size, size, cores).parallel_cycles
+            - parallel
+        ) / parallel
+        for size, cores, parallel in sims
+    )
+    return ContentionFit(
+        kappa=kappa, alpha=alpha, probes=len(sims),
+        max_rel_residual=residual,
+    )
+
+
+def calibrate_method(machine, method, multicore=True,
+                     probe_sizes=MULTICORE_PROBE_SIZES):
+    """Fit one (machine, method) model against the simulator.
+
+    ``machine`` is a registered name or a :class:`MachineSpec`
+    (including derived/ablated variants). Raises
+    :class:`~repro.machines.MachineSpecError` for matrix kernels on
+    matrixless machines, mirroring ``spec.config``.
+    """
+    spec = spec_for(machine)
+    driver = make_driver(method, spec)
+    kern = driver.kernel
+    blk = driver.blocking
+    kcs = probe_kcs(kern.k_step, blk.kc)
+    first_call = _fit_call(driver, True, kcs)
+    steady_call = _fit_call(driver, False, kcs)
+    pack_program, pack_stats, chunk_bytes = driver._simulate_packing_rate(
+        kern.dtype
+    )
+    pack = PackFit(
+        cycles_per_byte=pack_stats.cycles / chunk_bytes,
+        instr_per_byte=len(pack_program) / chunk_bytes,
+    )
+    model = AnalyticModel(
+        method=method,
+        machine=spec.name,
+        spec_digest=spec.digest(),
+        m_r=kern.m_r,
+        n_r=kern.n_r,
+        k_step=kern.k_step,
+        kc=blk.kc,
+        nc=blk.nc,
+        elem_bytes=element_bytes(kern.dtype),
+        acc_bytes=max(1, kern.acc_dtype.bits // 8),
+        frequency_ghz=spec.frequency_ghz,
+        dram_bytes_per_cycle=spec.dram_bytes_per_cycle,
+        cores=spec.cores,
+        first_call=first_call,
+        steady_call=steady_call,
+        pack=pack,
+        probe_kcs=kcs,
+    )
+    if multicore and spec.cores > 1:
+        model = replace(
+            model, contention=_fit_contention(model, spec, method,
+                                              probe_sizes)
+        )
+    return model
+
+
+def _calibrate_task(args):
+    """Worker body for the ``jobs`` fan-out (top-level: picklable)."""
+    spec, method, multicore, probe_sizes = args
+    model = calibrate_method(spec, method, multicore=multicore,
+                             probe_sizes=probe_sizes)
+    return method, model
+
+
+def calibrate_machine(machine, methods=None, jobs=1, multicore=True,
+                      probe_sizes=MULTICORE_PROBE_SIZES, on_method=None):
+    """Calibrate (and persist) every method of one machine.
+
+    ``methods`` defaults to the spec's sweep method set. Methods fan
+    across ``jobs`` worker processes; every probe is deterministic, so
+    the fitted coefficients are independent of ``jobs``. Returns
+    ``{method: AnalyticModel}`` after serializing it beside the result
+    cache keyed by the spec's digest.
+    """
+    spec = spec_for(machine)
+    methods = list(methods) if methods else list(spec.methods)
+    tasks = [(spec, method, multicore, tuple(probe_sizes))
+             for method in methods]
+    if jobs > 1 and len(tasks) > 1 and not current_process().daemon:
+        with Pool(processes=min(jobs, len(tasks))) as pool:
+            fitted = pool.map(_calibrate_task, tasks)
+    else:
+        fitted = [_calibrate_task(task) for task in tasks]
+    models = {}
+    for method, model in fitted:
+        models[method] = model
+        if on_method is not None:
+            on_method(method, model)
+    save_models(spec, models)
+    return models

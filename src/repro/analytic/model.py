@@ -1,0 +1,323 @@
+"""Calibrated closed-form cycle model.
+
+An :class:`AnalyticModel` predicts a GEMM's cycle and instruction
+totals in O(1) — no pipeline simulation — from a handful of fitted
+coefficients. The structure mirrors the driver's block composition
+exactly (``T = sum over call groups of (setup + per_k * kc) * count +
+pack_rate * bytes``, the ``T_compute = P x [T_setup + T_gemm_loop]``
+shape): trip counts come from :func:`repro.gemm.blocking.compose_plan`,
+the same function :meth:`GotoBlasDriver.analyze` composes with, so the
+only freedom — and the only error — is in the fitted per-call linear
+coefficients and the multicore contention term.
+
+Models are produced by :mod:`repro.analytic.calibrate` and persisted by
+:mod:`repro.analytic.store`; nothing here touches the simulator.
+"""
+
+from dataclasses import asdict, dataclass, field
+
+from repro.gemm.blocking import compose_plan
+from repro.workloads.partition import partition_gemm
+
+#: serialized-model schema; bump on any incompatible coefficient change
+SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CallFit:
+    """Fit of one micro-kernel call variant over the ``kc`` probe ladder.
+
+    ``setup``/``per_k`` (and the instruction pair) are the headline
+    global least-squares line ``setup + per_k * kc``; ``points`` keeps
+    the probed ``(kc, cycles, instructions)`` samples so evaluation is
+    *exact at probe depths* — the depths whole-``kc`` blocks actually
+    use — and piecewise-linear between them, which captures the
+    pipeline-fill curvature at small ``kc`` that a single line smears
+    out. Beyond the ladder the global slope extrapolates.
+    """
+
+    setup: float
+    per_k: float
+    instr_setup: float
+    instr_per_k: float
+    points: tuple = ()
+    #: worst |global line - simulated| / simulated over the probes
+    max_rel_residual: float = 0.0
+
+    def _eval(self, kc, index):
+        """Piecewise-linear evaluation; ``index`` 1=cycles, 2=instrs."""
+        pts = self.points
+        if not pts:
+            base = self.setup if index == 1 else self.instr_setup
+            slope = self.per_k if index == 1 else self.instr_per_k
+            return base + slope * kc
+        lo = None
+        hi = None
+        for point in pts:
+            if point[0] == kc:
+                return point[index]
+            if point[0] < kc:
+                lo = point
+            else:
+                hi = point
+                break
+        if lo is None:  # below the ladder: first segment extrapolates
+            lo, hi = pts[0], (pts[1] if len(pts) > 1 else None)
+        if hi is None:  # above the ladder: global slope extrapolates
+            slope = self.per_k if index == 1 else self.instr_per_k
+            return lo[index] + slope * (kc - lo[0])
+        t = (kc - lo[0]) / (hi[0] - lo[0])
+        return lo[index] + t * (hi[index] - lo[index])
+
+    def cycles(self, kc):
+        return self._eval(kc, 1)
+
+    def instructions(self, kc):
+        return int(round(self._eval(kc, 2)))
+
+
+@dataclass(frozen=True)
+class PackFit:
+    """Packing rate: cycles and instructions per packed-panel byte."""
+
+    cycles_per_byte: float
+    instr_per_byte: float
+
+
+@dataclass(frozen=True)
+class ContentionFit:
+    """Multicore shared-memory contention coefficients.
+
+    The contention excess over the critical shard's compute is modeled
+    affinely: ``alpha + kappa * dram_floor * (cores - 1) / cores``.
+    ``kappa`` scales with DRAM pressure; ``alpha`` is the near-constant
+    shared-LLC warmup / arbitration overhead the probes show even when
+    pressure is tiny. Both are fitted against cycle-level
+    :func:`~repro.gemm.multicore.simulate_parallel_gemm` probes and
+    clamped non-negative; all-zero (no probes) degrades to the pure
+    compute/DRAM-floor max.
+    """
+
+    kappa: float = 0.0
+    alpha: float = 0.0
+    probes: int = 0
+    max_rel_residual: float = 0.0
+
+
+@dataclass
+class AnalyticExecution:
+    """O(1) predicted performance of one GEMM problem.
+
+    Field-compatible with the metrics the experiment layer reads off a
+    simulated :class:`~repro.gemm.goto.GemmExecution` (``cycles``,
+    ``total_instructions``, ``gops``, ``speedup_over``, ...), so the
+    two backends are interchangeable in sweeps.
+    """
+
+    m: int
+    n: int
+    k: int
+    method: str
+    machine_name: str
+    cycles: float
+    kernel_instructions: int
+    packing_instructions: int
+    a_bytes: float
+    b_bytes: float
+    frequency_ghz: float
+    backend: str = "analytic"
+
+    @property
+    def pack_bytes(self):
+        return self.a_bytes + self.b_bytes
+
+    @property
+    def macs(self):
+        return self.m * self.n * self.k
+
+    @property
+    def total_instructions(self):
+        return self.kernel_instructions + self.packing_instructions
+
+    @property
+    def cycles_per_mac(self):
+        return self.cycles / self.macs
+
+    @property
+    def seconds(self):
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def gops(self):
+        """Giga-operations per second (1 MAC = 2 ops, the paper's metric)."""
+        return 2.0 * self.macs / self.seconds / 1e9
+
+    def speedup_over(self, baseline):
+        return baseline.cycles / self.cycles
+
+    def instruction_ratio(self, baseline):
+        return self.total_instructions / baseline.total_instructions
+
+
+@dataclass
+class AnalyticScaling:
+    """Predicted scaling outcome for one (method, cores) point.
+
+    Interface-compatible with the simulator's ``SimulatedScaling``
+    where the multicore ablation reads it (``cores``, ``speedup``,
+    ``efficiency``, ``dram_limited``).
+    """
+
+    cores: int
+    single_core_cycles: float
+    parallel_cycles: float
+    dram_limited: bool
+    compute_cycles: float = 0.0
+    dram_floor_cycles: float = 0.0
+
+    @property
+    def speedup(self):
+        return self.single_core_cycles / self.parallel_cycles
+
+    @property
+    def efficiency(self):
+        return self.speedup / self.cores
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """Fitted closed-form model of one (method, machine) pair."""
+
+    method: str
+    machine: str
+    spec_digest: str
+    m_r: int
+    n_r: int
+    k_step: int
+    kc: int
+    nc: int
+    elem_bytes: float
+    acc_bytes: int
+    frequency_ghz: float
+    dram_bytes_per_cycle: float
+    cores: int
+    first_call: CallFit
+    steady_call: CallFit
+    pack: PackFit
+    contention: ContentionFit = field(default_factory=ContentionFit)
+    probe_kcs: tuple = ()
+
+    # -- prediction --------------------------------------------------------
+
+    def predict(self, m, n, k):
+        """O(1) cycle/instruction prediction for an (m, n, k) GEMM."""
+        call_plan, a_bytes, b_bytes = compose_plan(
+            m, n, k, m_r=self.m_r, n_r=self.n_r, k_step=self.k_step,
+            kc=self.kc, nc=self.nc, elem_bytes=self.elem_bytes,
+        )
+        cycles = 0.0
+        kernel_instructions = 0
+        for call_kc, first, count in call_plan:
+            fit = self.first_call if first else self.steady_call
+            cycles += fit.cycles(call_kc) * count
+            kernel_instructions += fit.instructions(call_kc) * count
+        pack_bytes = a_bytes + b_bytes
+        cycles += self.pack.cycles_per_byte * pack_bytes
+        packing_instructions = int(self.pack.instr_per_byte * pack_bytes)
+        return AnalyticExecution(
+            m=m,
+            n=n,
+            k=k,
+            method=self.method,
+            machine_name=self.machine,
+            cycles=cycles,
+            kernel_instructions=kernel_instructions,
+            packing_instructions=packing_instructions,
+            a_bytes=float(a_bytes),
+            b_bytes=float(b_bytes),
+            frequency_ghz=self.frequency_ghz,
+        )
+
+    def predict_parallel(self, m, n, k, cores, strategy="npanel"):
+        """Predicted multicore scaling for an (m, n, k, cores) point.
+
+        Reuses the partitioners' shard math: the compute term is the
+        slowest shard's single-core prediction, the memory term is the
+        compulsory packed traffic of *all* shards against the chip's
+        total DRAM bandwidth, and the fitted ``kappa`` dilates the
+        compute term by the DRAM-pressure share contention steals.
+        """
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        single = self.predict(m, n, k)
+        if cores == 1:
+            return AnalyticScaling(
+                cores=1,
+                single_core_cycles=single.cycles,
+                parallel_cycles=single.cycles,
+                dram_limited=False,
+                compute_cycles=single.cycles,
+                dram_floor_cycles=0.0,
+            )
+        shards = partition_gemm(m, n, k, cores, strategy=strategy,
+                                m_r=self.m_r, n_r=self.n_r)
+        per_shard = [self.predict(s.m, s.n, s.k) for s in shards]
+        compute = max(e.cycles for e in per_shard)
+        # compulsory DRAM traffic: under output (N-panel) partitioning
+        # every core re-packs the *same* A, whose lines hit the shared
+        # LLC after the first core streams them — count A once; other
+        # strategies give cores disjoint A bands. B slices and the
+        # accumulator-precision output are disjoint either way.
+        if strategy == "npanel":
+            a_traffic = max(e.a_bytes for e in per_shard)
+        else:
+            a_traffic = sum(e.a_bytes for e in per_shard)
+        traffic = a_traffic + sum(e.b_bytes for e in per_shard)
+        traffic += m * n * self.acc_bytes
+        dram_floor = traffic / self.dram_bytes_per_cycle
+        contention = (
+            self.contention.alpha
+            + self.contention.kappa * dram_floor * (cores - 1) / cores
+        )
+        parallel = max(compute + contention, dram_floor)
+        return AnalyticScaling(
+            cores=cores,
+            single_core_cycles=single.cycles,
+            parallel_cycles=parallel,
+            dram_limited=dram_floor > compute,
+            compute_cycles=compute,
+            dram_floor_cycles=dram_floor,
+        )
+
+    def scaling_curve(self, m, n, k, core_counts=(1, 2, 4, 8, 16),
+                      strategy="npanel"):
+        """Predicted scaling across a list of core counts."""
+        return [
+            self.predict_parallel(m, n, k, cores, strategy=strategy)
+            for cores in core_counts
+        ]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self):
+        data = asdict(self)
+        data["probe_kcs"] = list(self.probe_kcs)
+        for call in ("first_call", "steady_call"):
+            data[call]["points"] = [list(p) for p in data[call]["points"]]
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        data = dict(data)
+        data["first_call"] = _call_from_dict(data["first_call"])
+        data["steady_call"] = _call_from_dict(data["steady_call"])
+        data["pack"] = PackFit(**data["pack"])
+        data["contention"] = ContentionFit(**data["contention"])
+        data["probe_kcs"] = tuple(data["probe_kcs"])
+        return cls(**data)
+
+
+def _call_from_dict(data):
+    data = dict(data)
+    data["points"] = tuple(tuple(p) for p in data.get("points", ()))
+    return CallFit(**data)

@@ -1,0 +1,150 @@
+"""Persistence and in-process registry for calibrated models.
+
+Fitted coefficients live beside the result cache, one JSON file per
+machine-spec digest (``$REPRO_CACHE_DIR/analytic/<digest>.json``). The
+digest filename makes staleness structural: deriving or ablating a
+spec — or editing a user machine file — changes the digest, so the
+stale file is simply never looked at and the new spec calibrates
+fresh. The payload additionally pins the source-tree digest and the
+pipeline engine; a mismatch on either (code change, engine switch)
+rejects the file and recalibrates.
+"""
+
+import json
+import os
+import tempfile
+
+from repro.experiments.cache import default_cache_dir, source_digest
+from repro.machines import MachineSpec, get_spec
+
+#: persisted-payload schema; bump on incompatible layout changes
+SCHEMA = 1
+
+#: in-process model registry: memory key -> {method: AnalyticModel}
+_MODELS = {}
+
+
+def spec_for(machine):
+    """Resolve a machine argument to the spec the analytic layer keys on.
+
+    Accepts a registered machine name (default ``"a64fx"``) or a
+    :class:`~repro.machines.MachineSpec` (derived/ablated variants
+    included). Simulator configs are rejected: the model store needs a
+    spec digest, which engine-level configs do not carry.
+    """
+    if machine is None:
+        return get_spec("a64fx")
+    if isinstance(machine, MachineSpec):
+        return machine
+    if isinstance(machine, str):
+        return get_spec(machine)
+    raise TypeError(
+        "analytic backend needs a registered machine name or a "
+        "MachineSpec, got %s" % type(machine).__name__
+    )
+
+
+def analytic_dir():
+    return default_cache_dir() / "analytic"
+
+
+def model_path(spec):
+    return analytic_dir() / (spec.digest() + ".json")
+
+
+def _engine():
+    from repro.simulator.engine import get_default_engine
+
+    return get_default_engine()
+
+
+def _memory_key(spec):
+    return (spec.digest(), _engine(), source_digest())
+
+
+def load_models(spec):
+    """Valid persisted models for ``spec``, or None when absent/stale."""
+    from repro.analytic.model import AnalyticModel
+
+    try:
+        with open(model_path(spec)) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if (
+        payload.get("schema") != SCHEMA
+        or payload.get("spec_digest") != spec.digest()
+        or payload.get("source_digest") != source_digest()
+        or payload.get("engine") != _engine()
+    ):
+        return None
+    try:
+        return {
+            method: AnalyticModel.from_dict(data)
+            for method, data in payload["methods"].items()
+        }
+    except (KeyError, TypeError):
+        return None
+
+
+def save_models(spec, models):
+    """Atomically persist fitted models, merging with valid entries.
+
+    Calibrating one method must not clobber a file that already holds
+    other (still-valid) methods of the same spec. Returns the path.
+    """
+    merged = dict(load_models(spec) or {})
+    merged.update(models)
+    payload = {
+        "schema": SCHEMA,
+        "machine": spec.name,
+        "spec_digest": spec.digest(),
+        "source_digest": source_digest(),
+        "engine": _engine(),
+        "methods": {
+            method: model.to_dict() for method, model in merged.items()
+        },
+    }
+    path = model_path(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _MODELS[_memory_key(spec)] = merged
+    return path
+
+
+def get_model(method, machine=None):
+    """The calibrated model for (method, machine); calibrates on demand.
+
+    Resolution order: in-process registry, then the persisted file
+    (validated against spec digest, source digest and engine), then a
+    fresh :func:`~repro.analytic.calibrate.calibrate_method` run whose
+    result is persisted for the next process.
+    """
+    spec = spec_for(machine)
+    key = _memory_key(spec)
+    models = _MODELS.get(key)
+    if models is None:
+        models = load_models(spec) or {}
+        _MODELS[key] = models
+    if method not in models:
+        from repro.analytic.calibrate import calibrate_method
+
+        model = calibrate_method(spec, method)
+        save_models(spec, {method: model})
+        models[method] = model
+    return models[method]
+
+
+def reset_models():
+    """Drop the in-process model registry (test isolation)."""
+    _MODELS.clear()

@@ -130,6 +130,10 @@ def _cmd_gemm(args):
 
     if _unknown_machine(args.machine):
         return 2
+    if args.verify and args.backend == "analytic":
+        print("gemm error: --verify needs the numeric path; drop "
+              "--backend analytic", file=sys.stderr)
+        return 2
     if args.verify:
         rng = np.random.default_rng(args.seed)
         bits = 4 if args.method == "camp4" else 8
@@ -145,8 +149,12 @@ def _cmd_gemm(args):
         print("numeric verification: computed %dx%d result" % result.c.shape)
     else:
         execution = analyze(args.m, args.n, args.k, method=args.method,
-                            machine=args.machine)
-    print("method        : %s on %s" % (execution.kernel_name, execution.machine_name))
+                            machine=args.machine, backend=args.backend)
+    kernel_name = getattr(execution, "kernel_name", None) or execution.method
+    backend_note = " (analytic model)" if args.backend == "analytic" else ""
+    print("method        : %s on %s%s" % (kernel_name,
+                                          execution.machine_name,
+                                          backend_note))
     print("cycles        : %.4g" % execution.cycles)
     print("instructions  : %d (kernel %d + packing %d)" % (
         execution.total_instructions, execution.kernel_instructions,
@@ -154,9 +162,11 @@ def _cmd_gemm(args):
     print("cycles/MAC    : %.4f" % execution.cycles_per_mac)
     print("throughput    : %.1f GOPS @ %.1f GHz" % (
         execution.gops, execution.frequency_ghz))
-    print("blocking      : mc=%d kc=%d nc=%d (m_r=%d n_r=%d)" % (
-        execution.blocking.mc, execution.blocking.kc, execution.blocking.nc,
-        execution.blocking.m_r, execution.blocking.n_r))
+    if hasattr(execution, "blocking"):
+        print("blocking      : mc=%d kc=%d nc=%d (m_r=%d n_r=%d)" % (
+            execution.blocking.mc, execution.blocking.kc,
+            execution.blocking.nc, execution.blocking.m_r,
+            execution.blocking.n_r))
     return 0
 
 
@@ -463,6 +473,7 @@ def _cmd_sweep(args):
             core_counts=core_counts,
             strategy=args.strategy,
             jobs=args.jobs,
+            backend=args.backend,
             **_executor_kwargs(args),
         )
     except executor.JournalError as error:
@@ -476,6 +487,92 @@ def _cmd_area(_args):
     from repro.experiments import exp_area
 
     print(exp_area.format_results(exp_area.run()))
+    return 0
+
+
+def _cmd_calibrate(args):
+    from repro.analytic import calibrate_machine, model_path, spec_for
+    from repro.gemm.microkernel import kernel_names
+    from repro.machines import MachineSpecError, machine_names
+
+    machines = [m for m in args.machines.split(",") if m]
+    if not machines:
+        machines = machine_names()
+    for machine in machines:
+        if _unknown_machine(machine):
+            return 2
+    methods = [m for m in args.methods.split(",") if m] or None
+    for method in methods or ():
+        if method not in kernel_names():
+            print(
+                "calibrate error: unknown method %r; available: %s"
+                % (method, ", ".join(kernel_names())),
+                file=sys.stderr,
+            )
+            return 2
+    for machine in machines:
+        spec = spec_for(machine)
+
+        def on_method(method, model):
+            contention = model.contention
+            print(
+                "  %-14s call residual %.4f | contention kappa=%.3f "
+                "alpha=%.1f (%d probes, residual %.4f)"
+                % (method,
+                   max(model.first_call.max_rel_residual,
+                       model.steady_call.max_rel_residual),
+                   contention.kappa, contention.alpha, contention.probes,
+                   contention.max_rel_residual)
+            )
+
+        print("calibrating %s (%d cores)..." % (spec.name, spec.cores))
+        try:
+            calibrate_machine(
+                spec, methods=methods, jobs=args.jobs,
+                multicore=not args.no_multicore, on_method=on_method,
+            )
+        except MachineSpecError as error:
+            print("calibrate error: %s" % error, file=sys.stderr)
+            return 2
+        print("wrote %s" % model_path(spec))
+    return 0
+
+
+def _cmd_bench_analytic(args):
+    from repro.experiments import bench_analytic
+
+    payload = bench_analytic.run_bench(fast=not args.full, jobs=args.jobs)
+    accuracy = payload["accuracy"]
+    print(
+        "model accuracy (%d points): p95 %.2f%% | max %.2f%% | band "
+        "p95<=%.0f%% cap %.0f%% | within band: %s"
+        % (payload["grid"]["points"], 100 * accuracy["p95_rel_error"],
+           100 * accuracy["max_rel_error"], 100 * accuracy["p95_band"],
+           100 * accuracy["point_cap"], accuracy["within_band"])
+    )
+    predict = payload["predict"]
+    print(
+        "cold calibration: %.3fs (%d pairs) | warm predict %.4gs/shape vs "
+        "cold simulate %.4gs/shape (%.0fx)"
+        % (payload["calibrate_s"], len(payload["grid"]["pairs"]),
+           predict["model_per_shape_s"], predict["sim_per_shape_s"],
+           predict["speedup"])
+    )
+    if args.out:
+        path = bench_analytic.write_bench(payload, args.out)
+        print("wrote %s" % path)
+    if args.check:
+        baseline = json.loads(open(args.check).read())
+        problems = bench_analytic.check_regression(
+            payload, baseline,
+            min_predict_speedup=args.min_predict_speedup,
+        )
+        for problem in problems:
+            print("ANALYTIC GATE: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("analytic gate passed (accuracy within band, predictions "
+              ">= %.0fx faster than simulation)" % args.min_predict_speedup)
     return 0
 
 
@@ -613,6 +710,13 @@ def _add_machine_file_option(parser):
              "$REPRO_MACHINE_PATH)")
 
 
+def _add_backend_option(parser):
+    parser.add_argument(
+        "--backend", choices=("simulate", "analytic"), default="simulate",
+        help="cycle-level simulation (default) or the calibrated O(1) "
+             "analytic model (see `repro-camp calibrate`)")
+
+
 def _add_machine_option(parser):
     parser.add_argument(
         "--machine",
@@ -688,6 +792,7 @@ def build_parser():
     gemm_parser.add_argument("--verify", action="store_true",
                              help="also compute numerically on random data")
     gemm_parser.add_argument("--seed", type=int, default=0)
+    _add_backend_option(gemm_parser)
     _add_machine_file_option(gemm_parser)
     _add_engine_option(gemm_parser)
 
@@ -727,9 +832,32 @@ def build_parser():
     sweep_parser.add_argument(
         "--strategy", choices=("npanel", "tile2d"), default="npanel",
         help="GEMM partition strategy for --cores runs")
+    _add_backend_option(sweep_parser)
     _add_orchestrator_options(sweep_parser)
 
     sub.add_parser("area", help="print the physical-design report")
+
+    cal_parser = sub.add_parser(
+        "calibrate",
+        help="fit (and persist) analytic-model coefficients against the "
+             "simulator")
+    cal_parser.add_argument(
+        "--machines", default="",
+        help="comma-separated machines to calibrate (default: all "
+             "registered)")
+    cal_parser.add_argument(
+        "--methods", default="",
+        help="methods to calibrate (default: each machine's sweep set)")
+    cal_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan methods across worker processes (coefficients are "
+             "independent of --jobs)")
+    cal_parser.add_argument(
+        "--no-multicore", action="store_true",
+        help="skip the multicore contention probes (single-core "
+             "coefficients only)")
+    _add_machine_file_option(cal_parser)
+    _add_engine_option(cal_parser)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or prune the on-disk result cache")
@@ -797,6 +925,25 @@ def build_parser():
     bench_sw.add_argument("--min-compile-speedup", type=float, default=2.0,
                           help="required cold-compile/warm-load ratio for "
                                "the compiled-trace cache")
+
+    bench_an = sub.add_parser(
+        "bench-analytic",
+        help="measure analytic-model accuracy and speed, write "
+             "BENCH_analytic.json")
+    bench_an.add_argument("--full", action="store_true",
+                          help="run the full accuracy grid (nightly) "
+                               "instead of the fast one")
+    bench_an.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for calibration")
+    bench_an.add_argument("--out", default="BENCH_analytic.json",
+                          help="output JSON path ('' to skip writing)")
+    bench_an.add_argument("--check", metavar="BASELINE",
+                          help="compare against a committed baseline JSON "
+                               "and fail when the accuracy band or the "
+                               "prediction-speedup floor is violated")
+    bench_an.add_argument("--min-predict-speedup", type=float, default=100.0,
+                          help="required warm-prediction vs cold-simulation "
+                               "per-shape speedup")
     return parser
 
 
@@ -807,10 +954,12 @@ _COMMANDS = {
     "ablation": _cmd_ablation,
     "sweep": _cmd_sweep,
     "area": _cmd_area,
+    "calibrate": _cmd_calibrate,
     "cache": _cmd_cache,
     "bench-pipeline": _cmd_bench,
     "bench-multicore": _cmd_bench_multicore,
     "bench-sweep": _cmd_bench_sweep,
+    "bench-analytic": _cmd_bench_analytic,
 }
 
 

@@ -9,16 +9,18 @@ Since the multi-core subsystem landed, the reported numbers come from
 cycle-level simulation: every core's shard runs on its own batch
 pipeline engine over private L1/L2, and the recorded DRAM streams
 contend deterministically in the shared LLC + multi-channel DRAM. The
-closed-form model this ablation originally used is retained as the
-``analytic_speedup`` / ``analytic_dram_limited`` cross-check columns.
+``analytic_speedup`` / ``analytic_dram_limited`` cross-check columns
+come from the *calibrated* closed-form model (:mod:`repro.analytic`),
+whose error band against this very simulator is pinned by the
+``model-accuracy`` experiment.
 """
 
 from dataclasses import dataclass
 
+from repro.analytic import get_model
 from repro.experiments.records import from_dataclasses
 from repro.experiments.report import format_table
-from repro.experiments.runner import driver_for
-from repro.gemm.multicore import scaling_curve, simulate_scaling_curve
+from repro.gemm.multicore import simulate_scaling_curve
 
 
 @dataclass
@@ -48,8 +50,8 @@ def run(fast=False, size=None, methods=("camp8", "openblas-fp32"),
             method, size, size, size, core_counts=core_counts,
             strategy=strategy, machine=machine, jobs=jobs,
         )
-        analytic = scaling_curve(
-            driver_for(method, machine), size, size, size, core_counts
+        analytic = get_model(method, machine).scaling_curve(
+            size, size, size, core_counts, strategy=strategy
         )
         for sim, ana in zip(simulated, analytic):
             rows.append(

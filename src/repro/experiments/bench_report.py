@@ -1,0 +1,123 @@
+"""Markdown delta report across the ``BENCH_*.json`` perf baselines.
+
+The CI ``perf-gates`` job runs every bench harness, then renders fresh
+payloads against the committed baselines as one markdown table per
+bench into ``$GITHUB_STEP_SUMMARY``::
+
+    python -m repro.experiments.bench_report \\
+        --baseline-dir . --fresh-dir artifacts >> "$GITHUB_STEP_SUMMARY"
+
+Pass/fail stays with each harness's own ``--check`` gate — this report
+is the trend view (how far each number moved), so a slow drift that
+never trips a 3x gate is still visible on every run.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric suffixes whose *increase* is an improvement (rendered without
+#: the regression marker); everything else numeric is treated as
+#: cost-like (time, error) where an increase is the interesting event
+_HIGHER_IS_BETTER = ("speedup", "speedup_best", "speedup_median", "hits")
+
+
+def flatten(payload, prefix=""):
+    """Numeric/bool leaves of a nested payload as dotted keys."""
+    out = {}
+    for key, value in payload.items():
+        dotted = prefix + key
+        if isinstance(value, dict):
+            out.update(flatten(value, dotted + "."))
+        elif isinstance(value, bool) or isinstance(value, (int, float)):
+            out[dotted] = value
+    return out
+
+
+def _format_value(value):
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    return "%.4g" % value
+
+
+def _format_delta(metric, base, fresh):
+    if isinstance(base, bool) or isinstance(fresh, bool):
+        return "" if base == fresh else "changed"
+    if base == 0:
+        return "n/a" if fresh != 0 else ""
+    delta = (fresh - base) / abs(base)
+    if abs(delta) < 0.005:
+        return ""
+    worse = delta > 0
+    if metric.rsplit(".", 1)[-1].endswith(_HIGHER_IS_BETTER):
+        worse = delta < 0
+    return "%+.1f%%%s" % (100 * delta, " ⚠" if worse else "")
+
+
+def delta_table(name, baseline, fresh):
+    """One bench's markdown table: committed vs fresh, per metric."""
+    base_flat = flatten(baseline)
+    fresh_flat = flatten(fresh)
+    lines = [
+        "### %s" % name,
+        "",
+        "| metric | committed | fresh | delta |",
+        "|---|---|---|---|",
+    ]
+    for metric in sorted(set(base_flat) & set(fresh_flat)):
+        base_value = base_flat[metric]
+        fresh_value = fresh_flat[metric]
+        lines.append("| %s | %s | %s | %s |" % (
+            metric, _format_value(base_value), _format_value(fresh_value),
+            _format_delta(metric, base_value, fresh_value),
+        ))
+    only = sorted(set(base_flat) ^ set(fresh_flat))
+    if only:
+        lines.append("")
+        lines.append("_metrics present on one side only: %s_"
+                     % ", ".join(only))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def report(baseline_dir, fresh_dir):
+    """Markdown report over every ``BENCH_*.json`` in ``fresh_dir``."""
+    baseline_dir = Path(baseline_dir)
+    fresh_dir = Path(fresh_dir)
+    sections = ["## Perf baselines: committed vs this run", ""]
+    fresh_paths = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_paths:
+        raise FileNotFoundError("no BENCH_*.json under %s" % fresh_dir)
+    for fresh_path in fresh_paths:
+        baseline_path = baseline_dir / fresh_path.name
+        fresh = json.loads(fresh_path.read_text())
+        if not baseline_path.exists():
+            sections.append("### %s\n\n_no committed baseline_\n"
+                            % fresh_path.name)
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        sections.append(delta_table(fresh_path.name, baseline, fresh))
+    return "\n".join(sections)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="render BENCH_*.json deltas as markdown")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory of the committed baselines")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory of this run's fresh payloads")
+    args = parser.parse_args(argv)
+    try:
+        print(report(args.baseline_dir, args.fresh_dir))
+    except FileNotFoundError as error:
+        print("bench-report error: %s" % error, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

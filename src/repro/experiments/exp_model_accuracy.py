@@ -1,0 +1,191 @@
+"""Experiment: analytic-model accuracy vs the cycle-level simulator.
+
+For every (machine, method, size, cores) grid point this runs both the
+calibrated closed-form model (:mod:`repro.analytic`) and the reference
+simulation — the block-composed pipeline driver for ``cores=1``, the
+shared-hierarchy multi-core simulator above that — and reports the
+relative cycle error. The golden-pinned table is the repo's accuracy
+contract for the analytic backend: single-core predictions are exact by
+construction (the calibration probes every reachable blocking depth),
+so all residual error lives in the fitted multi-core contention term.
+
+The documented band: p95 relative error <= :data:`P95_BAND`, no point
+above :data:`POINT_CAP`. ``repro bench-analytic --check`` (and the CI
+``analytic-accuracy`` job) enforce the same band on every push; this
+experiment is the human-readable / golden-pinned view of it.
+
+Deliberately measures at sizes *off* the multicore calibration probe
+grid (:data:`repro.analytic.calibrate.MULTICORE_PROBE_SIZES`), so the
+table reports generalization, not training-set recall.
+
+Reachable from the CLI as ``experiment model-accuracy`` (``--machine``
+restricts it to one platform).
+"""
+
+from dataclasses import dataclass
+
+from repro.experiments.records import from_dataclasses
+from repro.experiments.report import format_table
+from repro.machines import get_spec, machine_names
+
+#: accuracy band pinned by CI: 95th-percentile relative cycle error
+#: across the grid must stay within this
+P95_BAND = 0.10
+
+#: hard per-point cap: no single grid point may exceed this relative
+#: error (absorbs the worst fitted-contention outliers)
+POINT_CAP = 0.25
+
+#: probe sizes deliberately off the multicore calibration grid
+FAST_SIZES = (96, 192)
+FULL_SIZES = (96, 192, 384)
+
+FAST_CORES = (1, 4, 16)
+FULL_CORES = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class AccuracyRow:
+    machine: str
+    method: str
+    size: int
+    cores: int
+    sim_cycles: float
+    model_cycles: float
+    rel_error: float
+
+
+def _normalize_grid(fast, size, machine):
+    sizes = FAST_SIZES if fast else FULL_SIZES
+    if size is not None:
+        sizes = (size,)
+    machines = [machine] if machine else machine_names()
+    core_grid = FAST_CORES if fast else FULL_CORES
+    return sizes, machines, core_grid
+
+
+def _machine_methods(spec, fast):
+    methods = list(spec.methods)
+    if fast:
+        # baseline + the headline CAMP method keeps the fast grid small
+        # while still exercising both a matrix and a vector kernel
+        keep = [spec.baseline] + [m for m in methods if m != spec.baseline]
+        methods = keep[:2]
+    return methods
+
+
+def iter_points(fast=False, size=None, machine=None):
+    """Enumerate the grid as ``(point id, run_point params)`` pairs."""
+    sizes, machines, core_grid = _normalize_grid(fast, size, machine)
+    points = []
+    for name in machines:
+        spec = get_spec(name)
+        cores_list = [c for c in core_grid if c <= spec.cores] or [1]
+        for method in _machine_methods(spec, fast):
+            for sz in sizes:
+                for cores in cores_list:
+                    points.append((
+                        "machine=%s/method=%s/size=%d/cores=%d"
+                        % (name, method, sz, cores),
+                        {"machine": name, "method": method, "size": sz,
+                         "cores": cores},
+                    ))
+    return points
+
+
+def run_point(machine, method, size, cores):
+    """Model-vs-simulator relative error at one grid point."""
+    from dataclasses import asdict
+
+    from repro.analytic import get_model
+    from repro.experiments.records import scrub
+
+    model = get_model(method, machine)
+    if cores == 1:
+        from repro.experiments.runner import driver_for
+
+        sim_cycles = driver_for(method, machine).analyze(size, size, size).cycles
+        model_cycles = model.predict(size, size, size).cycles
+    else:
+        from repro.gemm.multicore import simulate_parallel_gemm
+
+        sim = simulate_parallel_gemm(method, size, size, size, cores,
+                                     machine=machine, jobs=1)
+        sim_cycles = sim.parallel_cycles
+        model_cycles = model.predict_parallel(size, size, size,
+                                              cores).parallel_cycles
+    row = AccuracyRow(
+        machine=machine,
+        method=method,
+        size=size,
+        cores=cores,
+        sim_cycles=float(sim_cycles),
+        model_cycles=float(model_cycles),
+        rel_error=abs(model_cycles - sim_cycles) / sim_cycles,
+    )
+    return scrub(asdict(row))
+
+
+def merge_points(payloads):
+    """Reassemble executor payloads into the rows :func:`run` returns."""
+    return [AccuracyRow(**payload) for payload in payloads]
+
+
+def run(fast=False, size=None, machine=None):
+    """Model-vs-simulator relative error across the accuracy grid."""
+    return [AccuracyRow(**run_point(**params))
+            for _, params in iter_points(fast=fast, size=size,
+                                         machine=machine)]
+
+
+def percentile(values, q):
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of nothing")
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def band_summary(rows):
+    """Aggregate band stats for a set of accuracy rows."""
+    errors = [r.rel_error for r in rows]
+    return {
+        "points": len(errors),
+        "p95_rel_error": percentile(errors, 95),
+        "max_rel_error": max(errors),
+        "p95_band": P95_BAND,
+        "point_cap": POINT_CAP,
+        "within_band": (percentile(errors, 95) <= P95_BAND
+                        and max(errors) <= POINT_CAP),
+    }
+
+
+def to_records(rows):
+    return from_dataclasses(rows)
+
+
+def format_results(rows):
+    summary = band_summary(rows)
+    return format_table(
+        ["Machine", "Method", "Size", "Cores", "Simulated", "Analytic",
+         "Rel err"],
+        [
+            (
+                r.machine,
+                r.method,
+                r.size,
+                r.cores,
+                "%.4g" % r.sim_cycles,
+                "%.4g" % r.model_cycles,
+                "%.2f%%" % (100 * r.rel_error),
+            )
+            for r in rows
+        ],
+        title=(
+            "Model accuracy: analytic vs simulator "
+            "(p95 %.2f%% / max %.2f%%; band p95<=%.0f%%, cap %.0f%%)"
+            % (100 * summary["p95_rel_error"], 100 * summary["max_rel_error"],
+               100 * P95_BAND, 100 * POINT_CAP)
+        ),
+    )

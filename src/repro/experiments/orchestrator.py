@@ -48,6 +48,7 @@ EXPERIMENT_MODULES = {
     "table4": "repro.experiments.exp_table4",
     "multicore-scaling": "repro.experiments.exp_multicore_scaling",
     "machine-sweep": "repro.experiments.exp_machine_sweep",
+    "model-accuracy": "repro.experiments.exp_model_accuracy",
 }
 
 #: experiments whose ``run`` accepts the ``cores`` / ``jobs`` kwargs of
@@ -64,13 +65,14 @@ ABLATION_MODULES = {
 #: experiments whose ``run`` accepts a ``machine`` kwarg (CLI
 #: ``--machine`` refuses everything else — the paper figures are
 #: platform-pinned)
-MACHINE_AWARE = {"multicore-scaling", "multicore", "machine-sweep"}
+MACHINE_AWARE = {"multicore-scaling", "multicore", "machine-sweep",
+                 "model-accuracy"}
 
 #: combinatorial experiments implementing the point protocol
 #: (``iter_points`` / ``run_point`` / ``merge_points``): the
 #: orchestrator decomposes these into per-cell executor tasks with
 #: point-granular caching instead of one monolithic ``run`` call
-POINTWISE = {"multicore-scaling", "machine-sweep"}
+POINTWISE = {"multicore-scaling", "machine-sweep", "model-accuracy"}
 
 
 @dataclass(frozen=True)
@@ -509,14 +511,16 @@ def _sweep_shapes(sizes, shapes):
     return gemm_shapes
 
 
-def _sweep_point_single(machine, m, n, k, label, method, baseline):
+def _sweep_point_single(machine, m, n, k, label, method, baseline,
+                        backend="simulate"):
     """One (machine, shape, method) cell of the speedup-vs-baseline sweep."""
     from repro.experiments import runner
     from repro.experiments.records import scrub
     from repro.workloads.shapes import GemmShape
 
     shape = GemmShape(m, n, k, label=label)
-    row = runner.speedup_rows([shape], [method], machine, baseline)[0]
+    row = runner.speedup_rows([shape], [method], machine, baseline,
+                              backend=backend)[0]
     cell = row[method]
     return scrub({
         "machine": machine,
@@ -526,6 +530,7 @@ def _sweep_point_single(machine, m, n, k, label, method, baseline):
         "k": k,
         "method": method,
         "baseline": baseline,
+        "backend": backend,
         "speedup": cell["speedup"],
         "ic_ratio": cell["ic_ratio"],
         "cycles": cell["execution"].cycles,
@@ -533,14 +538,33 @@ def _sweep_point_single(machine, m, n, k, label, method, baseline):
     })
 
 
-def _sweep_point_multicore(machine, m, n, k, label, method, cores, strategy):
-    """One (machine, shape, method, cores) cell of the multi-core sweep."""
-    from repro.experiments.records import scrub
-    from repro.gemm.multicore import simulate_parallel_gemm
+def _sweep_point_multicore(machine, m, n, k, label, method, cores, strategy,
+                           backend="simulate", jobs=1):
+    """One (machine, shape, method, cores) cell of the multi-core sweep.
 
-    point = simulate_parallel_gemm(
-        method, m, n, k, cores, machine=machine, strategy=strategy, jobs=1,
-    )
+    ``backend="analytic"`` evaluates the calibrated closed-form scaling
+    model instead of the cycle-level shared-hierarchy simulation; the
+    contention/LLC columns only exist on the simulated path and are
+    ``None`` on the analytic one.
+    """
+    from repro.experiments.records import scrub
+
+    if backend == "analytic":
+        from repro.analytic import predict_parallel
+
+        point = predict_parallel(m, n, k, cores, method=method,
+                                 machine=machine, strategy=strategy)
+        contention = None
+        llc_hit_rate = None
+    else:
+        from repro.gemm.multicore import simulate_parallel_gemm
+
+        point = simulate_parallel_gemm(
+            method, m, n, k, cores, machine=machine, strategy=strategy,
+            jobs=jobs,
+        )
+        contention = point.contention_stall_cycles
+        llc_hit_rate = point.llc_hit_rate
     return scrub({
         "machine": machine,
         "shape": label,
@@ -550,17 +574,18 @@ def _sweep_point_multicore(machine, m, n, k, label, method, cores, strategy):
         "method": method,
         "strategy": strategy,
         "cores": cores,
+        "backend": backend,
         "speedup": point.speedup,
         "efficiency": point.efficiency,
         "dram_limited": point.dram_limited,
-        "contention_stall_cycles": point.contention_stall_cycles,
-        "llc_hit_rate": point.llc_hit_rate,
+        "contention_stall_cycles": contention,
+        "llc_hit_rate": llc_hit_rate,
         "parallel_cycles": point.parallel_cycles,
     })
 
 
 def _sweep_point_tasks(gemm_shapes, methods, machines, baseline, core_counts,
-                       strategy):
+                       strategy, backend="simulate"):
     """Enumerate a sweep grid as executor tasks, in assembly order."""
     from repro.experiments import runner
 
@@ -583,7 +608,7 @@ def _sweep_point_tasks(gemm_shapes, methods, machines, baseline, core_counts,
                             {"machine": machine, "m": shape.m, "n": shape.n,
                              "k": shape.k, "label": shape.label,
                              "method": method, "cores": cores,
-                             "strategy": strategy},
+                             "strategy": strategy, "backend": backend},
                         )
         else:
             base_method = baseline or runner.baseline_for(machine)
@@ -597,49 +622,33 @@ def _sweep_point_tasks(gemm_shapes, methods, machines, baseline, core_counts,
                         __name__ + ":_sweep_point_single",
                         {"machine": machine, "m": shape.m, "n": shape.n,
                          "k": shape.k, "label": shape.label,
-                         "method": method, "baseline": base_method},
+                         "method": method, "baseline": base_method,
+                         "backend": backend},
                     )
     return order, tasks
 
 
 def multicore_sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
                             machines=("a64fx",), core_counts=(1, 4, 16),
-                            strategy="npanel", jobs=1):
+                            strategy="npanel", jobs=1, backend="simulate"):
     """Shapes x methods x machines x cores on the multi-core simulator.
 
     Every point runs cycle-level: one batch pipeline engine per core
     over the shared LLC + multi-channel DRAM; speedups are against the
-    method's own single-core run. Returns flat records.
+    method's own single-core run. ``backend="analytic"`` swaps in the
+    calibrated closed-form model. Returns flat records.
     """
     from repro.experiments.records import make
-    from repro.gemm.multicore import simulate_parallel_gemm
 
     out = []
     for machine in machines:
         for shape in _sweep_shapes(sizes, shapes):
             for method in methods:
                 for cores in core_counts:
-                    point = simulate_parallel_gemm(
-                        method, shape.m, shape.n, shape.k, cores,
-                        machine=machine, strategy=strategy, jobs=jobs,
-                    )
-                    out.append({
-                        "machine": machine,
-                        "shape": shape.label,
-                        "m": shape.m,
-                        "n": shape.n,
-                        "k": shape.k,
-                        "method": method,
-                        "strategy": strategy,
-                        "cores": cores,
-                        "speedup": point.speedup,
-                        "efficiency": point.efficiency,
-                        "dram_limited": point.dram_limited,
-                        "contention_stall_cycles":
-                            point.contention_stall_cycles,
-                        "llc_hit_rate": point.llc_hit_rate,
-                        "parallel_cycles": point.parallel_cycles,
-                    })
+                    out.append(_sweep_point_multicore(
+                        machine, shape.m, shape.n, shape.k, shape.label,
+                        method, cores, strategy, backend=backend, jobs=jobs,
+                    ))
     return make(out)
 
 
@@ -660,12 +669,14 @@ def format_multicore_sweep(records):
 
 
 def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
-                  machines=("a64fx",), baseline=None):
+                  machines=("a64fx",), baseline=None, backend="simulate"):
     """Shapes x methods x machines through :func:`runner.speedup_rows`.
 
     ``sizes`` are square SMM sides; ``shapes`` are explicit (m, n, k)
     triples. Per machine the baseline defaults to the platform baseline
-    the paper compares against. Returns flat records.
+    the paper compares against. ``backend="analytic"`` evaluates the
+    calibrated closed-form model instead of the block-composed pipeline
+    simulation. Returns flat records.
     """
     from repro.experiments import runner
     from repro.experiments.records import make
@@ -676,7 +687,7 @@ def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
         base_method = baseline or runner.baseline_for(machine)
         sweep_methods = [m for m in methods if m != base_method]
         rows = runner.speedup_rows(gemm_shapes, sweep_methods, machine,
-                                   base_method)
+                                   base_method, backend=backend)
         for row in rows:
             shape = row["shape"]
             for method in sweep_methods:
@@ -689,6 +700,7 @@ def sweep_records(sizes=(), shapes=(), methods=("camp8", "camp4"),
                     "k": shape.k,
                     "method": method,
                     "baseline": base_method,
+                    "backend": backend,
                     "speedup": cell["speedup"],
                     "ic_ratio": cell["ic_ratio"],
                     "cycles": cell["execution"].cycles,
@@ -716,7 +728,8 @@ def format_sweep(records):
 def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
               machines=("a64fx",), baseline=None, cache=None,
               core_counts=None, strategy="npanel", jobs=1, retries=0,
-              task_timeout=None, run_id=None, resume=None, on_point=None):
+              task_timeout=None, run_id=None, resume=None, on_point=None,
+              backend="simulate"):
     """Cached sweep wrapper returning an :class:`ExperimentResult`.
 
     With ``core_counts`` the sweep runs on the multi-core cycle-level
@@ -742,6 +755,7 @@ def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
         "methods": list(methods),
         "machines": list(machines),
         "machines_digest": machines_digest(),
+        "backend": backend,
     }
     if core_counts is not None:
         # baseline is meaningless on the multi-core path (speedups are
@@ -762,7 +776,8 @@ def run_sweep(sizes=(), shapes=(), methods=("camp8", "camp4"),
             )
     gemm_shapes = _sweep_shapes(sizes, shapes)
     order, tasks = _sweep_point_tasks(
-        gemm_shapes, methods, machines, baseline, core_counts, strategy
+        gemm_shapes, methods, machines, baseline, core_counts, strategy,
+        backend=backend,
     )
     start = time.perf_counter()
     journal = _journal_for(run_id, resume, "sweep", params)

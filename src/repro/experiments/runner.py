@@ -72,26 +72,33 @@ def driver_for(method, machine="a64fx"):
     return _DRIVERS[key]
 
 
-def analyze_cached(shape, method, machine="a64fx"):
-    """Analyze one GemmShape through the cached driver."""
+def analyze_cached(shape, method, machine="a64fx", backend="simulate"):
+    """Analyze one GemmShape through the cached driver (or the
+    calibrated analytic model, for ``backend="analytic"``)."""
+    if backend == "analytic":
+        from repro.analytic import get_model
+
+        return get_model(method, machine).predict(shape.m, shape.n, shape.k)
     return driver_for(method, machine).analyze(shape.m, shape.n, shape.k)
 
 
-def speedup_rows(shapes, methods, machine, baseline):
+def speedup_rows(shapes, methods, machine, baseline, backend="simulate"):
     """Per-shape speedup and instruction-count ratios vs a baseline.
 
     Returns a list of dicts: ``{"shape", "baseline", method: {"speedup",
-    "ic_ratio", "execution"}}``.
+    "ic_ratio", "execution"}}``. Both methods and baseline go through
+    the same ``backend``, so analytic sweeps compare model against
+    model, never model against simulator.
     """
     rows = []
     for shape in shapes:
-        base = analyze_cached(shape, baseline, machine)
+        base = analyze_cached(shape, baseline, machine, backend)
         row = {"shape": shape, "baseline": base}
         for method in methods:
             if method == baseline:
                 execution = base
             else:
-                execution = analyze_cached(shape, method, machine)
+                execution = analyze_cached(shape, method, machine, backend)
             row[method] = {
                 "speedup": base.cycles / execution.cycles,
                 "ic_ratio": execution.total_instructions / base.total_instructions,

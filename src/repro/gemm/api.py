@@ -98,8 +98,36 @@ def gemm(a, b, method="camp8", machine=None, blocking=None):
     return GemmResult(c=c, execution=execution)
 
 
-def analyze(m, n, k, method="camp8", machine=None, blocking=None):
-    """Shape-only performance analysis (no numeric computation)."""
+#: shape-only analysis backends: block-composed pipeline simulation vs
+#: the calibrated O(1) closed-form model (:mod:`repro.analytic`)
+BACKENDS = ("simulate", "analytic")
+
+
+def analyze(m, n, k, method="camp8", machine=None, blocking=None,
+            backend="simulate"):
+    """Shape-only performance analysis (no numeric computation).
+
+    ``backend="simulate"`` runs the block-composed pipeline simulation;
+    ``backend="analytic"`` evaluates the calibrated closed-form model
+    instead (calibrating against the simulator on first use — see
+    :mod:`repro.analytic`), which is orders of magnitude faster per
+    shape once the coefficients exist. The analytic backend fits
+    coefficients for the machine's default blocking, so an explicit
+    ``blocking`` is rejected there.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            "unknown backend %r; available: %s" % (backend, ", ".join(BACKENDS))
+        )
+    if backend == "analytic":
+        if blocking is not None:
+            raise ValueError(
+                "backend='analytic' predicts the machine's default "
+                "blocking; custom blocking needs backend='simulate'"
+            )
+        from repro.analytic import predict
+
+        return predict(m, n, k, method=method, machine=machine)
     driver = make_driver(method, machine, blocking)
     return driver.analyze(m, n, k)
 

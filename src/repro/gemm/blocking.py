@@ -45,6 +45,49 @@ def _ceil_div(a, b):
     return -(-a // b)
 
 
+def compose_plan(m, n, k, *, m_r, n_r, k_step, kc, nc, elem_bytes):
+    """The block-composition schedule of one (m, n, k) GEMM.
+
+    Pure GotoBLAS trip-count arithmetic, shared by the driver's
+    simulation-composed :meth:`~repro.gemm.goto.GotoBlasDriver.analyze`
+    and the calibrated closed-form model (:mod:`repro.analytic`) — the
+    two must never drift, so both call this one function.
+
+    Returns ``(call_plan, a_bytes, b_bytes)`` where ``call_plan`` is a
+    list of ``(kc, first_k_block, count)`` micro-kernel call groups and
+    the byte totals are the packed-panel traffic packing work scales
+    with.
+    """
+    if min(m, n, k) <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    k_eff = k + ((-k) % k_step)
+    kc = min(kc, k_eff)
+    kc += (-kc) % k_step
+    n_full = k_eff // kc
+    kc_rem = k_eff - n_full * kc          # remainder k-block depth
+    kc_rem += (-kc_rem) % k_step
+    tiles = _ceil_div(m, m_r) * _ceil_div(n, n_r)
+
+    # per-tile schedule: one "first" call (kc or the remainder if it
+    # is the only block), then accumulate calls for the other blocks
+    call_plan = []  # (kc, first_k_block, count)
+    if n_full:
+        call_plan.append((kc, True, tiles))
+        if n_full > 1:
+            call_plan.append((kc, False, tiles * (n_full - 1)))
+        if kc_rem:
+            call_plan.append((kc_rem, False, tiles))
+    else:
+        call_plan.append((kc_rem, True, tiles))
+
+    # packing traffic: B packed once per (jc, pc); A packed once per
+    # (jc, pc, ic) — i.e. A is re-packed for every nc-wide C panel.
+    n_jblocks = _ceil_div(n, nc)
+    a_bytes = int(m * k_eff * elem_bytes) * n_jblocks
+    b_bytes = int(k_eff * n * elem_bytes)
+    return call_plan, a_bytes, b_bytes
+
+
 def _round_down(value, multiple, minimum):
     rounded = (value // multiple) * multiple
     return max(rounded, minimum)

@@ -20,7 +20,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.gemm.blocking import BlockingParams, default_blocking
+from repro.gemm.blocking import BlockingParams, compose_plan, default_blocking
 from repro.gemm.microkernel import A_PANEL_BASE, B_PANEL_BASE, MicroKernel
 from repro.gemm.packing import (
     element_bytes,
@@ -243,42 +243,15 @@ class GotoBlasDriver:
     def _compose_plan(self, m, n, k):
         """The block-composition schedule of one (m, n, k) GEMM.
 
-        Returns ``(call_plan, a_bytes, b_bytes)`` where ``call_plan``
-        is a list of ``(kc, first_k_block, count)`` micro-kernel call
-        groups and the byte totals are the packed-panel traffic the
-        packing chunks are scaled by.
+        Delegates to :func:`repro.gemm.blocking.compose_plan`, the
+        trip-count arithmetic shared with the analytic model.
         """
         kern = self.kernel
         blk = self.blocking
-        if min(m, n, k) <= 0:
-            raise ValueError("matrix dimensions must be positive")
-        k_eff = k + ((-k) % kern.k_step)
-        kc = min(blk.kc, k_eff)
-        kc += (-kc) % kern.k_step
-        n_full = k_eff // kc
-        kc_rem = k_eff - n_full * kc          # remainder k-block depth
-        kc_rem += (-kc_rem) % kern.k_step
-        tiles = _ceil_div(m, kern.m_r) * _ceil_div(n, kern.n_r)
-
-        # per-tile schedule: one "first" call (kc or the remainder if it
-        # is the only block), then accumulate calls for the other blocks
-        call_plan = []  # (kc, first_k_block, count)
-        if n_full:
-            call_plan.append((kc, True, tiles))
-            if n_full > 1:
-                call_plan.append((kc, False, tiles * (n_full - 1)))
-            if kc_rem:
-                call_plan.append((kc_rem, False, tiles))
-        else:
-            call_plan.append((kc_rem, True, tiles))
-
-        # packing traffic: B packed once per (jc, pc); A packed once per
-        # (jc, pc, ic) — i.e. A is re-packed for every nc-wide C panel.
-        elem = element_bytes(kern.dtype)
-        n_jblocks = _ceil_div(n, blk.nc)
-        a_bytes = int(m * k_eff * elem) * n_jblocks
-        b_bytes = int(k_eff * n * elem)
-        return call_plan, a_bytes, b_bytes
+        return compose_plan(
+            m, n, k, m_r=kern.m_r, n_r=kern.n_r, k_step=kern.k_step,
+            kc=blk.kc, nc=blk.nc, elem_bytes=element_bytes(kern.dtype),
+        )
 
     def analyze(self, m, n, k):
         """Block-composed cycles/instructions for an (m, n, k) GEMM."""

@@ -1,83 +1,26 @@
-"""Multi-core GEMM scaling: cycle-level simulation + analytic model.
+"""Multi-core GEMM scaling: the cycle-level simulation path.
 
 GotoBLAS parallelizes the 5th loop (N panels) or 3rd loop (M blocks)
 across cores; each core runs its own micro-kernel stream while sharing
 the LLC and DRAM.
 
-Two models live here. :func:`simulate_scaling_curve` is the cycle-level
-path: each core's shard (from :mod:`repro.workloads.partition`) is
-analyzed through the batch pipeline engine over a recording hierarchy,
-its composed DRAM traffic timeline is assembled from the driver's
+:func:`simulate_scaling_curve` is the cycle-level path: each core's
+shard (from :mod:`repro.workloads.partition`) is analyzed through the
+batch pipeline engine over a recording hierarchy, its composed DRAM
+traffic timeline is assembled from the driver's
 :class:`~repro.gemm.goto.TrafficSegment` schedule, and the per-core
 streams are arbitrated deterministically through the shared LLC +
 multi-channel DRAM (:class:`~repro.memory.hierarchy.SharedHierarchy`).
-The original closed-form model (:func:`parallel_gemm_analysis` /
-:func:`scaling_curve`) is retained as the cross-check column the
-multicore ablation reports next to the simulated numbers.
+
+The closed-form cross-check model that used to live beside it was
+replaced by the *calibrated* analytic model
+(:meth:`repro.analytic.AnalyticModel.predict_parallel`), whose
+contention coefficient is fitted against this simulator.
 """
 
 from dataclasses import dataclass, field
 from multiprocessing import Pool, current_process
 from typing import List
-
-from repro.gemm.packing import element_bytes
-
-
-def _ceil_div(a, b):
-    return -(-a // b)
-
-
-@dataclass
-class MulticoreResult:
-    """Scaling outcome for one (method, cores) point."""
-
-    cores: int
-    single_core_cycles: float
-    parallel_cycles: float
-    dram_limited: bool
-
-    @property
-    def speedup(self):
-        return self.single_core_cycles / self.parallel_cycles
-
-    @property
-    def efficiency(self):
-        return self.speedup / self.cores
-
-
-def parallel_gemm_analysis(driver, m, n, k, cores=16):
-    """Scale one GEMM across ``cores`` with an N-panel partition.
-
-    Per-core cycles come from analyzing the N/cores slice; the shared
-    memory system imposes a floor of (total compulsory traffic) /
-    (DRAM bytes per cycle), which is what eventually bends the curve.
-    """
-    if cores < 1:
-        raise ValueError("cores must be >= 1")
-    single = driver.analyze(m, n, k)
-    if cores == 1:
-        return MulticoreResult(1, single.cycles, single.cycles, False)
-    n_slice = max(driver.kernel.n_r, _ceil_div(n, cores))
-    per_core = driver.analyze(m, n_slice, k)
-    elem = element_bytes(driver.kernel.dtype)
-    # compulsory traffic: every core streams the shared A once per
-    # jc panel plus its own B slice; C written once
-    total_bytes = (
-        cores * m * k * elem + k * n * elem + m * n * 4
-    )
-    dram_floor = total_bytes / driver.config.dram_bytes_per_cycle
-    parallel_cycles = max(per_core.cycles, dram_floor)
-    return MulticoreResult(
-        cores=cores,
-        single_core_cycles=single.cycles,
-        parallel_cycles=parallel_cycles,
-        dram_limited=dram_floor > per_core.cycles,
-    )
-
-
-def scaling_curve(driver, m, n, k, core_counts=(1, 2, 4, 8, 16)):
-    """Multicore scaling across a list of core counts."""
-    return [parallel_gemm_analysis(driver, m, n, k, cores) for cores in core_counts]
 
 
 # ---------------------------------------------------------------------------
@@ -212,12 +155,18 @@ _RECORDING_DRIVERS = {}
 
 def _recording_driver_for(method, machine):
     # machine names carry the resolved spec digest so a registry
-    # override of the same name can never serve a stale driver
+    # override of the same name can never serve a stale driver; specs
+    # (which are not hashable) key by their own digest
     key = (method, machine)
     if isinstance(machine, str):
         from repro.machines import get_spec
 
         key = (method, machine, get_spec(machine).digest())
+    else:
+        from repro.machines import MachineSpec
+
+        if isinstance(machine, MachineSpec):
+            key = (method, machine.name, machine.digest())
     if key not in _RECORDING_DRIVERS:
         _RECORDING_DRIVERS[key] = make_recording_driver(method, machine)
     return _RECORDING_DRIVERS[key]

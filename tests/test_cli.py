@@ -531,3 +531,84 @@ class TestBenchSweep:
         }
         problems = bench_sweep.check_regression(payload, {"cold_s": 1.0})
         assert any("warm sweep rerun" in p for p in problems)
+
+
+class TestAnalyticBackend:
+    def test_gemm_analytic_backend(self, capsys):
+        assert main(["gemm", "96", "96", "96", "--method", "camp8",
+                     "--backend", "analytic"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic model" in out
+
+    def test_gemm_analytic_rejects_verify(self, capsys):
+        assert main(["gemm", "32", "32", "32", "--backend", "analytic",
+                     "--verify"]) == 2
+        assert "verify" in capsys.readouterr().err
+
+    def test_sweep_analytic_backend(self, capsys):
+        assert main(["sweep", "--sizes", "96", "--methods", "camp8",
+                     "--backend", "analytic", "--no-cache",
+                     "--format", "json"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        record = documents[0]["records"][0]
+        assert record["backend"] == "analytic"
+        assert record["speedup"] > 1.0
+
+
+class TestCalibrateCommand:
+    def test_calibrate_single_machine(self, capsys):
+        assert main(["calibrate", "--machines", "sargantana",
+                     "--methods", "camp8", "--no-multicore"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrating sargantana" in out
+        assert "camp8" in out
+
+    def test_calibrate_unknown_machine(self, capsys):
+        assert main(["calibrate", "--machines", "z80"]) == 2
+
+    def test_calibrate_unknown_method(self, capsys):
+        assert main(["calibrate", "--machines", "sargantana",
+                     "--methods", "nope"]) == 2
+
+
+class TestBenchAnalytic:
+    def test_smoke_and_gate(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_analytic.json"
+        assert main(["bench-analytic", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "model accuracy" in printed
+        payload = json.loads(out.read_text())
+        assert payload["accuracy"]["within_band"]
+        # the freshly produced payload gates green against itself
+        assert main(["bench-analytic", "--out", str(tmp_path / "again.json"),
+                     "--check", str(out)]) == 0
+        assert "analytic gate passed" in capsys.readouterr().out
+
+    def test_gate_catches_band_breach(self):
+        from repro.experiments import bench_analytic
+
+        payload = {
+            "accuracy": {"p95_rel_error": 0.2, "max_rel_error": 0.3,
+                         "p95_band": 0.1, "point_cap": 0.25,
+                         "within_band": False},
+            "predict": {"speedup": 5000.0, "model_per_shape_s": 1e-5,
+                        "sim_per_shape_s": 0.05},
+            "calibrate_s": 1.0,
+        }
+        problems = bench_analytic.check_regression(payload, {})
+        assert any("p95" in p for p in problems)
+        assert any("hard cap" in p for p in problems)
+
+    def test_gate_catches_slow_predictions(self):
+        from repro.experiments import bench_analytic
+
+        payload = {
+            "accuracy": {"p95_rel_error": 0.01, "max_rel_error": 0.02,
+                         "p95_band": 0.1, "point_cap": 0.25,
+                         "within_band": True},
+            "predict": {"speedup": 12.0, "model_per_shape_s": 1e-3,
+                        "sim_per_shape_s": 0.012},
+            "calibrate_s": 1.0,
+        }
+        problems = bench_analytic.check_regression(payload, {})
+        assert any("faster than simulation" in p for p in problems)

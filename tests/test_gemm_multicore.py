@@ -1,44 +1,43 @@
-"""Tests for the multi-core scaling model."""
+"""Tests for the calibrated analytic multi-core scaling model."""
 
 import pytest
 
-from repro.experiments.runner import driver_for
-from repro.gemm.multicore import parallel_gemm_analysis, scaling_curve
+from repro.analytic import get_model
 
 
 @pytest.fixture(scope="module")
-def camp_driver():
-    return driver_for("camp8", "a64fx")
+def camp_model():
+    return get_model("camp8", "a64fx")
 
 
-class TestParallelAnalysis:
-    def test_single_core_identity(self, camp_driver):
-        result = parallel_gemm_analysis(camp_driver, 128, 128, 128, cores=1)
+class TestPredictParallel:
+    def test_single_core_identity(self, camp_model):
+        result = camp_model.predict_parallel(128, 128, 128, cores=1)
         assert result.speedup == 1.0
         assert result.efficiency == 1.0
 
-    def test_speedup_grows_with_cores(self, camp_driver):
-        r4 = parallel_gemm_analysis(camp_driver, 256, 256, 256, cores=4)
-        r16 = parallel_gemm_analysis(camp_driver, 256, 256, 256, cores=16)
+    def test_speedup_grows_with_cores(self, camp_model):
+        r4 = camp_model.predict_parallel(256, 256, 256, cores=4)
+        r16 = camp_model.predict_parallel(256, 256, 256, cores=16)
         assert 1.0 < r4.speedup <= 4.0
         assert r16.speedup > r4.speedup
 
-    def test_efficiency_at_most_one(self, camp_driver):
+    def test_efficiency_at_most_one(self, camp_model):
         for cores in (2, 8, 16):
-            result = parallel_gemm_analysis(camp_driver, 256, 256, 256, cores=cores)
+            result = camp_model.predict_parallel(256, 256, 256, cores=cores)
             assert result.efficiency <= 1.0 + 1e-9
 
-    def test_invalid_cores(self, camp_driver):
+    def test_invalid_cores(self, camp_model):
         with pytest.raises(ValueError):
-            parallel_gemm_analysis(camp_driver, 64, 64, 64, cores=0)
+            camp_model.predict_parallel(64, 64, 64, cores=0)
 
-    def test_curve_lengths(self, camp_driver):
-        curve = scaling_curve(camp_driver, 128, 128, 128, core_counts=(1, 2, 4))
+    def test_curve_lengths(self, camp_model):
+        curve = camp_model.scaling_curve(128, 128, 128, core_counts=(1, 2, 4))
         assert [p.cores for p in curve] == [1, 2, 4]
 
-    def test_partition_floor_at_n_r(self, camp_driver):
+    def test_partition_floor_at_n_r(self, camp_model):
         # more cores than N/n_r tiles: the slice clamps to n_r
-        result = parallel_gemm_analysis(camp_driver, 64, 8, 64, cores=16)
+        result = camp_model.predict_parallel(64, 8, 64, cores=16)
         assert result.speedup <= 16
 
 
@@ -46,8 +45,8 @@ class TestBandwidthSensitivity:
     def test_camp_more_dram_sensitive_than_fp32(self):
         """At many cores CAMP's cycles-per-byte advantage makes it hit
         the shared-DRAM floor before the compute-heavy baseline."""
-        camp = driver_for("camp8", "a64fx")
-        base = driver_for("openblas-fp32", "a64fx")
-        camp_r = parallel_gemm_analysis(camp, 1024, 1024, 1024, cores=16)
-        base_r = parallel_gemm_analysis(base, 1024, 1024, 1024, cores=16)
+        camp = get_model("camp8", "a64fx")
+        base = get_model("openblas-fp32", "a64fx")
+        camp_r = camp.predict_parallel(1024, 1024, 1024, cores=16)
+        base_r = base.predict_parallel(1024, 1024, 1024, cores=16)
         assert camp_r.efficiency <= base_r.efficiency + 1e-9
