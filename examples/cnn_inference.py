@@ -12,7 +12,7 @@ Usage:  python examples/cnn_inference.py
 import numpy as np
 
 from repro.experiments.runner import analyze_cached
-from repro.gemm.api import gemm
+from repro.api import gemm
 from repro.quant.quantize import quantize
 from repro.quant.schemes import choose_params
 from repro.workloads.im2col import conv_output_shape, im2col

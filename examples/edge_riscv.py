@@ -11,7 +11,7 @@ Usage:  python examples/edge_riscv.py
 import numpy as np
 
 from repro.experiments.runner import analyze_cached
-from repro.gemm.api import gemm
+from repro.api import gemm
 from repro.isa.dtypes import DType
 from repro.physical.area import camp_area_report
 from repro.physical.energy import EnergyModel

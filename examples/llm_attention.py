@@ -11,7 +11,7 @@ Usage:  python examples/llm_attention.py
 import numpy as np
 
 from repro.experiments.runner import analyze_cached
-from repro.gemm.api import gemm
+from repro.api import gemm
 from repro.quant.quantize import quantize
 from repro.quant.schemes import choose_params
 from repro.workloads.shapes import LLM_LAYERS

@@ -11,8 +11,7 @@ import sys
 
 import numpy as np
 
-from repro import gemm
-from repro.gemm.api import analyze
+from repro.api import analyze, gemm
 
 
 def main(size=128):

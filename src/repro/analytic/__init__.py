@@ -32,6 +32,7 @@ from repro.analytic.store import (
     get_model,
     load_models,
     model_path,
+    preload_models,
     reset_models,
     save_models,
     spec_for,
@@ -68,6 +69,7 @@ __all__ = [
     "model_path",
     "predict",
     "predict_parallel",
+    "preload_models",
     "probe_kcs",
     "reset_models",
     "save_models",

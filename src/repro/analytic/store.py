@@ -145,6 +145,27 @@ def get_model(method, machine=None):
     return models[method]
 
 
+def preload_models():
+    """Pull every registered machine's persisted models into memory.
+
+    The serving daemon calls this during warm-up so the first analytic
+    request per machine skips the disk probe (and its digest checks).
+    Machines with no valid persisted file get an empty registry entry —
+    they still calibrate lazily on first use. Returns the number of
+    (machine, method) models now warm.
+    """
+    from repro.machines import machine_names
+
+    count = 0
+    for name in machine_names():
+        spec = get_spec(name)
+        key = _memory_key(spec)
+        if key not in _MODELS:
+            _MODELS[key] = load_models(spec) or {}
+        count += len(_MODELS[key])
+    return count
+
+
 def reset_models():
     """Drop the in-process model registry (test isolation)."""
     _MODELS.clear()

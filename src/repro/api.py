@@ -1,0 +1,115 @@
+"""Stable public facade.
+
+The one import surface external callers (scripts, notebooks, the
+``examples/``) should use::
+
+    from repro import api
+
+    execution = api.analyze(512, 512, 512, method="camp8")
+    result = api.gemm(a, b, method="camp4", machine="sargantana")
+    response = api.sweep(api.SweepRequest(sizes=(128, 256)))
+
+Everything here is covered by the request schema's compatibility
+policy (see :mod:`repro.serving.requests`): names in ``__all__`` keep
+their signatures across releases, new capabilities arrive as new
+optional parameters or new names, and anything not exported here is
+internal and may move without notice.
+
+Two calling styles, one execution path:
+
+- **Direct** — :func:`gemm` / :func:`analyze` / :func:`predict` take
+  plain arguments and return execution objects, for interactive use.
+- **Request-shaped** — :func:`sweep` / :func:`calibrate` /
+  :func:`execute` take the typed request dataclasses and return the
+  same JSON-ready response envelopes the ``repro-camp serve`` daemon
+  emits, so a script's local results are byte-comparable with served
+  ones (:func:`connect` returns a client for a running daemon;
+  :func:`serve_app` embeds the daemon itself).
+"""
+
+from repro.analytic import predict, predict_parallel
+from repro.gemm.api import analyze, gemm, make_driver, resolve_machine
+from repro.machines import (
+    MachineSpec,
+    MachineSpecError,
+    get_spec,
+    load_machine_file,
+    machine_names,
+)
+from repro.serving import (
+    BACKENDS,
+    SCHEMA_VERSION,
+    STRATEGIES,
+    CalibrateRequest,
+    GemmRequest,
+    Request,
+    RequestError,
+    SchemaVersionError,
+    SweepRequest,
+    describe_schema,
+    parse_request,
+)
+from repro.serving.client import ServerClient, ServerError
+from repro.serving.execute import (
+    calibrate_response,
+    execute,
+    gemm_response,
+    sweep_response,
+)
+from repro.serving.server import serve_app
+
+
+def sweep(request, **kwargs):
+    """Run a :class:`SweepRequest`; returns the response envelope.
+
+    Keyword arguments (``cache``, ``jobs``, ``run_id``, ``resume``,
+    ``on_point``, ...) are execution policy — they never change the
+    records. See :func:`repro.serving.execute.sweep_response`.
+    """
+    return sweep_response(request, **kwargs)
+
+
+def calibrate(request, **kwargs):
+    """Run a :class:`CalibrateRequest`; returns the response envelope."""
+    return calibrate_response(request, **kwargs)
+
+
+def connect(base_url, **kwargs):
+    """A :class:`ServerClient` for a running ``repro-camp serve``."""
+    return ServerClient(base_url, **kwargs)
+
+
+__all__ = [
+    "BACKENDS",
+    "CalibrateRequest",
+    "GemmRequest",
+    "MachineSpec",
+    "MachineSpecError",
+    "Request",
+    "RequestError",
+    "SCHEMA_VERSION",
+    "STRATEGIES",
+    "SchemaVersionError",
+    "ServerClient",
+    "ServerError",
+    "SweepRequest",
+    "analyze",
+    "calibrate",
+    "calibrate_response",
+    "connect",
+    "describe_schema",
+    "execute",
+    "gemm",
+    "gemm_response",
+    "get_spec",
+    "load_machine_file",
+    "machine_names",
+    "make_driver",
+    "parse_request",
+    "predict",
+    "predict_parallel",
+    "resolve_machine",
+    "serve_app",
+    "sweep",
+    "sweep_response",
+]

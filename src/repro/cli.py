@@ -8,7 +8,18 @@
     python -m repro.cli experiment all --fast --jobs 4 --out artifacts/
     python -m repro.cli ablation vector-length
     python -m repro.cli sweep --sizes 128,256 --methods camp8,camp4
+    python -m repro.cli serve --port 8735
     python -m repro.cli area
+
+``gemm``, ``sweep`` and ``calibrate`` are thin shells around the typed
+request layer (:mod:`repro.serving.requests`): their option groups are
+*derived* from the request dataclasses (adding a field there surfaces
+it here and on the daemon's JSON schema automatically), validation is
+the requests' own ``validate()``, and execution goes through
+:mod:`repro.serving.execute` — the same code path the ``serve`` daemon
+answers with, so ``--server URL`` (send the request to a running
+``repro-camp serve`` instead of executing locally) returns
+byte-identical results.
 
 Experiments and ablations run through the orchestrator
 (:mod:`repro.experiments.orchestrator`):
@@ -25,9 +36,7 @@ Experiments and ablations run through the orchestrator
   :mod:`repro.experiments.artifacts`).
 - ``--format text|json|csv`` selects the stdout rendering.
 
-``sweep`` drives shapes x methods x machines through
-``runner.speedup_rows`` with the same cache/artifact plumbing. Sweeps
-(and experiment batches) decompose into per-point tasks on the
+Sweeps (and experiment batches) decompose into per-point tasks on the
 work-queue executor: ``--retries`` / ``--task-timeout`` apply per
 point, ``--run-id NAME`` journals progress so an interrupted run (exit
 code 3) continues with ``--resume NAME`` recomputing only unfinished
@@ -41,6 +50,9 @@ derive from registered specs. ``--machine-file PATH`` (or
 ``$REPRO_MACHINE_PATH``) loads user-defined TOML/JSON machine
 descriptions; the registry digest joins the result-cache key, so an
 edited machine file never serves stale cached records.
+
+Exit codes: 0 success, 1 operational failure (perf gate, unreachable
+server), 2 invalid request/usage, 3 interrupted run (resumable).
 """
 
 import argparse
@@ -48,6 +60,15 @@ import json
 import os
 import sys
 import time
+
+from repro.serving.requests import (
+    CalibrateRequest,
+    GemmRequest,
+    SweepRequest,
+    add_request_options,
+    int_list,
+    request_from_args,
+)
 
 
 def _apply_engine(args):
@@ -98,6 +119,36 @@ def _apply_machine_files(args):
     return 0
 
 
+def _request_errors():
+    """Exception types meaning "invalid request" (exit code 2).
+
+    One tuple for every door: the request layer's own errors and the
+    machine layer's spec violations, raised identically by local
+    execution and re-raised by the client from the daemon's structured
+    4xx payloads.
+    """
+    from repro.machines import MachineSpecError
+    from repro.serving.requests import RequestError
+
+    return (RequestError, MachineSpecError)
+
+
+def _server_errors():
+    from repro.serving.client import ServerError
+
+    return (ServerError,)
+
+
+def _fail(command, error):
+    print("%s error: %s" % (command, error), file=sys.stderr)
+    return 2
+
+
+def _server_fail(error):
+    print("server error: %s" % error, file=sys.stderr)
+    return 1
+
+
 def _cmd_list(_args):
     from repro.experiments import orchestrator
     from repro.gemm.microkernel import kernel_names
@@ -111,63 +162,90 @@ def _cmd_list(_args):
 
 
 def _unknown_machine(name):
-    from repro.machines import machine_names
+    from repro.serving.requests import RequestError, check_machine
 
-    if name in machine_names():
-        return 0
-    print(
-        "unknown machine %r; available: %s (load more with --machine-file)"
-        % (name, ", ".join(machine_names())),
-        file=sys.stderr,
+    try:
+        check_machine(name)
+    except RequestError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _render_gemm(result):
+    """Print the gemm summary from a response's result dict.
+
+    Local and served executions both land here with the same dict, so
+    the rendering cannot diverge between them.
+    """
+    backend_note = (
+        " (analytic model)" if result["backend"] == "analytic" else ""
     )
-    return 2
+    print("method        : %s on %s%s" % (result["kernel_name"],
+                                          result["machine"], backend_note))
+    print("cycles        : %.4g" % result["cycles"])
+    print("instructions  : %d (kernel %d + packing %d)" % (
+        result["total_instructions"], result["kernel_instructions"],
+        result["packing_instructions"]))
+    print("cycles/MAC    : %.4f" % result["cycles_per_mac"])
+    print("throughput    : %.1f GOPS @ %.1f GHz" % (
+        result["gops"], result["frequency_ghz"]))
+    if result.get("blocking"):
+        blocking = result["blocking"]
+        print("blocking      : mc=%d kc=%d nc=%d (m_r=%d n_r=%d)" % (
+            blocking["mc"], blocking["kc"], blocking["nc"],
+            blocking["m_r"], blocking["n_r"]))
+    return 0
 
 
 def _cmd_gemm(args):
-    import numpy as np
+    from repro.serving import execute as serving_execute
 
-    from repro.gemm.api import analyze, gemm
-
-    if _unknown_machine(args.machine):
-        return 2
-    if args.verify and args.backend == "analytic":
-        print("gemm error: --verify needs the numeric path; drop "
-              "--backend analytic", file=sys.stderr)
-        return 2
+    try:
+        request = request_from_args(GemmRequest, args).validate()
+    except _request_errors() as error:
+        return _fail("gemm", error)
     if args.verify:
+        if args.server:
+            return _fail("gemm", "--verify computes numerically and runs "
+                                 "locally; drop --server")
+        if request.backend == "analytic":
+            return _fail("gemm", "--verify needs the numeric path; drop "
+                                 "--backend analytic")
+        import numpy as np
+
+        from repro.gemm.api import gemm
+
         rng = np.random.default_rng(args.seed)
-        bits = 4 if args.method == "camp4" else 8
+        bits = 4 if request.method == "camp4" else 8
         lo, hi = -(1 << (bits - 1)), 1 << (bits - 1)
-        if args.method == "openblas-fp32":
-            a = rng.normal(size=(args.m, args.k)).astype(np.float32)
-            b = rng.normal(size=(args.k, args.n)).astype(np.float32)
+        if request.method == "openblas-fp32":
+            a = rng.normal(size=(request.m, request.k)).astype(np.float32)
+            b = rng.normal(size=(request.k, request.n)).astype(np.float32)
         else:
-            a = rng.integers(lo, hi, size=(args.m, args.k)).astype(np.int8)
-            b = rng.integers(lo, hi, size=(args.k, args.n)).astype(np.int8)
-        result = gemm(a, b, method=args.method, machine=args.machine)
-        execution = result.execution
-        print("numeric verification: computed %dx%d result" % result.c.shape)
+            a = rng.integers(lo, hi, size=(request.m, request.k))
+            a = a.astype(np.int8)
+            b = rng.integers(lo, hi, size=(request.k, request.n))
+            b = b.astype(np.int8)
+        numeric = gemm(a, b, method=request.method, machine=request.machine)
+        print("numeric verification: computed %dx%d result"
+              % numeric.c.shape)
+        result = serving_execute.execution_result(request, numeric.execution)
+    elif args.server:
+        from repro.serving.client import ServerClient
+
+        try:
+            result = ServerClient(args.server).gemm(request)["result"]
+        except _request_errors() as error:
+            return _fail("gemm", error)
+        except _server_errors() as error:
+            return _server_fail(error)
     else:
-        execution = analyze(args.m, args.n, args.k, method=args.method,
-                            machine=args.machine, backend=args.backend)
-    kernel_name = getattr(execution, "kernel_name", None) or execution.method
-    backend_note = " (analytic model)" if args.backend == "analytic" else ""
-    print("method        : %s on %s%s" % (kernel_name,
-                                          execution.machine_name,
-                                          backend_note))
-    print("cycles        : %.4g" % execution.cycles)
-    print("instructions  : %d (kernel %d + packing %d)" % (
-        execution.total_instructions, execution.kernel_instructions,
-        execution.packing_instructions))
-    print("cycles/MAC    : %.4f" % execution.cycles_per_mac)
-    print("throughput    : %.1f GOPS @ %.1f GHz" % (
-        execution.gops, execution.frequency_ghz))
-    if hasattr(execution, "blocking"):
-        print("blocking      : mc=%d kc=%d nc=%d (m_r=%d n_r=%d)" % (
-            execution.blocking.mc, execution.blocking.kc,
-            execution.blocking.nc, execution.blocking.m_r,
-            execution.blocking.n_r))
-    return 0
+        try:
+            result = serving_execute.gemm_response(request)["result"]
+        except _request_errors() as error:
+            return _fail("gemm", error)
+    return _render_gemm(result)
 
 
 def _cache_from_args(args):
@@ -182,7 +260,8 @@ def _progress_printer(args):
     """Per-point progress lines for long sweeps (stderr).
 
     Enabled by ``--progress``, or automatically when stderr is a
-    terminal — an hour-long grid should not look hung.
+    terminal — an hour-long grid should not look hung. Served sweeps
+    stream the same callbacks over the wire.
     """
     enabled = getattr(args, "progress", False) or (
         hasattr(sys.stderr, "isatty") and sys.stderr.isatty()
@@ -338,7 +417,7 @@ def _run_registered(kind, args):
     run_kwargs = {}
     if getattr(args, "cores", None):
         try:
-            core_counts = _parse_int_list(args.cores)
+            core_counts = list(int_list(args.cores))
         except ValueError as error:
             print("bad --cores: %s" % error, file=sys.stderr)
             return 2
@@ -400,87 +479,55 @@ def _cmd_ablation(args):
     return _run_registered("ablation", args)
 
 
-def _parse_int_list(text):
-    return [int(part) for part in text.split(",") if part]
+def _sweep_result(result):
+    """Reassemble an :class:`ExperimentResult` from a response dict.
 
+    Shared by the local and served paths, so ``--format json`` output
+    (which excludes timing) is identical either way.
+    """
+    from repro.experiments.orchestrator import ExperimentResult
 
-def _parse_shape_list(text):
-    shapes = []
-    for part in text.split(","):
-        if not part:
-            continue
-        dims = part.split("x")
-        if len(dims) != 3:
-            raise ValueError("shape %r is not MxNxK" % part)
-        shapes.append(tuple(int(d) for d in dims))
-    return shapes
-
-
-def _sweep_error(message):
-    print("sweep error: %s" % message, file=sys.stderr)
-    return 2
+    return ExperimentResult(
+        name="sweep",
+        kind="sweep",
+        fast=False,
+        records=result["records"],
+        text=result["text"],
+        from_cache=result["from_cache"],
+        elapsed_s=0.0,
+        run_id=result["run_id"],
+    )
 
 
 def _cmd_sweep(args):
-    from repro.experiments import executor, orchestrator
-    from repro.gemm.microkernel import kernel_names
-    from repro.machines import machine_names
+    from repro.experiments import executor
+    from repro.serving import execute as serving_execute
 
     try:
-        sizes = _parse_int_list(args.sizes)
-        shapes = _parse_shape_list(args.shapes)
-    except ValueError as error:
-        return _sweep_error(error)
-    if not sizes and not shapes:
-        return _sweep_error("need at least one of --sizes / --shapes")
-    methods = [m for m in args.methods.split(",") if m]
-    machines = [m for m in args.machines.split(",") if m]
-    known_machines = machine_names()
-    known_methods = set(kernel_names())
-    for machine in machines:
-        if machine not in known_machines:
-            return _sweep_error(
-                "unknown machine %r; available: %s"
-                % (machine, ", ".join(known_machines))
-            )
-    for method in list(methods) + [args.baseline or ""]:
-        if method and method not in known_methods:
-            return _sweep_error(
-                "unknown method %r; available: %s"
-                % (method, ", ".join(sorted(known_methods)))
-            )
-    core_counts = None
-    if args.cores:
-        try:
-            core_counts = _parse_int_list(args.cores)
-        except ValueError as error:
-            return _sweep_error(error)
-        if not core_counts or any(cores < 1 for cores in core_counts):
-            return _sweep_error("core counts must be >= 1")
-        if args.baseline:
-            return _sweep_error(
-                "--baseline does not apply to --cores runs (multi-core "
-                "speedups are against each method's own single-core run)"
-            )
+        request = request_from_args(SweepRequest, args).validate()
+    except _request_errors() as error:
+        return _fail("sweep", error)
     try:
-        result = orchestrator.run_sweep(
-            sizes=sizes,
-            shapes=shapes,
-            methods=methods,
-            machines=machines,
-            baseline=args.baseline,
-            cache=_cache_from_args(args),
-            core_counts=core_counts,
-            strategy=args.strategy,
-            jobs=args.jobs,
-            backend=args.backend,
-            **_executor_kwargs(args),
-        )
+        if args.server:
+            from repro.serving.client import ServerClient
+
+            response = ServerClient(args.server).sweep(
+                request, on_point=_progress_printer(args)
+            )
+        else:
+            response = serving_execute.sweep_response(
+                request, cache=_cache_from_args(args), jobs=args.jobs,
+                **_executor_kwargs(args),
+            )
+    except _request_errors() as error:
+        return _fail("sweep", error)
+    except _server_errors() as error:
+        return _server_fail(error)
     except executor.JournalError as error:
-        return _sweep_error(error)
+        return _fail("sweep", error)
     except executor.ExecutorError as error:
         return _run_interrupted(error, "sweep")
-    return _emit_results([result], args)
+    return _emit_results([_sweep_result(response["result"])], args)
 
 
 def _cmd_area(_args):
@@ -491,50 +538,86 @@ def _cmd_area(_args):
 
 
 def _cmd_calibrate(args):
-    from repro.analytic import calibrate_machine, model_path, spec_for
-    from repro.gemm.microkernel import kernel_names
-    from repro.machines import MachineSpecError, machine_names
+    from repro.serving import execute as serving_execute
 
-    machines = [m for m in args.machines.split(",") if m]
-    if not machines:
-        machines = machine_names()
-    for machine in machines:
-        if _unknown_machine(machine):
-            return 2
-    methods = [m for m in args.methods.split(",") if m] or None
-    for method in methods or ():
-        if method not in kernel_names():
-            print(
-                "calibrate error: unknown method %r; available: %s"
-                % (method, ", ".join(kernel_names())),
-                file=sys.stderr,
-            )
-            return 2
-    for machine in machines:
-        spec = spec_for(machine)
+    try:
+        request = request_from_args(
+            CalibrateRequest, args, multicore=not args.no_multicore
+        ).validate()
+    except _request_errors() as error:
+        return _fail("calibrate", error)
 
-        def on_method(method, model):
-            contention = model.contention
-            print(
-                "  %-14s call residual %.4f | contention kappa=%.3f "
-                "alpha=%.1f (%d probes, residual %.4f)"
-                % (method,
-                   max(model.first_call.max_rel_residual,
-                       model.steady_call.max_rel_residual),
-                   contention.kappa, contention.alpha, contention.probes,
-                   contention.max_rel_residual)
-            )
-
+    def on_machine(spec):
         print("calibrating %s (%d cores)..." % (spec.name, spec.cores))
-        try:
-            calibrate_machine(
-                spec, methods=methods, jobs=args.jobs,
-                multicore=not args.no_multicore, on_method=on_method,
-            )
-        except MachineSpecError as error:
-            print("calibrate error: %s" % error, file=sys.stderr)
-            return 2
-        print("wrote %s" % model_path(spec))
+
+    def on_method(machine, method, model):
+        contention = model.contention
+        print(
+            "  %-14s call residual %.4f | contention kappa=%.3f "
+            "alpha=%.1f (%d probes, residual %.4f)"
+            % (method,
+               max(model.first_call.max_rel_residual,
+                   model.steady_call.max_rel_residual),
+               contention.kappa, contention.alpha, contention.probes,
+               contention.max_rel_residual)
+        )
+
+    def on_machine_done(entry):
+        print("wrote %s" % entry["path"])
+
+    try:
+        serving_execute.calibrate_response(
+            request, jobs=args.jobs, on_method=on_method,
+            on_machine=on_machine, on_machine_done=on_machine_done,
+        )
+    except _request_errors() as error:
+        return _fail("calibrate", error)
+    return 0
+
+
+def _cmd_serve(args):
+    import signal
+    import threading
+
+    from repro.serving.requests import SCHEMA_VERSION
+    from repro.serving.server import create_server
+    from repro.simulator.engine import get_default_engine
+
+    server = create_server(
+        host=args.host, port=args.port, cache_dir=args.cache_dir,
+        jobs=args.jobs, warm=not args.no_warm, verbose=args.verbose,
+    )
+    service = server.service
+    host, port = server.server_address[:2]
+    print(
+        "repro-camp serve: listening on http://%s:%d (schema v%d, "
+        "engine %s, %d analytic models warm, warm-up %.2fs)"
+        % (host, port, SCHEMA_VERSION, get_default_engine(),
+           service.preloaded_models, service.warm_up_s or 0.0),
+        flush=True,
+    )
+
+    def _stop(_signum, _frame):
+        # serve_forever must not be shut down from the signal handler's
+        # own (main) thread — shutdown() joins the serving loop
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    except ValueError:
+        pass  # not on the main thread (in-process test harness)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    counters = service.counters
+    print("repro-camp serve: shut down cleanly (%d requests, %d computes, "
+          "%d coalesced)"
+          % (counters["requests"], counters["computes"],
+             counters["dedup_hits"] + counters["memo_hits"]),
+        flush=True,
+    )
     return 0
 
 
@@ -654,9 +737,9 @@ def _cmd_bench_sweep(args):
     grid = {}
     try:
         if args.sizes:
-            grid["sizes"] = tuple(_parse_int_list(args.sizes))
+            grid["sizes"] = int_list(args.sizes)
         if args.cores:
-            grid["core_counts"] = tuple(_parse_int_list(args.cores))
+            grid["core_counts"] = int_list(args.cores)
     except ValueError as error:
         print("bad bench grid: %s" % error, file=sys.stderr)
         return 2
@@ -695,11 +778,50 @@ def _cmd_bench_sweep(args):
     return 0
 
 
-def _add_cores_option(parser):
-    parser.add_argument(
-        "--cores", default="",
-        help="simulated core counts for the multi-core subsystem, "
-             "e.g. 1,4,16 (multi-core experiments and sweep only)")
+def _cmd_bench_serve(args):
+    from repro.experiments import bench_serve
+
+    payload = bench_serve.run_bench(
+        warm_requests=args.warm_requests, concurrency=args.concurrency,
+        cli_repeats=args.repeats,
+    )
+    warm = payload["warm"]
+    print(
+        "one-shot CLI %.3fs | daemon cold-start %.3fs, first request %.3fs"
+        % (payload["cli_one_shot_s"], payload["cold_start_s"],
+           payload["first_request_s"])
+    )
+    print(
+        "warm served (%d requests): p50 %.4gs p99 %.4gs | %.0f req/s | "
+        "%.0fx one-shot CLI | byte-identical: %s"
+        % (warm["requests"], warm["p50_s"], warm["p99_s"],
+           warm["requests_per_s"], warm["speedup_p50"],
+           payload["byte_identical"])
+    )
+    dedup = payload["dedup"]
+    print(
+        "single-flight: %d concurrent identical sweeps -> %d compute(s), "
+        "%d coalesced (hit rate %.2f), %d points computed"
+        % (dedup["concurrency"], dedup["computes"],
+           dedup["followers"] + dedup["memo_hits"], dedup["hit_rate"],
+           dedup["points_computed"])
+    )
+    if args.out:
+        path = bench_serve.write_bench(payload, args.out)
+        print("wrote %s" % path)
+    if args.check:
+        baseline = json.loads(open(args.check).read())
+        problems = bench_serve.check_regression(
+            payload, baseline, min_warm_speedup=args.min_warm_speedup,
+        )
+        for problem in problems:
+            print("SERVE GATE: %s" % problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("serve gate passed (warm p50 >= %.0fx one-shot CLI, "
+              "responses byte-identical, single-flight dedup exact)"
+              % args.min_warm_speedup)
+    return 0
 
 
 def _add_machine_file_option(parser):
@@ -710,11 +832,18 @@ def _add_machine_file_option(parser):
              "$REPRO_MACHINE_PATH)")
 
 
-def _add_backend_option(parser):
+def _add_server_option(parser):
     parser.add_argument(
-        "--backend", choices=("simulate", "analytic"), default="simulate",
-        help="cycle-level simulation (default) or the calibrated O(1) "
-             "analytic model (see `repro-camp calibrate`)")
+        "--server", metavar="URL",
+        help="send the request to a running `repro-camp serve` daemon "
+             "instead of executing locally (responses are byte-identical)")
+
+
+def _add_cores_option(parser):
+    parser.add_argument(
+        "--cores", default="",
+        help="simulated core counts for the multi-core subsystem, "
+             "e.g. 1,4,16 (multi-core experiments and sweep only)")
 
 
 def _add_machine_option(parser):
@@ -724,11 +853,11 @@ def _add_machine_option(parser):
              "experiments only; see `repro-camp list`)")
 
 
-def _add_orchestrator_options(parser):
+def _add_orchestrator_options(parser, engine=True):
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for cache misses")
     _add_executor_options(parser)
-    _add_output_options(parser)
+    _add_output_options(parser, engine=engine)
 
 
 def _add_executor_options(parser):
@@ -750,7 +879,7 @@ def _add_executor_options(parser):
                              "(automatic on a terminal)")
 
 
-def _add_output_options(parser):
+def _add_output_options(parser, engine=True):
     parser.add_argument("--out", metavar="DIR",
                         help="write JSON/CSV artifacts into DIR")
     parser.add_argument("--format", choices=("text", "json", "csv"),
@@ -759,17 +888,119 @@ def _add_output_options(parser):
                         help="bypass the on-disk result cache")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="result cache root (default ~/.cache/repro-camp)")
-    _add_engine_option(parser)
+    if engine:
+        _add_engine_option(parser)
+    else:
+        _add_trace_cache_option(parser)
 
 
 def _add_engine_option(parser):
     parser.add_argument("--engine", choices=("batch", "scalar"),
                         help="pipeline engine (default: batch; both are "
                              "bit-identical, scalar is the reference loop)")
+    _add_trace_cache_option(parser)
+
+
+def _add_trace_cache_option(parser):
     parser.add_argument("--no-trace-cache", action="store_true",
                         help="bypass the persistent compiled-trace cache "
                              "(results are bit-identical either way; also "
                              "honoured via $REPRO_NO_TRACE_CACHE)")
+
+
+def _opt(*flags, **kwargs):
+    return flags, kwargs
+
+
+#: the shared bench-* option table: every bench subcommand gets its
+#: extra options from here plus the common --out/--check pair, so the
+#: five commands stay declaratively in one place
+_BENCH_COMMANDS = {
+    "bench-pipeline": {
+        "help": "benchmark the pipeline engines, write BENCH_pipeline.json",
+        "out": "BENCH_pipeline.json",
+        "run": _cmd_bench,
+        "options": (
+            _opt("--repeats", type=int, default=3,
+                 help="cold runs per engine per experiment"),
+            _opt("--fast", action="store_true",
+                 help="use the experiments' fast variants"),
+            _opt("--jobs", type=int, default=1,
+                 help="workers for the orchestrated suite pass"),
+            _opt("--max-warm-regression", type=float, default=3.0,
+                 help="allowed warm-rerun slowdown vs baseline"),
+            _opt("--min-compile-speedup", type=float, default=2.0,
+                 help="required cold-compile/warm-load ratio for the "
+                      "compiled-trace cache"),
+        ),
+    },
+    "bench-multicore": {
+        "help": "benchmark the multi-core subsystem, write "
+                "BENCH_multicore.json",
+        "out": "BENCH_multicore.json",
+        "run": _cmd_bench_multicore,
+        "options": (
+            _opt("--repeats", type=int, default=3,
+                 help="cold runs of the scaling point (min 2)"),
+            _opt("--max-regression", type=float, default=3.0,
+                 help="allowed cold-run slowdown vs baseline"),
+        ),
+    },
+    "bench-sweep": {
+        "help": "benchmark cold vs warm vs resumed sweeps, write "
+                "BENCH_sweep.json",
+        "out": "BENCH_sweep.json",
+        "run": _cmd_bench_sweep,
+        "options": (
+            _opt("--repeats", type=int, default=1,
+                 help="cold sweeps to time (best is kept)"),
+            _opt("--sizes", default="",
+                 help="override the benchmark grid's square sizes"),
+            _opt("--methods", default="",
+                 help="override the benchmark grid's methods"),
+            _opt("--cores", default="",
+                 help="override the benchmark grid's core counts"),
+            _opt("--min-warm-speedup", type=float, default=5.0,
+                 help="required cold/warm wall-time ratio"),
+            _opt("--min-compile-speedup", type=float, default=2.0,
+                 help="required cold-compile/warm-load ratio for the "
+                      "compiled-trace cache"),
+        ),
+    },
+    "bench-analytic": {
+        "help": "measure analytic-model accuracy and speed, write "
+                "BENCH_analytic.json",
+        "out": "BENCH_analytic.json",
+        "run": _cmd_bench_analytic,
+        "options": (
+            _opt("--full", action="store_true",
+                 help="run the full accuracy grid (nightly) instead of "
+                      "the fast one"),
+            _opt("--jobs", type=int, default=1,
+                 help="worker processes for calibration"),
+            _opt("--min-predict-speedup", type=float, default=100.0,
+                 help="required warm-prediction vs cold-simulation "
+                      "per-shape speedup"),
+        ),
+    },
+    "bench-serve": {
+        "help": "benchmark the serving daemon vs the one-shot CLI, write "
+                "BENCH_serve.json",
+        "out": "BENCH_serve.json",
+        "run": _cmd_bench_serve,
+        "options": (
+            _opt("--repeats", type=int, default=3,
+                 help="one-shot CLI subprocess runs (best is kept)"),
+            _opt("--warm-requests", type=int, default=40,
+                 help="warm requests timed for p50/p99"),
+            _opt("--concurrency", type=int, default=8,
+                 help="threads posting the identical sweep for the "
+                      "single-flight check"),
+            _opt("--min-warm-speedup", type=float, default=20.0,
+                 help="required one-shot-CLI / warm-served-p50 ratio"),
+        ),
+    },
+}
 
 
 def build_parser():
@@ -784,17 +1015,13 @@ def build_parser():
     _add_machine_file_option(list_parser)
 
     gemm_parser = sub.add_parser("gemm", help="analyze (or run) one GEMM")
-    gemm_parser.add_argument("m", type=int)
-    gemm_parser.add_argument("n", type=int)
-    gemm_parser.add_argument("k", type=int)
-    gemm_parser.add_argument("--method", default="camp8")
-    gemm_parser.add_argument("--machine", default="a64fx")
+    add_request_options(gemm_parser, GemmRequest)
     gemm_parser.add_argument("--verify", action="store_true",
                              help="also compute numerically on random data")
     gemm_parser.add_argument("--seed", type=int, default=0)
-    _add_backend_option(gemm_parser)
     _add_machine_file_option(gemm_parser)
-    _add_engine_option(gemm_parser)
+    _add_trace_cache_option(gemm_parser)
+    _add_server_option(gemm_parser)
 
     exp_parser = sub.add_parser("experiment", help="run a paper experiment")
     exp_parser.add_argument(
@@ -819,21 +1046,13 @@ def build_parser():
 
     sweep_parser = sub.add_parser(
         "sweep", help="shapes x methods x machines speedup sweep")
-    sweep_parser.add_argument("--sizes", default="",
-                              help="square SMM sides, e.g. 128,256,512")
-    sweep_parser.add_argument("--shapes", default="",
-                              help="explicit GEMM shapes, e.g. 169x256x3456")
-    sweep_parser.add_argument("--methods", default="camp8,camp4")
-    sweep_parser.add_argument("--machines", default="a64fx")
-    sweep_parser.add_argument("--baseline",
-                              help="override the per-machine baseline method")
+    add_request_options(sweep_parser, SweepRequest)
     _add_machine_file_option(sweep_parser)
-    _add_cores_option(sweep_parser)
-    sweep_parser.add_argument(
-        "--strategy", choices=("npanel", "tile2d"), default="npanel",
-        help="GEMM partition strategy for --cores runs")
-    _add_backend_option(sweep_parser)
-    _add_orchestrator_options(sweep_parser)
+    # --engine comes from the request dataclass; the rest of the
+    # orchestrator surface (jobs/journal/output/cache) is execution
+    # policy and stays CLI-level
+    _add_orchestrator_options(sweep_parser, engine=False)
+    _add_server_option(sweep_parser)
 
     sub.add_parser("area", help="print the physical-design report")
 
@@ -841,13 +1060,7 @@ def build_parser():
         "calibrate",
         help="fit (and persist) analytic-model coefficients against the "
              "simulator")
-    cal_parser.add_argument(
-        "--machines", default="",
-        help="comma-separated machines to calibrate (default: all "
-             "registered)")
-    cal_parser.add_argument(
-        "--methods", default="",
-        help="methods to calibrate (default: each machine's sweep set)")
+    add_request_options(cal_parser, CalibrateRequest)
     cal_parser.add_argument(
         "--jobs", type=int, default=1,
         help="fan methods across worker processes (coefficients are "
@@ -857,7 +1070,29 @@ def build_parser():
         help="skip the multicore contention probes (single-core "
              "coefficients only)")
     _add_machine_file_option(cal_parser)
-    _add_engine_option(cal_parser)
+    _add_trace_cache_option(cal_parser)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="long-running simulation daemon answering typed JSON "
+             "requests over HTTP")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8735,
+                              help="TCP port (default 8735; 0 picks a "
+                                   "free port)")
+    serve_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes per served sweep")
+    serve_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="result cache root (default "
+                                   "~/.cache/repro-camp)")
+    serve_parser.add_argument("--no-warm", action="store_true",
+                              help="skip the start-up warm-up pass "
+                                   "(imports, registry, model store)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every request to stderr")
+    _add_machine_file_option(serve_parser)
+    _add_engine_option(serve_parser)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or prune the on-disk result cache")
@@ -870,80 +1105,15 @@ def build_parser():
     cache_parser.add_argument("--cache-dir", metavar="DIR",
                               help="cache root (default ~/.cache/repro-camp)")
 
-    bench_parser = sub.add_parser(
-        "bench-pipeline",
-        help="benchmark the pipeline engines, write BENCH_pipeline.json")
-    bench_parser.add_argument("--repeats", type=int, default=3,
-                              help="cold runs per engine per experiment")
-    bench_parser.add_argument("--fast", action="store_true",
-                              help="use the experiments' fast variants")
-    bench_parser.add_argument("--jobs", type=int, default=1,
-                              help="workers for the orchestrated suite pass")
-    bench_parser.add_argument("--out", default="BENCH_pipeline.json",
-                              help="output JSON path ('' to skip writing)")
-    bench_parser.add_argument("--check", metavar="BASELINE",
-                              help="compare against a committed baseline JSON "
-                                   "and fail on perf regression")
-    bench_parser.add_argument("--max-warm-regression", type=float, default=3.0,
-                              help="allowed warm-rerun slowdown vs baseline")
-    bench_parser.add_argument("--min-compile-speedup", type=float, default=2.0,
-                              help="required cold-compile/warm-load ratio for "
-                                   "the compiled-trace cache")
-
-    bench_mc = sub.add_parser(
-        "bench-multicore",
-        help="benchmark the multi-core subsystem, write BENCH_multicore.json")
-    bench_mc.add_argument("--repeats", type=int, default=3,
-                          help="cold runs of the scaling point (min 2)")
-    bench_mc.add_argument("--out", default="BENCH_multicore.json",
-                          help="output JSON path ('' to skip writing)")
-    bench_mc.add_argument("--check", metavar="BASELINE",
-                          help="compare against a committed baseline JSON "
-                               "and fail on perf regression")
-    bench_mc.add_argument("--max-regression", type=float, default=3.0,
-                          help="allowed cold-run slowdown vs baseline")
-
-    bench_sw = sub.add_parser(
-        "bench-sweep",
-        help="benchmark cold vs warm vs resumed sweeps, write "
-             "BENCH_sweep.json")
-    bench_sw.add_argument("--repeats", type=int, default=1,
-                          help="cold sweeps to time (best is kept)")
-    bench_sw.add_argument("--sizes", default="",
-                          help="override the benchmark grid's square sizes")
-    bench_sw.add_argument("--methods", default="",
-                          help="override the benchmark grid's methods")
-    bench_sw.add_argument("--cores", default="",
-                          help="override the benchmark grid's core counts")
-    bench_sw.add_argument("--out", default="BENCH_sweep.json",
-                          help="output JSON path ('' to skip writing)")
-    bench_sw.add_argument("--check", metavar="BASELINE",
-                          help="compare against a committed baseline JSON "
-                               "and fail on perf regression")
-    bench_sw.add_argument("--min-warm-speedup", type=float, default=5.0,
-                          help="required cold/warm wall-time ratio")
-    bench_sw.add_argument("--min-compile-speedup", type=float, default=2.0,
-                          help="required cold-compile/warm-load ratio for "
-                               "the compiled-trace cache")
-
-    bench_an = sub.add_parser(
-        "bench-analytic",
-        help="measure analytic-model accuracy and speed, write "
-             "BENCH_analytic.json")
-    bench_an.add_argument("--full", action="store_true",
-                          help="run the full accuracy grid (nightly) "
-                               "instead of the fast one")
-    bench_an.add_argument("--jobs", type=int, default=1,
-                          help="worker processes for calibration")
-    bench_an.add_argument("--out", default="BENCH_analytic.json",
-                          help="output JSON path ('' to skip writing)")
-    bench_an.add_argument("--check", metavar="BASELINE",
-                          help="compare against a committed baseline JSON "
-                               "and fail when the accuracy band or the "
-                               "prediction-speedup floor is violated")
-    bench_an.add_argument("--min-predict-speedup", type=float, default=100.0,
-                          help="required warm-prediction vs cold-simulation "
-                               "per-shape speedup")
+    for name, spec in _BENCH_COMMANDS.items():
+        bench = sub.add_parser(name, help=spec["help"])
+        for flags, kwargs in spec["options"]:
+            bench.add_argument(*flags, **kwargs)
+        bench.add_argument("--out", default=spec["out"],
+                           help="output JSON path ('' to skip writing)")
+        bench.add_argument("--check", metavar="BASELINE",
+                           help="compare against a committed baseline JSON "
+                                "and fail on perf regression")
     return parser
 
 
@@ -955,16 +1125,21 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "area": _cmd_area,
     "calibrate": _cmd_calibrate,
+    "serve": _cmd_serve,
     "cache": _cmd_cache,
-    "bench-pipeline": _cmd_bench,
-    "bench-multicore": _cmd_bench_multicore,
-    "bench-sweep": _cmd_bench_sweep,
-    "bench-analytic": _cmd_bench_analytic,
+    **{name: spec["run"] for name, spec in _BENCH_COMMANDS.items()},
 }
 
 
 def main(argv=None):
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as error:
+        # argparse-level failures (bad --shapes/--sizes values, unknown
+        # options) become return codes so embedding callers — and the
+        # daemon — never die on a malformed request
+        code = error.code
+        return code if isinstance(code, int) else 2
     _apply_engine(args)
     code = _apply_machine_files(args)
     if code:

@@ -20,7 +20,8 @@ from pathlib import Path
 #: metric suffixes whose *increase* is an improvement (rendered without
 #: the regression marker); everything else numeric is treated as
 #: cost-like (time, error) where an increase is the interesting event
-_HIGHER_IS_BETTER = ("speedup", "speedup_best", "speedup_median", "hits")
+_HIGHER_IS_BETTER = ("speedup", "speedup_best", "speedup_median", "hits",
+                     "speedup_p50", "requests_per_s", "hit_rate")
 
 
 def flatten(payload, prefix=""):

@@ -127,6 +127,17 @@ def journals_dir(root=None):
     return base / "journals"
 
 
+def has_journal(run_id, root=None):
+    """Whether a journal exists for ``run_id`` (resumable or finished).
+
+    Lets callers that derive deterministic run ids — the serving
+    daemon journals each sweep under its request cache key — decide
+    between ``run_id=`` (fresh) and ``resume=`` without racing
+    :meth:`RunJournal.create`'s refusal to clobber.
+    """
+    return (journals_dir(root) / (run_id + ".jsonl")).exists()
+
+
 class RunJournal:
     """Append-only JSONL record of a run's completed points.
 

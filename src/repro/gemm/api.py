@@ -14,7 +14,8 @@ import repro.gemm.kernels  # noqa: F401  (populates the registry)
 from repro.gemm.goto import GemmExecution, GotoBlasDriver
 from repro.gemm.microkernel import get_kernel
 from repro.isa.instructions import FUClass
-from repro.machines import MachineSpec, get_spec
+from repro.machines import MachineSpec, MachineSpecError, get_spec
+from repro.serving.requests import BACKENDS
 from repro.simulator.config import MachineConfig
 
 #: kernels that need the MATRIX functional unit
@@ -32,9 +33,13 @@ def resolve_machine(machine, method):
     needs_matrix = method in _MATRIX_KERNELS
     if isinstance(machine, MachineConfig):
         if needs_matrix and not machine.units_of(FUClass.MATRIX):
-            raise ValueError(
-                "kernel %r needs a matrix unit but machine %r has none"
-                % (method, machine.name)
+            # MachineSpecError subclasses ValueError, so callers
+            # catching the old type keep working; the CLI and daemon
+            # map it to exit code 2 / HTTP 400 with the machine named
+            raise MachineSpecError(
+                "machine %r cannot run kernel %r: the kernel needs a "
+                "matrix unit but the machine has none"
+                % (machine.name, method)
             )
         return machine
     if machine is None:
@@ -98,9 +103,9 @@ def gemm(a, b, method="camp8", machine=None, blocking=None):
     return GemmResult(c=c, execution=execution)
 
 
-#: shape-only analysis backends: block-composed pipeline simulation vs
-#: the calibrated O(1) closed-form model (:mod:`repro.analytic`)
-BACKENDS = ("simulate", "analytic")
+# BACKENDS ("simulate" | "analytic") is defined once in
+# repro.serving.requests — the request layer is the canonical source of
+# request vocabulary — and re-exported here for API compatibility.
 
 
 def analyze(m, n, k, method="camp8", machine=None, blocking=None,

@@ -1,0 +1,37 @@
+"""Simulation-as-a-service: typed requests, daemon, and client.
+
+One request layer (:mod:`repro.serving.requests`) and one execution
+layer (:mod:`repro.serving.execute`) are shared by the CLI's local
+commands, the ``repro-camp serve`` daemon
+(:mod:`repro.serving.server`), and the thin HTTP client
+(:mod:`repro.serving.client`), so a request resolves identically no
+matter which door it comes in through.
+"""
+
+from repro.serving.requests import (
+    BACKENDS,
+    SCHEMA_VERSION,
+    STRATEGIES,
+    CalibrateRequest,
+    GemmRequest,
+    Request,
+    RequestError,
+    SchemaVersionError,
+    SweepRequest,
+    describe_schema,
+    parse_request,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CalibrateRequest",
+    "GemmRequest",
+    "Request",
+    "RequestError",
+    "SCHEMA_VERSION",
+    "STRATEGIES",
+    "SchemaVersionError",
+    "SweepRequest",
+    "describe_schema",
+    "parse_request",
+]

@@ -1,0 +1,147 @@
+"""Thin stdlib client for the serving daemon.
+
+:class:`ServerClient` speaks the same canonical request/response JSON
+as the daemon, so ``repro-camp gemm --server URL`` renders exactly
+what local execution would: the server echoes the canonical request
+and returns the same scrubbed result dict that
+:mod:`repro.serving.execute` produces locally.
+
+Server-side request failures (unknown machine, schema-version
+mismatch, bad blocking, ...) are re-raised client-side as the same
+exception types the local path raises — :class:`RequestError`,
+:class:`SchemaVersionError`, :class:`MachineSpecError` — so CLI error
+handling and exit codes are identical with and without ``--server``.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.serving.requests import RequestError, SchemaVersionError
+
+DEFAULT_TIMEOUT_S = 600.0
+
+
+class ServerError(RuntimeError):
+    """The daemon failed for a non-request reason (5xx)."""
+
+    def __init__(self, message, status=None, kind=None):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+def _raise_for_error(status, payload):
+    error = payload.get("error", {}) if isinstance(payload, dict) else {}
+    kind = error.get("type", "internal")
+    message = error.get("message", "server returned HTTP %s" % status)
+    field = error.get("field")
+    if kind == "version":
+        raise SchemaVersionError(message, field)
+    if kind == "request":
+        raise RequestError(message, field)
+    if kind == "machine":
+        from repro.machines import MachineSpecError
+
+        raise MachineSpecError(message)
+    raise ServerError(message, status=status, kind=kind)
+
+
+class ServerClient:
+    """JSON-over-HTTP client for one ``repro-camp serve`` daemon."""
+
+    def __init__(self, base_url, timeout_s=DEFAULT_TIMEOUT_S):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------
+
+    def _open(self, path, body=None):
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = body if isinstance(body, bytes) else json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout_s)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = {}
+            _raise_for_error(error.code, payload)
+        except urllib.error.URLError as error:
+            raise ServerError(
+                "cannot reach server at %s: %s" % (self.base_url, error.reason)
+            ) from error
+
+    def _get(self, path):
+        with self._open(path) as response:
+            return json.loads(response.read())
+
+    def post_raw(self, request):
+        """POST one request; returns the server's raw response bytes.
+
+        This is the byte-identity primitive: the bytes returned here
+        are exactly what the daemon memoized, so two identical requests
+        compare equal with ``==`` and match the canonical encoding of
+        local execution.
+        """
+        with self._open("/v1/" + request.KIND, request.to_json()) as response:
+            return response.read()
+
+    def post(self, request):
+        """POST one request; returns the decoded response envelope."""
+        return json.loads(self.post_raw(request))
+
+    # -- request execution --------------------------------------------
+
+    def gemm(self, request):
+        return self.post(request)
+
+    def calibrate(self, request):
+        return self.post(request)
+
+    def sweep(self, request, on_point=None):
+        """Run a sweep; streams progress when ``on_point`` is given.
+
+        ``on_point(done, total, point_id, status, elapsed_s)`` matches
+        the orchestrator's local progress callback signature, so the
+        CLI's progress printer works unchanged against the stream.
+        """
+        if on_point is None:
+            return self.post(request)
+        path = "/v1/%s?stream=1" % request.KIND
+        with self._open(path, request.to_json()) as response:
+            for raw in response:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                event = json.loads(raw)
+                name = event.get("event")
+                if name == "point":
+                    on_point(event["done"], event["total"],
+                             event["point_id"], event["status"],
+                             event["elapsed_s"])
+                elif name == "result":
+                    return event["response"]
+                elif name == "error":
+                    _raise_for_error(event.get("status", 500), event)
+        raise ServerError("stream ended without a result line")
+
+    # -- observability ------------------------------------------------
+
+    def health(self):
+        return self._get("/v1/health")
+
+    def stats(self):
+        return self._get("/v1/stats")
+
+    def schema(self):
+        return self._get("/v1/schema")
+
+    def machines(self):
+        return self._get("/v1/machines")

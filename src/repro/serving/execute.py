@@ -1,0 +1,203 @@
+"""One execution path per request kind, shared by CLI and daemon.
+
+The CLI's local commands and the ``repro-camp serve`` daemon both
+resolve a validated request through the functions here, so their
+responses are identical by construction: ``repro-camp gemm`` with and
+without ``--server`` prints the same analysis, and the byte-identical
+server-vs-local contract in the test suite holds because there is
+literally one code path.
+
+Responses are JSON-ready dicts with the same ``kind``/``version``
+envelope as requests, echoing the canonical request payload under
+``"request"`` and the outcome under ``"result"``.
+"""
+
+import time
+
+from repro.serving.requests import SCHEMA_VERSION, RequestError
+
+
+def _envelope(request, result):
+    return {
+        "kind": request.KIND,
+        "version": SCHEMA_VERSION,
+        "request": request.to_payload(),
+        "result": result,
+    }
+
+
+def execution_result(request, execution):
+    """The gemm result dict for an already-computed execution.
+
+    Exposed separately so the CLI's ``--verify`` path (which runs the
+    GEMM numerically and gets an execution back with the product) can
+    render through the exact same dict as the analysis-only path.
+    """
+    from repro.experiments.records import scrub
+
+    blocking_out = None
+    if hasattr(execution, "blocking"):
+        blk = execution.blocking
+        blocking_out = {"m_r": blk.m_r, "n_r": blk.n_r, "mc": blk.mc,
+                        "kc": blk.kc, "nc": blk.nc}
+    return scrub({
+        "method": request.method,
+        "kernel_name": getattr(execution, "kernel_name", None)
+        or request.method,
+        "machine": execution.machine_name,
+        "backend": request.backend,
+        "m": request.m,
+        "n": request.n,
+        "k": request.k,
+        "cycles": execution.cycles,
+        "kernel_instructions": execution.kernel_instructions,
+        "packing_instructions": execution.packing_instructions,
+        "total_instructions": execution.total_instructions,
+        "cycles_per_mac": execution.cycles_per_mac,
+        "gops": execution.gops,
+        "frequency_ghz": execution.frequency_ghz,
+        "blocking": blocking_out,
+    })
+
+
+def gemm_response(request):
+    """Analyze one GEMM shape; returns the response dict."""
+    from repro.gemm.api import analyze
+
+    request.validate()
+    blocking = _resolve_blocking(request)
+    execution = analyze(
+        request.m, request.n, request.k, method=request.method,
+        machine=request.machine, blocking=blocking, backend=request.backend,
+    )
+    return _envelope(request, execution_result(request, execution))
+
+
+def _resolve_blocking(request):
+    """Turn a request's (mc, kc, nc) into :class:`BlockingParams`.
+
+    The micro-kernel's tile geometry (m_r, n_r) is not a free choice —
+    it is part of the kernel — so the request only carries the three
+    cache-blocking constants and the kernel supplies the rest.
+    """
+    if request.blocking is None:
+        return None
+    from repro.gemm.api import resolve_machine
+    from repro.gemm.blocking import BlockingParams
+    from repro.gemm.microkernel import get_kernel
+
+    config = resolve_machine(request.machine, request.method)
+    kernel = get_kernel(request.method,
+                        vector_length_bits=config.vector_length_bits)
+    mc, kc, nc = request.blocking
+    try:
+        return BlockingParams(m_r=kernel.m_r, n_r=kernel.n_r,
+                              mc=mc, kc=kc, nc=nc)
+    except ValueError as error:
+        raise RequestError("bad blocking: %s" % error, "blocking") from None
+
+
+def sweep_response(request, cache=None, jobs=1, retries=0, task_timeout=None,
+                   run_id=None, resume=None, on_point=None):
+    """Run a sweep request through the point-granular orchestrator.
+
+    ``cache`` / ``jobs`` / journaling options are execution policy, not
+    request semantics: they never change the records, so they live
+    outside the request (the daemon supplies its own warm cache and
+    journals served sweeps under run ids derived from the request's
+    cache key).
+    """
+    from repro.experiments import orchestrator
+
+    request.validate()
+    result = orchestrator.run_sweep(
+        sizes=list(request.sizes),
+        shapes=[list(s) for s in request.shapes],
+        methods=list(request.methods),
+        machines=list(request.machines),
+        baseline=request.baseline,
+        cache=cache,
+        core_counts=list(request.cores) if request.cores is not None else None,
+        strategy=request.strategy,
+        jobs=jobs,
+        retries=retries,
+        task_timeout=task_timeout,
+        run_id=run_id,
+        resume=resume,
+        on_point=on_point,
+        backend=request.backend,
+    )
+    return _envelope(request, {
+        "records": result.records,
+        "text": result.text,
+        "from_cache": result.from_cache,
+        "run_id": result.run_id,
+    })
+
+
+def calibrate_response(request, jobs=1, on_method=None, on_machine=None,
+                       on_machine_done=None):
+    """Calibrate analytic models for every requested machine.
+
+    ``on_machine(spec)`` fires before a machine's calibration starts,
+    ``on_method(machine, method, model)`` after each method fit, and
+    ``on_machine_done(entry)`` with the finished summary entry — the
+    CLI uses these for progress lines, the daemon ignores them.
+    """
+    from repro.analytic import calibrate_machine, model_path, spec_for
+    from repro.machines import machine_names
+
+    request.validate()
+    machines = list(request.machines) or machine_names()
+    start = time.perf_counter()
+    entries = []
+    for machine in machines:
+        spec = spec_for(machine)
+        if on_machine is not None:
+            on_machine(spec)
+        fitted = {}
+
+        def record_method(method, model, _fitted=fitted):
+            contention = model.contention
+            _fitted[method] = {
+                "call_residual": max(model.first_call.max_rel_residual,
+                                     model.steady_call.max_rel_residual),
+                "contention_kappa": contention.kappa,
+                "contention_alpha": contention.alpha,
+                "contention_probes": contention.probes,
+                "contention_residual": contention.max_rel_residual,
+            }
+            if on_method is not None:
+                on_method(machine, method, model)
+
+        calibrate_machine(
+            spec, methods=list(request.methods) if request.methods else None,
+            jobs=jobs, multicore=request.multicore, on_method=record_method,
+        )
+        entry = {
+            "machine": spec.name,
+            "cores": spec.cores,
+            "methods": fitted,
+            "path": str(model_path(spec)),
+        }
+        entries.append(entry)
+        if on_machine_done is not None:
+            on_machine_done(entry)
+    return _envelope(request, {
+        "machines": entries,
+        "elapsed_s": time.perf_counter() - start,
+    })
+
+
+def execute(request, **kwargs):
+    """Dispatch a request to its executor by ``kind``."""
+    if request.KIND == "gemm":
+        return gemm_response(request)
+    if request.KIND == "sweep":
+        return sweep_response(request, **kwargs)
+    if request.KIND == "calibrate":
+        return calibrate_response(
+            request, jobs=kwargs.get("jobs", 1),
+            on_method=kwargs.get("on_method"),
+        )
+    raise RequestError("unknown request kind %r" % request.KIND, "kind")

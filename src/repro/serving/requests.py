@@ -1,0 +1,640 @@
+"""Typed, versioned request layer shared by the CLI and the daemon.
+
+Every way of asking this codebase for work — the one-shot CLI, the
+``repro-camp serve`` daemon, the thin HTTP client — speaks one of
+three frozen request dataclasses: :class:`GemmRequest`,
+:class:`SweepRequest` and :class:`CalibrateRequest`. Each has a
+canonical JSON encoding (:meth:`Request.to_payload` /
+:meth:`Request.from_payload`), one shared :meth:`Request.validate`
+that resolves machine names, methods, backend, engine, cores and
+blocking against the live registries with actionable errors, and a
+content-addressed :meth:`Request.cache_key` joining the request's
+semantics with the source-tree and machine-registry digests — the
+same discipline the result cache uses, so the daemon's single-flight
+dedup and response memo can never serve a stale answer across code or
+machine-file edits.
+
+Schema versioning policy: every payload carries ``version``
+(:data:`SCHEMA_VERSION`). The version bumps only on *incompatible*
+changes — a field renamed or removed, or its meaning changed. Adding
+an optional field with a default is compatible and does not bump. A
+payload whose version differs from this process's is rejected with
+:class:`SchemaVersionError` (HTTP 400 on the daemon, exit code 2 on
+the CLI) rather than silently reinterpreted.
+
+CLI surface: each field's ``metadata["cli"]`` declares its
+command-line option (flags, help text, value parser), and
+:func:`add_request_options` materializes them on an argparse parser —
+so ``cli.py`` derives its option groups from these dataclasses, and
+adding a field here surfaces it on ``gemm`` / ``sweep`` (and on the
+daemon's JSON schema, via :func:`describe_schema`) automatically.
+
+This module stays import-light on purpose (no numpy, no simulator):
+parser construction and request validation must not pay simulation
+cold-start.
+"""
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.simulator.engine import ENGINES
+
+#: canonical request/response schema version (see the policy above)
+SCHEMA_VERSION = 1
+
+#: shape-only analysis backends (the canonical table;
+#: :mod:`repro.gemm.api` re-exports it)
+BACKENDS = ("simulate", "analytic")
+
+#: multi-core GEMM partition strategies
+STRATEGIES = ("npanel", "tile2d")
+
+
+class RequestError(ValueError):
+    """An invalid request; ``.field`` names the offending field."""
+
+    def __init__(self, message, field_=None):
+        super().__init__(message)
+        self.field = field_
+
+
+class SchemaVersionError(RequestError):
+    """Request schema version does not match this process's."""
+
+
+# ---------------------------------------------------------------------------
+# value parsers (CLI string -> canonical value) and payload coercers
+# ---------------------------------------------------------------------------
+
+
+def int_list(text):
+    """``"128,256"`` -> ``(128, 256)`` (empty string -> empty tuple)."""
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def opt_int_list(text):
+    """Like :func:`int_list` but an empty string means "not given"."""
+    return int_list(text) or None
+
+
+def str_list(text):
+    return tuple(part for part in text.split(",") if part)
+
+
+def shape_list(text):
+    """``"169x256x3456,64x64x64"`` -> ``((169, 256, 3456), ...)``."""
+    shapes = []
+    for part in text.split(","):
+        if not part:
+            continue
+        dims = part.split("x")
+        if len(dims) != 3:
+            raise ValueError("shape %r is not MxNxK" % part)
+        shapes.append(tuple(int(d) for d in dims))
+    return tuple(shapes)
+
+
+def opt_str(text):
+    return text or None
+
+
+def _coerce_int(name, value):
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(
+            "field %r must be an integer, got %r" % (name, value), name
+        )
+    return value
+
+
+def _coerce_ints(name, value):
+    if isinstance(value, str):
+        return int_list(value)
+    if not isinstance(value, (list, tuple)):
+        raise RequestError(
+            "field %r must be a list of integers, got %r" % (name, value), name
+        )
+    return tuple(_coerce_int(name, v) for v in value)
+
+
+def _coerce_opt_ints(name, value):
+    if value is None:
+        return None
+    return _coerce_ints(name, value) or None
+
+
+def _coerce_shapes(name, value):
+    if isinstance(value, str):
+        try:
+            return shape_list(value)
+        except ValueError as error:
+            raise RequestError(str(error), name) from None
+    if not isinstance(value, (list, tuple)):
+        raise RequestError(
+            "field %r must be a list of [m, n, k] triples, got %r"
+            % (name, value), name
+        )
+    shapes = []
+    for item in value:
+        if not isinstance(item, (list, tuple)) or len(item) != 3:
+            raise RequestError(
+                "field %r entries must be [m, n, k] triples, got %r"
+                % (name, item), name
+            )
+        shapes.append(tuple(_coerce_int(name, v) for v in item))
+    return tuple(shapes)
+
+
+def _coerce_str(name, value):
+    if not isinstance(value, str):
+        raise RequestError(
+            "field %r must be a string, got %r" % (name, value), name
+        )
+    return value
+
+
+def _coerce_opt_str(name, value):
+    if value is None:
+        return None
+    return _coerce_str(name, value) or None
+
+
+def _coerce_strs(name, value):
+    if isinstance(value, str):
+        return str_list(value)
+    if not isinstance(value, (list, tuple)):
+        raise RequestError(
+            "field %r must be a list of strings, got %r" % (name, value), name
+        )
+    return tuple(_coerce_str(name, v) for v in value)
+
+
+def _coerce_opt_strs(name, value):
+    if value is None:
+        return None
+    return _coerce_strs(name, value) or None
+
+
+def _coerce_bool(name, value):
+    if not isinstance(value, bool):
+        raise RequestError(
+            "field %r must be a boolean, got %r" % (name, value), name
+        )
+    return value
+
+
+def _coerce_opt_blocking(name, value):
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = int_list(value)
+    if not isinstance(value, (list, tuple)) or len(value) != 3:
+        raise RequestError(
+            "field %r must be the three cache-blocking constants "
+            "[mc, kc, nc], got %r" % (name, value), name
+        )
+    return tuple(_coerce_int(name, v) for v in value)
+
+
+def cli(*flags, parse=None, coerce=None, positional=False, **argparse_kwargs):
+    """Field metadata declaring one CLI option (used via ``metadata=``)."""
+    return {
+        "cli": dict(argparse_kwargs, flags=flags, parse=parse,
+                    positional=positional),
+        "coerce": coerce,
+    }
+
+
+def hidden(coerce=None):
+    """Field metadata for JSON-only fields (no CLI option)."""
+    return {"coerce": coerce}
+
+
+# shared option declarations: defined once, referenced by every request
+# dataclass that carries the field — the single source the CLI, the
+# daemon schema and the docs derive from
+_MACHINE_CLI = cli(
+    "--machine", coerce=_coerce_str,
+    help="registered machine to run on (see `repro-camp list`; load "
+         "more with --machine-file)",
+)
+_MACHINES_CLI = cli(
+    "--machines", parse=str_list, coerce=_coerce_strs, metavar="NAMES",
+    help="comma-separated registered machines",
+)
+_METHOD_CLI = cli(
+    "--method", coerce=_coerce_str,
+    help="micro-kernel name (see `repro-camp list`)",
+)
+_BACKEND_CLI = cli(
+    "--backend", choices=BACKENDS, coerce=_coerce_str,
+    help="cycle-level simulation (default) or the calibrated O(1) "
+         "analytic model (see `repro-camp calibrate`)",
+)
+_ENGINE_CLI = cli(
+    "--engine", choices=ENGINES, coerce=_coerce_opt_str,
+    help="pipeline engine (default: batch; both are bit-identical, "
+         "scalar is the reference loop)",
+)
+_CORES_CLI = cli(
+    "--cores", parse=opt_int_list, coerce=_coerce_opt_ints, metavar="N,N",
+    help="simulated core counts for the multi-core subsystem, e.g. 1,4,16",
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """Base request: canonical JSON (de)serialization + cache keying."""
+
+    #: payload ``kind`` discriminator; subclasses override
+    KIND = None
+
+    def to_payload(self):
+        """Canonical JSON-ready dict (tuples rendered as lists)."""
+        payload = {"kind": self.KIND, "version": SCHEMA_VERSION}
+        for f in dataclasses.fields(self):
+            payload[f.name] = _jsonify(getattr(self, f.name))
+        return payload
+
+    def to_json(self):
+        return json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Parse + type-coerce a payload dict; raises :class:`RequestError`.
+
+        Checks the ``kind`` and ``version`` envelope fields, rejects
+        unknown fields by name (a typo must not silently fall back to
+        a default), and coerces every value through the field's
+        declared coercer.
+        """
+        if not isinstance(payload, dict):
+            raise RequestError(
+                "request payload must be a JSON object, got %r" % (payload,)
+            )
+        kind = payload.get("kind")
+        if kind != cls.KIND:
+            raise RequestError(
+                "payload kind %r does not match %r" % (kind, cls.KIND), "kind"
+            )
+        _check_version(payload)
+        known = {f.name: f for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - set(known) - {"kind", "version"})
+        if unknown:
+            raise RequestError(
+                "unknown %s request field(s): %s (known: %s)"
+                % (cls.KIND, ", ".join(unknown), ", ".join(sorted(known))),
+                unknown[0],
+            )
+        values = {}
+        for name, f in known.items():
+            if name not in payload:
+                continue
+            coerce = (f.metadata or {}).get("coerce")
+            value = payload[name]
+            values[name] = coerce(name, value) if coerce else value
+        try:
+            return cls(**values)
+        except TypeError as error:
+            raise RequestError(str(error)) from None
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise RequestError("request is not valid JSON: %s" % error)
+        return cls.from_payload(payload)
+
+    def validate(self):
+        """Check the request against the live registries; returns self."""
+        return self
+
+    def cache_key(self):
+        """Content-addressed identity of this request's *answer*.
+
+        Joins the canonical payload with the source-tree digest, the
+        machine-registry digest and the resolved pipeline engine — the
+        same provenance the result cache keys on — so two requests
+        share a key exactly when their answers are interchangeable.
+        """
+        from repro.experiments.cache import config_digest, source_digest
+        from repro.machines import machines_digest
+        from repro.simulator.engine import get_default_engine
+
+        params = self.to_payload()
+        params["machines_digest"] = machines_digest()
+        params["pipeline_engine"] = (
+            getattr(self, "engine", None) or get_default_engine()
+        )
+        raw = "\0".join(["request", source_digest(), config_digest(params)])
+        return hashlib.sha256(raw.encode()).hexdigest()
+
+    # -- shared validation helpers ------------------------------------
+
+    def _check_machine(self, name, field_="machine"):
+        check_machine(name, field_)
+
+    def _check_method(self, name, field_="method"):
+        check_method(name, field_)
+
+    def _check_backend_engine(self):
+        backend = getattr(self, "backend", "simulate")
+        if backend not in BACKENDS:
+            raise RequestError(
+                "unknown backend %r; available: %s"
+                % (backend, ", ".join(BACKENDS)),
+                "backend",
+            )
+        engine = getattr(self, "engine", None)
+        if engine is not None and engine not in ENGINES:
+            raise RequestError(
+                "unknown pipeline engine %r; available: %s"
+                % (engine, ", ".join(ENGINES)),
+                "engine",
+            )
+
+
+def check_machine(name, field_="machine"):
+    """Raise :class:`RequestError` unless ``name`` is a registered machine."""
+    from repro.machines import machine_names
+
+    if name not in machine_names():
+        raise RequestError(
+            "unknown machine %r; available: %s (load more with "
+            "--machine-file)" % (name, ", ".join(machine_names())),
+            field_,
+        )
+
+
+def check_method(name, field_="method"):
+    """Raise :class:`RequestError` unless ``name`` is a registered kernel."""
+    from repro.gemm.microkernel import kernel_names
+
+    if name not in kernel_names():
+        raise RequestError(
+            "unknown method %r; available: %s"
+            % (name, ", ".join(sorted(kernel_names()))),
+            field_,
+        )
+
+
+def _jsonify(value):
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _check_version(payload):
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise SchemaVersionError(
+            "request schema version %r does not match this server's %d; "
+            "versions bump only on incompatible changes — upgrade the "
+            "older side (adding optional fields never bumps)"
+            % (version, SCHEMA_VERSION),
+            "version",
+        )
+
+
+@dataclass(frozen=True)
+class GemmRequest(Request):
+    """Analyze one GEMM shape (``repro-camp gemm`` / ``POST /v1/gemm``)."""
+
+    KIND = "gemm"
+
+    m: int = field(default=None, metadata=cli(
+        positional=True, parse=int, help="rows of A", coerce=_coerce_int))
+    n: int = field(default=None, metadata=cli(
+        positional=True, parse=int, help="columns of B", coerce=_coerce_int))
+    k: int = field(default=None, metadata=cli(
+        positional=True, parse=int, help="inner dimension",
+        coerce=_coerce_int))
+    method: str = field(default="camp8", metadata=_METHOD_CLI)
+    machine: str = field(default="a64fx", metadata=_MACHINE_CLI)
+    backend: str = field(default="simulate", metadata=_BACKEND_CLI)
+    engine: str = field(default=None, metadata=_ENGINE_CLI)
+    blocking: tuple = field(default=None, metadata=cli(
+        "--blocking", parse=opt_int_list, coerce=_coerce_opt_blocking,
+        metavar="MC,KC,NC",
+        help="override the derived cache-blocking constants "
+             "(simulate backend only)"))
+
+    def validate(self):
+        for name in ("m", "n", "k"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise RequestError(
+                    "gemm dimension %r must be a positive integer, got %r"
+                    % (name, value), name
+                )
+        self._check_method(self.method)
+        self._check_machine(self.machine)
+        self._check_backend_engine()
+        if self.blocking is not None:
+            if self.backend == "analytic":
+                raise RequestError(
+                    "backend='analytic' predicts the machine's default "
+                    "blocking; custom blocking needs backend='simulate'",
+                    "blocking",
+                )
+            if len(self.blocking) != 3 or any(
+                v < 1 for v in self.blocking
+            ):
+                raise RequestError(
+                    "blocking must be three positive integers (mc, kc, nc), "
+                    "got %r" % (self.blocking,), "blocking"
+                )
+        return self
+
+
+@dataclass(frozen=True)
+class SweepRequest(Request):
+    """Shapes x methods x machines (x cores) sweep (``repro-camp sweep``)."""
+
+    KIND = "sweep"
+
+    sizes: tuple = field(default=(), metadata=cli(
+        "--sizes", parse=int_list, coerce=_coerce_ints, metavar="N,N",
+        help="square SMM sides, e.g. 128,256,512"))
+    shapes: tuple = field(default=(), metadata=cli(
+        "--shapes", parse=shape_list, coerce=_coerce_shapes, metavar="MxNxK",
+        help="explicit GEMM shapes, e.g. 169x256x3456"))
+    methods: tuple = field(default=("camp8", "camp4"), metadata=cli(
+        "--methods", parse=str_list, coerce=_coerce_strs, metavar="NAMES",
+        help="comma-separated micro-kernels to sweep"))
+    machines: tuple = field(default=("a64fx",), metadata=_MACHINES_CLI)
+    baseline: str = field(default=None, metadata=cli(
+        "--baseline", parse=opt_str, coerce=_coerce_opt_str,
+        help="override the per-machine baseline method"))
+    cores: tuple = field(default=None, metadata=_CORES_CLI)
+    strategy: str = field(default="npanel", metadata=cli(
+        "--strategy", choices=STRATEGIES, coerce=_coerce_str,
+        help="GEMM partition strategy for --cores runs"))
+    backend: str = field(default="simulate", metadata=_BACKEND_CLI)
+    engine: str = field(default=None, metadata=_ENGINE_CLI)
+
+    def validate(self):
+        if not self.sizes and not self.shapes:
+            raise RequestError(
+                "need at least one of --sizes / --shapes", "sizes"
+            )
+        for name in ("sizes", "shapes", "methods", "machines"):
+            for value in getattr(self, name) or ():
+                flat = value if isinstance(value, tuple) else (value,)
+                for item in flat:
+                    if isinstance(item, int) and item < 1:
+                        raise RequestError(
+                            "%s entries must be >= 1, got %r" % (name, item),
+                            name,
+                        )
+        if not self.machines:
+            raise RequestError("need at least one machine", "machines")
+        if not self.methods:
+            raise RequestError("need at least one method", "methods")
+        for machine in self.machines:
+            self._check_machine(machine, "machines")
+        for method in self.methods:
+            self._check_method(method, "methods")
+        if self.baseline:
+            self._check_method(self.baseline, "baseline")
+        if self.cores is not None:
+            if not self.cores or any(c < 1 for c in self.cores):
+                raise RequestError("core counts must be >= 1", "cores")
+            if self.baseline:
+                raise RequestError(
+                    "--baseline does not apply to --cores runs (multi-core "
+                    "speedups are against each method's own single-core "
+                    "run)", "baseline"
+                )
+        if self.strategy not in STRATEGIES:
+            raise RequestError(
+                "unknown strategy %r; available: %s"
+                % (self.strategy, ", ".join(STRATEGIES)), "strategy"
+            )
+        self._check_backend_engine()
+        return self
+
+
+@dataclass(frozen=True)
+class CalibrateRequest(Request):
+    """Fit analytic-model coefficients (``repro-camp calibrate``)."""
+
+    KIND = "calibrate"
+
+    machines: tuple = field(default=(), metadata=cli(
+        "--machines", parse=str_list, coerce=_coerce_strs, metavar="NAMES",
+        help="comma-separated machines to calibrate (default: all "
+             "registered)"))
+    methods: tuple = field(default=None, metadata=cli(
+        "--methods", parse=lambda text: str_list(text) or None,
+        coerce=_coerce_opt_strs, metavar="NAMES",
+        help="methods to calibrate (default: each machine's sweep set)"))
+    multicore: bool = field(default=True, metadata=hidden(
+        coerce=_coerce_bool))
+    engine: str = field(default=None, metadata=_ENGINE_CLI)
+
+    def validate(self):
+        for machine in self.machines:
+            self._check_machine(machine, "machines")
+        for method in self.methods or ():
+            self._check_method(method, "methods")
+        self._check_backend_engine()
+        return self
+
+
+#: payload ``kind`` -> request class (the daemon's dispatch table)
+REQUEST_KINDS = {
+    cls.KIND: cls for cls in (GemmRequest, SweepRequest, CalibrateRequest)
+}
+
+
+def parse_request(data):
+    """Parse a JSON text/dict into the right request class by ``kind``."""
+    if isinstance(data, (str, bytes)):
+        try:
+            data = json.loads(data)
+        except ValueError as error:
+            raise RequestError("request is not valid JSON: %s" % error)
+    if not isinstance(data, dict):
+        raise RequestError(
+            "request payload must be a JSON object, got %r" % (data,)
+        )
+    kind = data.get("kind")
+    cls = REQUEST_KINDS.get(kind)
+    if cls is None:
+        raise RequestError(
+            "unknown request kind %r; available: %s"
+            % (kind, ", ".join(sorted(REQUEST_KINDS))), "kind"
+        )
+    return cls.from_payload(data)
+
+
+# ---------------------------------------------------------------------------
+# declarative CLI derivation
+# ---------------------------------------------------------------------------
+
+
+def cli_options(cls):
+    """``(field, spec)`` for every field of ``cls`` with a CLI option."""
+    for f in dataclasses.fields(cls):
+        spec = (f.metadata or {}).get("cli")
+        if spec is not None:
+            yield f, dict(spec)
+
+
+def add_request_options(parser, cls, skip=()):
+    """Materialize ``cls``'s declared options on an argparse parser.
+
+    Positional fields become positionals in declaration order; the
+    rest become options whose argparse default is the dataclass field
+    default, so :func:`request_from_args` can read every field straight
+    off the parsed namespace.
+    """
+    for f, spec in cli_options(cls):
+        if f.name in skip:
+            continue
+        flags = spec.pop("flags")
+        parse = spec.pop("parse", None)
+        positional = spec.pop("positional", False)
+        if positional:
+            parser.add_argument(f.name, type=parse or str,
+                                help=spec.get("help"))
+            continue
+        kwargs = dict(spec)
+        if parse is not None:
+            kwargs["type"] = parse
+        kwargs.setdefault("default", f.default)
+        kwargs["dest"] = f.name
+        parser.add_argument(*flags, **kwargs)
+
+
+def request_from_args(cls, args, **overrides):
+    """Build a request from a parsed argparse namespace."""
+    values = {}
+    for f in dataclasses.fields(cls):
+        if f.name in overrides:
+            values[f.name] = overrides[f.name]
+        elif hasattr(args, f.name):
+            values[f.name] = getattr(args, f.name)
+    return cls(**values)
+
+
+def describe_schema():
+    """The request schema as data (served at ``GET /v1/schema``)."""
+    kinds = {}
+    for kind, cls in sorted(REQUEST_KINDS.items()):
+        fields_ = {}
+        for f in dataclasses.fields(cls):
+            spec = (f.metadata or {}).get("cli") or {}
+            entry = {"default": _jsonify(f.default)}
+            if spec.get("help"):
+                entry["help"] = spec["help"]
+            if spec.get("choices"):
+                entry["choices"] = list(spec["choices"])
+            fields_[f.name] = entry
+        kinds[kind] = {"doc": (cls.__doc__ or "").strip(), "fields": fields_}
+    return {"version": SCHEMA_VERSION, "kinds": kinds}

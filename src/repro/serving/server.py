@@ -1,0 +1,485 @@
+"""Simulation-as-a-service: the threaded JSON-over-HTTP daemon.
+
+``repro-camp serve`` answers :mod:`repro.serving.requests` payloads
+over plain HTTP (stdlib :mod:`http.server`, no dependencies), keeping
+everything a one-shot CLI run pays for on every invocation warm
+across requests: the machine registry, the imported kernel/driver
+modules, the analytic coefficient store, the compiled-trace memory
+tier and the on-disk result cache.
+
+Endpoints (all JSON):
+
+- ``POST /v1/gemm`` / ``/v1/sweep`` / ``/v1/calibrate`` — execute one
+  request payload (see :func:`repro.serving.requests.describe_schema`).
+  ``?stream=1`` (or ``"stream": true`` in the envelope) switches sweep
+  responses to newline-delimited JSON progress events followed by one
+  ``{"event": "result", ...}`` line.
+- ``GET /v1/health`` — liveness + schema version.
+- ``GET /v1/stats`` — request/compute/dedup counters, cache stats.
+- ``GET /v1/schema`` — the request schema, derived from the dataclasses.
+- ``GET /v1/machines`` — registered machine names and digests.
+
+Request identity is content-addressed (``Request.cache_key()`` joins
+the canonical payload with the source-tree and machine-registry
+digests), which buys two layers of dedup:
+
+- a **response memo**: a completed answer is cached as its canonical
+  JSON bytes, so a warm repeat is a dictionary lookup and the reply is
+  byte-identical by construction;
+- **single-flight**: concurrent identical requests coalesce — one
+  leader computes, every follower waits on the same in-flight result.
+  For sweeps the point-granular result cache beneath guarantees each
+  grid cell is computed at most once even across *distinct*
+  overlapping requests.
+
+Served sweeps are journaled under a run id derived from the request
+key (``serve-<key prefix>``), so a daemon killed mid-sweep resumes the
+unfinished points on the next identical request. Shutdown is graceful:
+SIGTERM stops accepting connections and drains in-flight requests
+(journals close cleanly) before the process exits.
+
+Error contract: invalid requests (unknown field/machine/method/backend,
+schema-version mismatch) and machine-spec violations return structured
+4xx payloads ``{"error": {"type", "message", "field"}}``; unexpected
+failures return 500 with the exception message.
+"""
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.serving import execute as _execute
+from repro.serving.requests import (
+    SCHEMA_VERSION,
+    RequestError,
+    SchemaVersionError,
+    describe_schema,
+    parse_request,
+)
+
+#: default daemon port (vaguely "CAMP" on a phone keypad)
+DEFAULT_PORT = 8735
+
+
+def error_payload(error):
+    """Map an exception to ``(http_status, structured error dict)``."""
+    from repro.experiments.executor import ExecutorError, JournalError
+    from repro.machines import MachineSpecError
+
+    if isinstance(error, SchemaVersionError):
+        kind, status = "version", 400
+    elif isinstance(error, RequestError):
+        kind, status = "request", 400
+    elif isinstance(error, MachineSpecError):
+        kind, status = "machine", 400
+    elif isinstance(error, KeyError):
+        # registry lookups raise KeyError("unknown machine ...")
+        kind, status = "machine", 400
+    elif isinstance(error, (JournalError, ExecutorError)):
+        kind, status = "executor", 500
+    else:
+        kind, status = "internal", 500
+    message = error.args[0] if error.args else str(error)
+    payload = {"error": {"type": kind, "message": str(message)}}
+    field = getattr(error, "field", None)
+    if field:
+        payload["error"]["field"] = field
+    return status, payload
+
+
+class ServiceError(Exception):
+    """An error with an explicit HTTP status and payload."""
+
+    def __init__(self, status, payload):
+        super().__init__(payload.get("error", {}).get("message", ""))
+        self.status = status
+        self.payload = payload
+
+
+class _Flight:
+    """One in-flight computation other threads can wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error = None
+
+
+class SimulationService:
+    """Warm request executor with response memo + single-flight dedup.
+
+    Protocol-agnostic: the HTTP handler below and in-process tests
+    both drive :meth:`handle`, which takes a payload dict and returns
+    the canonical response bytes.
+    """
+
+    def __init__(self, cache_dir=None, jobs=1, memo_entries=256,
+                 journal_sweeps=True):
+        from repro.experiments.cache import ResultCache
+
+        self.cache = ResultCache(cache_dir)
+        self.jobs = jobs
+        self.journal_sweeps = journal_sweeps
+        self.started_unix = time.time()
+        self.warm_up_s = None
+        self.preloaded_models = 0
+        self._memo = OrderedDict()
+        self._memo_cap = memo_entries
+        self._flights = {}
+        self._lock = threading.Lock()
+        self.counters = {
+            "requests": 0,
+            "computes": 0,
+            "memo_hits": 0,
+            "dedup_hits": 0,
+            "errors": 0,
+            "points_computed": 0,
+            "points_cached": 0,
+            "points_journaled": 0,
+        }
+        self.kind_counts = {"gemm": 0, "sweep": 0, "calibrate": 0}
+
+    # -- lifecycle ----------------------------------------------------
+
+    def warm_up(self):
+        """Pay the cold-start once: imports, registry, model store.
+
+        Everything a one-shot CLI run re-pays per invocation — numpy
+        and the simulator import graph, the kernel registry, the
+        machine registry and its digest, the source-tree digest, and
+        any persisted analytic coefficients — is resolved here so the
+        first request is already warm. Returns the wall time spent.
+        """
+        start = time.perf_counter()
+        import numpy  # noqa: F401  (the heavyweight transitive import)
+
+        import repro.gemm.api  # noqa: F401  (kernel registry + drivers)
+        from repro.analytic.store import preload_models
+        from repro.experiments.cache import source_digest
+        from repro.machines import machines_digest
+
+        machines_digest()
+        source_digest()
+        self.preloaded_models = preload_models()
+        self.warm_up_s = time.perf_counter() - start
+        return self.warm_up_s
+
+    # -- request handling ---------------------------------------------
+
+    def handle(self, payload, on_progress=None):
+        """Execute one request payload; returns canonical JSON bytes.
+
+        ``on_progress(event_dict)`` is called per completed sweep point
+        when this thread is the computing leader (followers coalesced
+        onto an in-flight computation wait silently and only receive
+        the final result). Raises :class:`ServiceError` on any failure.
+        """
+        with self._lock:
+            self.counters["requests"] += 1
+        try:
+            request = parse_request(payload)
+            request.validate()
+            self._check_engine(request)
+            key = request.cache_key()
+        except Exception as error:  # noqa: BLE001 — mapped to status
+            with self._lock:
+                self.counters["errors"] += 1
+            status, body = error_payload(error)
+            raise ServiceError(status, body) from error
+        with self._lock:
+            self.kind_counts[request.KIND] = (
+                self.kind_counts.get(request.KIND, 0) + 1
+            )
+            memo = self._memo.get(key)
+            if memo is not None:
+                self._memo.move_to_end(key)
+                self.counters["memo_hits"] += 1
+                return memo
+        try:
+            return self._single_flight(
+                key, lambda: self._compute(request, key, on_progress)
+            )
+        except ServiceError:
+            raise
+        except Exception as error:  # noqa: BLE001 — mapped to status
+            with self._lock:
+                self.counters["errors"] += 1
+            status, body = error_payload(error)
+            raise ServiceError(status, body) from error
+
+    def _check_engine(self, request):
+        from repro.simulator.engine import get_default_engine
+
+        engine = getattr(request, "engine", None)
+        if engine and engine != get_default_engine():
+            raise RequestError(
+                "this daemon runs pipeline engine %r; start one with "
+                "`repro-camp serve --engine %s` for %r requests"
+                % (get_default_engine(), engine, engine),
+                "engine",
+            )
+
+    def _single_flight(self, key, compute):
+        """Coalesce concurrent identical requests onto one computation."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+                self.counters["dedup_hits"] += 1
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            flight.value = compute()
+            return flight.value
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+    def _compute(self, request, key, on_progress):
+        with self._lock:
+            self.counters["computes"] += 1
+        if request.KIND == "sweep":
+            response = self._compute_sweep(request, key, on_progress)
+        else:
+            response = _execute.execute(request, jobs=self.jobs)
+        body = json.dumps(response, sort_keys=True,
+                          separators=(",", ":")).encode()
+        with self._lock:
+            self._memo[key] = body
+            self._memo.move_to_end(key)
+            while len(self._memo) > self._memo_cap:
+                self._memo.popitem(last=False)
+        return body
+
+    def _compute_sweep(self, request, key, on_progress):
+        from repro.experiments import executor
+
+        run_id = resume = None
+        if self.journal_sweeps:
+            # the run id is derived from the request key, so an
+            # identical request after a mid-sweep daemon death resumes
+            # the journal instead of recomputing finished points
+            serve_id = "serve-" + key[:12]
+            if executor.has_journal(serve_id):
+                resume = serve_id
+            else:
+                run_id = serve_id
+
+        def on_point(done, total, point_id, status, elapsed_s):
+            with self._lock:
+                counter = "points_%s" % (
+                    status if status in ("cached", "journaled") else "computed"
+                )
+                self.counters[counter] += 1
+            if on_progress is not None:
+                on_progress({
+                    "event": "point",
+                    "done": done,
+                    "total": total,
+                    "point_id": point_id,
+                    "status": status,
+                    "elapsed_s": round(elapsed_s, 6),
+                })
+
+        return _execute.sweep_response(
+            request, cache=self.cache, jobs=self.jobs,
+            run_id=run_id, resume=resume, on_point=on_point,
+        )
+
+    # -- observability ------------------------------------------------
+
+    def stats(self):
+        from repro.machines import machines_digest
+        from repro.simulator.engine import get_default_engine
+
+        with self._lock:
+            counters = dict(self.counters)
+            kinds = dict(self.kind_counts)
+            memo_entries = len(self._memo)
+            in_flight = len(self._flights)
+        cache_stats = self.cache.stats
+        return {
+            "version": SCHEMA_VERSION,
+            "engine": get_default_engine(),
+            "machines_digest": machines_digest(),
+            "uptime_s": time.time() - self.started_unix,
+            "warm_up_s": self.warm_up_s,
+            "preloaded_models": self.preloaded_models,
+            "memo_entries": memo_entries,
+            "in_flight": in_flight,
+            "requests": dict(counters, by_kind=kinds),
+            "result_cache": {
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "stores": cache_stats.stores,
+                "point_hits": cache_stats.point_hits,
+                "point_misses": cache_stats.point_misses,
+                "point_stores": cache_stats.point_stores,
+            },
+        }
+
+    def health(self):
+        return {
+            "status": "ok",
+            "version": SCHEMA_VERSION,
+            "uptime_s": time.time() - self.started_unix,
+        }
+
+    def machines(self):
+        from repro.machines import get_spec, machine_names
+
+        return {
+            "machines": [
+                {"name": name, "digest": get_spec(name).digest()}
+                for name in machine_names()
+            ]
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/%d" % SCHEMA_VERSION
+
+    #: GET route -> service method name
+    GET_ROUTES = {
+        "/v1/health": "health",
+        "/v1/stats": "stats",
+        "/v1/machines": "machines",
+    }
+
+    def log_message(self, fmt, *args):
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def _send_json(self, status, body):
+        if not isinstance(body, bytes):
+            body = json.dumps(body, sort_keys=True,
+                              separators=(",", ":")).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        url = urlparse(self.path)
+        if url.path == "/v1/schema":
+            return self._send_json(200, describe_schema())
+        method = self.GET_ROUTES.get(url.path)
+        if method is None:
+            return self._send_json(
+                404, {"error": {"type": "request",
+                                "message": "unknown path %r" % url.path}})
+        return self._send_json(200, getattr(self.service, method)())
+
+    def do_POST(self):
+        url = urlparse(self.path)
+        kind = url.path[len("/v1/"):] if url.path.startswith("/v1/") else None
+        if kind not in ("gemm", "sweep", "calibrate"):
+            return self._send_json(
+                404, {"error": {"type": "request",
+                                "message": "unknown path %r" % url.path}})
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except ValueError:
+            return self._send_json(
+                400, {"error": {"type": "request",
+                                "message": "request body is not valid JSON"}})
+        stream = False
+        if isinstance(payload, dict):
+            stream = bool(payload.pop("stream", False))
+            payload.setdefault("kind", kind)
+            if payload.get("kind") != kind:
+                return self._send_json(400, {"error": {
+                    "type": "request",
+                    "message": "payload kind %r does not match path %r"
+                               % (payload.get("kind"), url.path)}})
+        query = parse_qs(url.query)
+        stream = stream or query.get("stream", ["0"])[0] in ("1", "true")
+        if stream:
+            return self._stream(payload)
+        try:
+            body = self.service.handle(payload)
+        except ServiceError as error:
+            return self._send_json(error.status, error.payload)
+        return self._send_json(200, body)
+
+    def _stream(self, payload):
+        """Newline-delimited progress events, then one result line.
+
+        The response length is unknown up front, so the connection is
+        close-delimited (``Connection: close``) instead of carrying a
+        Content-Length.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+        def emit(event):
+            self.wfile.write(
+                json.dumps(event, sort_keys=True,
+                           separators=(",", ":")).encode() + b"\n"
+            )
+            self.wfile.flush()
+
+        try:
+            body = self.service.handle(payload, on_progress=emit)
+        except ServiceError as error:
+            emit({"event": "error", "status": error.status,
+                  **error.payload})
+            return
+        self.wfile.write(b'{"event":"result","response":' + body + b"}\n")
+        self.wfile.flush()
+
+
+def create_server(host="127.0.0.1", port=DEFAULT_PORT, cache_dir=None,
+                  jobs=1, warm=True, verbose=False, journal_sweeps=True):
+    """Build (but do not start) the serving daemon.
+
+    Returns a :class:`~http.server.ThreadingHTTPServer` whose
+    ``.service`` is the :class:`SimulationService`; call
+    ``serve_forever()`` to run and ``shutdown()`` (from another
+    thread) to stop. In-flight requests are drained on close, so
+    journals written by served sweeps always end cleanly.
+    """
+    service = SimulationService(cache_dir=cache_dir, jobs=jobs,
+                                journal_sweeps=journal_sweeps)
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = False  # drain in-flight requests on close
+    server.service = service
+    server.verbose = verbose
+    if warm:
+        service.warm_up()
+    return server
+
+
+def serve_app(host="127.0.0.1", port=DEFAULT_PORT, **kwargs):
+    """The stable entry point :mod:`repro.api` exposes.
+
+    Identical to :func:`create_server`; named for what it returns — a
+    ready-to-run server application object.
+    """
+    return create_server(host=host, port=port, **kwargs)
