@@ -56,6 +56,7 @@ server), 2 invalid request/usage, 3 interrupted run (resumable).
 """
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -198,13 +199,43 @@ def _render_gemm(result):
     return 0
 
 
+@contextlib.contextmanager
+def _profiled(args):
+    """``--profile``: collect per-phase engine wall times, print a report.
+
+    The collector is process-global (see
+    :mod:`repro.simulator.profiling`), so with ``--jobs`` > 1 pool
+    workers profile into their own processes and only parent-side time
+    shows up — the report says so rather than silently under-counting.
+    """
+    if not getattr(args, "profile", False):
+        yield
+        return
+    from repro.simulator import profiling
+
+    with profiling.profile():
+        yield
+    print(profiling.render())
+    if getattr(args, "jobs", 1) > 1:
+        print("(jobs > 1: pool workers profile separately; rerun with "
+              "--jobs 1 for full coverage)")
+
+
 def _cmd_gemm(args):
     from repro.serving import execute as serving_execute
 
+    if getattr(args, "profile", False) and args.server:
+        return _fail("gemm", "--profile measures the local engines; drop "
+                             "--server")
     try:
         request = request_from_args(GemmRequest, args).validate()
     except _request_errors() as error:
         return _fail("gemm", error)
+    with _profiled(args):
+        return _gemm_body(args, request, serving_execute)
+
+
+def _gemm_body(args, request, serving_execute):
     if args.verify:
         if args.server:
             return _fail("gemm", "--verify computes numerically and runs "
@@ -472,7 +503,8 @@ def _run_registered(kind, args):
 
 
 def _cmd_experiment(args):
-    return _run_registered("experiment", args)
+    with _profiled(args):
+        return _run_registered("experiment", args)
 
 
 def _cmd_ablation(args):
@@ -681,6 +713,14 @@ def _cmd_bench(args):
           "%d instructions) | traces identical: %s"
           % (trace["cold_s"], trace["warm_s"], trace["speedup_best"],
              trace["instructions"], trace["identical"]))
+    fanout = trace.get("worker_fanout")
+    if fanout:
+        print("worker fan-out: %d points x %d cores (jobs %d) | worker "
+              "compiles %d | warm parent compiles %d (disk hits %d)"
+              % (fanout["points"], fanout["cores"], fanout["jobs"],
+                 fanout["worker_compiles"],
+                 fanout["warm"]["parent_compiles"],
+                 fanout["warm"]["parent_disk_hits"]))
     if args.out:
         path = bench_pipeline.write_bench(payload, args.out)
         print("wrote %s" % path)
@@ -689,14 +729,17 @@ def _cmd_bench(args):
         problems = bench_pipeline.check_regression(
             payload, baseline, max_warm_ratio=args.max_warm_regression,
             min_compile_speedup=args.min_compile_speedup,
+            min_batch_speedup=args.min_batch_speedup or None,
         )
         for problem in problems:
             print("PERF REGRESSION: %s" % problem, file=sys.stderr)
         if problems:
             return 1
         print("perf gate passed (warm rerun within %.1fx of baseline, "
-              "trace cache >= %.1fx)"
-              % (args.max_warm_regression, args.min_compile_speedup))
+              "trace cache >= %.1fx, batch >= %.1fx on %s)"
+              % (args.max_warm_regression, args.min_compile_speedup,
+                 args.min_batch_speedup,
+                 bench_pipeline.ACCEPTANCE_EXPERIMENT))
     return 0
 
 
@@ -932,6 +975,9 @@ _BENCH_COMMANDS = {
             _opt("--min-compile-speedup", type=float, default=2.0,
                  help="required cold-compile/warm-load ratio for the "
                       "compiled-trace cache"),
+            _opt("--min-batch-speedup", type=float, default=8.0,
+                 help="required batch-vs-scalar median speedup on the "
+                      "acceptance experiment (fig17); 0 disables"),
         ),
     },
     "bench-multicore": {
@@ -1019,6 +1065,11 @@ def build_parser():
     gemm_parser.add_argument("--verify", action="store_true",
                              help="also compute numerically on random data")
     gemm_parser.add_argument("--seed", type=int, default=0)
+    gemm_parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase engine wall times (trace compile, schedule, "
+             "memory replay, arbitration) and the scheduler chosen per "
+             "trace")
     _add_machine_file_option(gemm_parser)
     _add_trace_cache_option(gemm_parser)
     _add_server_option(gemm_parser)
@@ -1028,6 +1079,11 @@ def build_parser():
         "name",
         help="experiment name, 'all', or 'runs' to list resumable journals")
     exp_parser.add_argument("--fast", action="store_true")
+    exp_parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase engine wall times (trace compile, schedule, "
+             "memory replay, arbitration) and the scheduler chosen per "
+             "trace; use with --jobs 1 for full coverage")
     exp_parser.add_argument(
         "--prune-days", type=float, metavar="DAYS",
         help="with `experiment runs`: delete journals older than DAYS")

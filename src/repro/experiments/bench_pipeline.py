@@ -39,6 +39,12 @@ from pathlib import Path
 #: the in-order RISC-V path
 ENGINE_EXPERIMENTS = ("fig17", "fig12")
 
+#: the experiment the ``--min-batch-speedup`` floor applies to: the
+#: out-of-order path is where the windowed schedulers (and periodic
+#: replay) earn their keep; the in-order path has far less scalar work
+#: to amortize and its ratio would only dilute the gate
+ACCEPTANCE_EXPERIMENT = "fig17"
+
 
 def _cold_run(name, engine_name, fast):
     from repro.experiments import orchestrator, runner
@@ -254,8 +260,105 @@ def measure_compile_cache(pairs=None, repeats=3):
     }
 
 
+#: (machine, method) points the worker fan-out bench sweeps; one CAMP
+#: and one conventional kernel so both trace shapes cross the pool
+FANOUT_SPECS = (
+    ("a64fx", "camp8"),
+    ("a64fx", "gemmlowp"),
+)
+
+
+def measure_worker_fanout(specs=FANOUT_SPECS, cores=4, jobs=4):
+    """Worker-side compile counts for a warm multiprocess multicore sweep.
+
+    Each spec is one multicore point run twice against a scratch trace
+    cache: a cold pass (the parent compiles and persists each unique
+    program) and a warm pass with freshly built program objects and the
+    in-memory tier dropped (the parent loads from disk, the way a
+    resumed sweep in a new process does). In both passes the parent
+    ships the compiled structure-of-arrays records inside the pickled
+    task payloads (:func:`repro.simulator.multicore.precompile_for_fanout`),
+    so pool workers must never compile — and on the warm pass nobody
+    compiles at all. The per-task compile/cache deltas come back
+    through :attr:`MulticoreStats.worker_cache_stats`.
+    """
+    from repro.experiments import runner
+    from repro.gemm import microkernel
+    from repro.simulator import trace_cache, trace_compile
+    from repro.simulator.engine import trace_caching
+    from repro.simulator.multicore import run_multicore
+
+    phases = {}
+    points = 0
+    worker_compiles = 0
+    compile_free_points = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fanout-") as tmp:
+        previous = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            with trace_caching(True):
+                for phase in ("cold", "warm"):
+                    # fresh program objects + an empty memory tier: the
+                    # warm pass exercises the cross-process disk path
+                    microkernel._BUILD_MEMO.clear()
+                    runner.reset_drivers()
+                    trace_cache.clear_memory()
+                    totals = {
+                        "worker_compiles": 0, "worker_misses": 0,
+                        "parent_compiles": 0, "parent_disk_hits": 0,
+                    }
+                    for machine, method in specs:
+                        driver = runner.driver_for(method, machine)
+                        kc = driver.blocking.kc * 4
+                        program = driver.kernel.build_call(
+                            kc, first_k_block=True
+                        )
+                        warm = list(driver.kernel.warm_addresses(kc))
+                        compiles_0 = trace_compile.compile_events
+                        cache_0 = trace_cache.stats()
+                        outcome = run_multicore(
+                            driver.config, [program] * cores,
+                            warm_addresses=[warm] * cores, jobs=jobs,
+                        )
+                        cache_1 = trace_cache.stats()
+                        wc = outcome.worker_cache_stats
+                        task_compiles = wc.get("compiles", 0)
+                        totals["worker_compiles"] += task_compiles
+                        totals["worker_misses"] += wc.get("misses", 0)
+                        totals["parent_compiles"] += (
+                            trace_compile.compile_events - compiles_0
+                        )
+                        totals["parent_disk_hits"] += (
+                            cache_1["disk_hits"] - cache_0["disk_hits"]
+                        )
+                        points += 1
+                        worker_compiles += task_compiles
+                        if not task_compiles:
+                            compile_free_points += 1
+                    phases[phase] = totals
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = previous
+            microkernel._BUILD_MEMO.clear()
+            runner.reset_drivers()
+            trace_cache.clear_memory()
+    return {
+        "cores": cores,
+        "jobs": jobs,
+        "points": points,
+        "worker_compiles": worker_compiles,
+        "compile_free_points": compile_free_points,
+        "cold": phases["cold"],
+        "warm": phases["warm"],
+    }
+
+
 def run_bench(repeats=3, fast=False, jobs=1, experiments=ENGINE_EXPERIMENTS):
     """Full benchmark payload for ``BENCH_pipeline.json``."""
+    trace = measure_compile_cache(repeats=max(1, repeats))
+    trace["worker_fanout"] = measure_worker_fanout()
     payload = {
         "schema": "repro-camp/bench-pipeline/v1",
         "python": platform.python_version(),
@@ -264,7 +367,7 @@ def run_bench(repeats=3, fast=False, jobs=1, experiments=ENGINE_EXPERIMENTS):
             experiments=experiments, fast=fast, repeats=repeats
         ),
         "fast_suite": bench_suite(jobs=jobs),
-        "trace_cache": measure_compile_cache(repeats=max(1, repeats)),
+        "trace_cache": trace,
     }
     return payload
 
@@ -316,11 +419,28 @@ def compile_cache_problems(trace, min_compile_speedup=MIN_COMPILE_SPEEDUP):
             % (trace["speedup_best"], trace["warm_s"], trace["cold_s"],
                trace.get("instructions", 0), min_compile_speedup)
         )
+    fanout = trace.get("worker_fanout")
+    if fanout is not None:
+        if fanout.get("worker_compiles", 0) != 0:
+            problems.append(
+                "pool workers compiled %d traces across %d multicore "
+                "points; the parent must ship compiled records so "
+                "workers never compile"
+                % (fanout["worker_compiles"], fanout.get("points", 0))
+            )
+        warm = fanout.get("warm", {})
+        if warm.get("parent_compiles", 0) != 0:
+            problems.append(
+                "the warm fan-out sweep recompiled %d traces in the "
+                "parent instead of loading them from the trace cache"
+                % warm["parent_compiles"]
+            )
     return problems
 
 
 def check_regression(payload, baseline, max_warm_ratio=3.0,
-                     min_compile_speedup=MIN_COMPILE_SPEEDUP):
+                     min_compile_speedup=MIN_COMPILE_SPEEDUP,
+                     min_batch_speedup=None):
     """Compare a fresh payload against the committed baseline.
 
     Returns a list of human-readable problems (empty = gate passes):
@@ -330,8 +450,14 @@ def check_regression(payload, baseline, max_warm_ratio=3.0,
       floor of :data:`WARM_FLOOR_S`, so a ~1 ms baseline from a faster
       machine cannot fail CI on noise alone);
     - engine-comparison records must be identical between engines;
+    - with ``min_batch_speedup`` set, the acceptance experiment's
+      (:data:`ACCEPTANCE_EXPERIMENT`) batch-vs-scalar median speedup
+      must reach the floor (a wall-time ratio measured back-to-back in
+      one process, so it is machine-independent in a way raw times are
+      not);
     - the compiled-trace cache must beat recompiling by at least
-      ``min_compile_speedup`` x with identical traces
+      ``min_compile_speedup`` x with identical traces, and the
+      multicore fan-out must stay worker-compile-free
       (:func:`compile_cache_problems`).
     """
     problems = []
@@ -350,6 +476,20 @@ def check_regression(payload, baseline, max_warm_ratio=3.0,
         if not entry.get("records_identical", False):
             problems.append(
                 "experiment %s: scalar and batch engines disagree" % name
+            )
+    if min_batch_speedup is not None:
+        entry = payload["engine_comparison"].get(ACCEPTANCE_EXPERIMENT)
+        if entry is None:
+            problems.append(
+                "payload has no %s engine comparison to hold the "
+                "--min-batch-speedup floor against" % ACCEPTANCE_EXPERIMENT
+            )
+        elif entry.get("speedup_median", 0.0) < min_batch_speedup:
+            problems.append(
+                "experiment %s: batch engine is only %.2fx faster than "
+                "scalar (median), below the %.1fx floor"
+                % (ACCEPTANCE_EXPERIMENT,
+                   entry.get("speedup_median", 0.0), min_batch_speedup)
             )
     problems.extend(
         compile_cache_problems(

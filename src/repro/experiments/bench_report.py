@@ -21,7 +21,8 @@ from pathlib import Path
 #: the regression marker); everything else numeric is treated as
 #: cost-like (time, error) where an increase is the interesting event
 _HIGHER_IS_BETTER = ("speedup", "speedup_best", "speedup_median", "hits",
-                     "speedup_p50", "requests_per_s", "hit_rate")
+                     "speedup_p50", "requests_per_s", "hit_rate",
+                     "compile_free_points")
 
 
 def flatten(payload, prefix=""):

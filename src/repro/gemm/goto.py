@@ -37,6 +37,25 @@ def _ceil_div(a, b):
     return -(-a // b)
 
 
+#: packing-chunk programs shared across drivers; emission is a pure
+#: function of the key and built programs are immutable, so sharing one
+#: object also shares its cached digest and compiled trace
+_PACK_PROGRAM_MEMO = {}
+
+
+def _pack_chunk_program(vector_length_bits, dtype, chunk_bytes):
+    key = (vector_length_bits, dtype, chunk_bytes)
+    program = _PACK_PROGRAM_MEMO.get(key)
+    if program is None:
+        builder = ProgramBuilder(
+            name="pack-chunk", vector_length_bits=vector_length_bits
+        )
+        emit_pack_trace(builder, A_PANEL_BASE, B_PANEL_BASE, chunk_bytes, dtype)
+        program = builder.build()
+        _PACK_PROGRAM_MEMO[key] = program
+    return program
+
+
 @dataclass
 class GemmExecution:
     """Composed performance result of one GEMM problem."""
@@ -227,11 +246,9 @@ class GotoBlasDriver:
         """Cycles and instructions per byte of panel packing."""
         if self._pack_cache is None:
             chunk_bytes = 16 * 1024
-            builder = ProgramBuilder(
-                name="pack-chunk", vector_length_bits=self.config.vector_length_bits
+            program = _pack_chunk_program(
+                self.config.vector_length_bits, dtype, chunk_bytes
             )
-            emit_pack_trace(builder, A_PANEL_BASE, B_PANEL_BASE, chunk_bytes, dtype)
-            program = builder.build()
             sim = self._make_simulator()
             stats = sim.run(program)
             self._pack_cache = (program, stats, chunk_bytes)

@@ -81,13 +81,28 @@ class MicroKernel(abc.ABC):
         """
 
     def build_call(self, kc, **kwargs):
-        """Convenience: emit one call into a fresh builder."""
-        builder = ProgramBuilder(
-            name="%s(kc=%d)" % (self.name, kc),
-            vector_length_bits=self.vector_length_bits,
-        )
-        self.emit_call(builder, kc, **kwargs)
-        return builder.build()
+        """Emit one call into a fresh builder (memoized).
+
+        ``emit_call`` is a pure function of the kernel's identity
+        (``name`` + vector length fix the geometry via ``_configure``)
+        and the call arguments, and built programs are immutable once
+        consumers see them, so the program is shared process-wide.
+        Sharing one object also shares its cached content digest and
+        compiled trace, which repeated sweep points would otherwise
+        recompute from scratch.
+        """
+        key = (self.name, self.vector_length_bits, kc,
+               tuple(sorted(kwargs.items())))
+        program = _BUILD_MEMO.get(key)
+        if program is None:
+            builder = ProgramBuilder(
+                name="%s(kc=%d)" % (self.name, kc),
+                vector_length_bits=self.vector_length_bits,
+            )
+            self.emit_call(builder, kc, **kwargs)
+            program = builder.build()
+            _BUILD_MEMO[key] = program
+        return program
 
     def validate_kc(self, kc):
         if kc % self.k_step:
@@ -129,6 +144,10 @@ class MicroKernel(abc.ABC):
             addresses.extend(range(base, base + int(span), 64))
         return addresses
 
+
+#: built call programs shared across kernel/driver instances, keyed by
+#: (kernel name, vector length, kc, emit kwargs)
+_BUILD_MEMO = {}
 
 _REGISTRY = {}
 

@@ -102,6 +102,16 @@ def batch_lookup(cache, addrs, is_write, collect_misses=True):
 
     run_sets = (lines_sorted[heads] % n_sets).tolist()
     run_tags = (lines_sorted[heads] // n_sets).tolist()
+    journal = cache._journal
+    if journal is not None:
+        # batch replay rebuilds whole sets; journal every touched set's
+        # pre-image so a speculative sequence can still roll back
+        for s in set(run_sets):
+            if s not in journal:
+                journal[s] = [
+                    (entry.tag, entry.dirty, entry.prefetched)
+                    for entry in cache._sets[s]
+                ]
     run_lengths = np.diff(np.append(heads, n)).tolist()
     run_writes = np.logical_or.reduceat(writes_sorted, heads).tolist()
     run_indices = order[heads].tolist() if collect_misses else repeat(0)

@@ -68,6 +68,9 @@ class Cache:
         self.config = config
         self.stats = CacheStats()
         self._sets = [[] for _ in range(config.n_sets)]  # list[_Line], LRU order
+        # copy-on-write undo journal for speculative access sequences:
+        # None when not speculating, else {set_index: pre-image value list}
+        self._journal = None
 
     def _split(self, addr):
         line = addr // self.config.line_bytes
@@ -80,8 +83,14 @@ class Cache:
         """Demand access. Returns True on hit; allocates on miss."""
         line = addr // self.config.line_bytes
         n_sets = self.config.n_sets
-        ways = self._sets[line % n_sets]
+        set_index = line % n_sets
+        ways = self._sets[set_index]
         tag = line // n_sets
+        journal = self._journal
+        if journal is not None and set_index not in journal:
+            journal[set_index] = [
+                (entry.tag, entry.dirty, entry.prefetched) for entry in ways
+            ]
         if ways:
             mru = ways[-1]
             if mru.tag == tag:  # already most-recent: order unchanged
@@ -114,6 +123,11 @@ class Cache:
         """Fill a line speculatively (no stats hit/miss accounting)."""
         set_index, tag = self._split(addr)
         ways = self._sets[set_index]
+        journal = self._journal
+        if journal is not None and set_index not in journal:
+            journal[set_index] = [
+                (entry.tag, entry.dirty, entry.prefetched) for entry in ways
+            ]
         if any(line.tag == tag for line in ways):
             return False
         self._fill(set_index, tag, dirty=False, prefetched=True)
@@ -128,6 +142,29 @@ class Cache:
             if victim.dirty:
                 self.stats.writebacks += 1
         ways.append(_Line(tag, dirty=dirty, prefetched=prefetched))
+
+    def begin_journal(self):
+        """Arm the copy-on-write journal; returns the stats pre-image."""
+        self._journal = {}
+        s = self.stats
+        return (s.hits, s.misses, s.evictions, s.writebacks,
+                s.prefetch_fills, s.prefetch_hits)
+
+    def commit_journal(self):
+        self._journal = None
+
+    def rollback_journal(self, stats_snapshot):
+        """Undo every mutation since :meth:`begin_journal`."""
+        s = self.stats
+        (s.hits, s.misses, s.evictions, s.writebacks,
+         s.prefetch_fills, s.prefetch_hits) = stats_snapshot
+        sets = self._sets
+        for set_index, lines in self._journal.items():
+            sets[set_index] = [
+                _Line(tag, dirty=dirty, prefetched=prefetched)
+                for tag, dirty, prefetched in lines
+            ]
+        self._journal = None
 
     def invalidate_all(self):
         self._sets = [[] for _ in range(self.config.n_sets)]

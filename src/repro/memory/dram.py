@@ -82,6 +82,13 @@ class Dram:
         """
         self._next_free_cycle = 0.0
 
+    def snapshot(self):
+        """Opaque state token for speculative access sequences."""
+        return (self.bytes_transferred, self._next_free_cycle)
+
+    def restore(self, token):
+        self.bytes_transferred, self._next_free_cycle = token
+
     def reset(self):
         self.bytes_transferred = 0
         self._next_free_cycle = 0.0
@@ -121,6 +128,14 @@ class RecordingDram(Dram):
     def rebase(self):
         super().rebase()
         self.events.clear()
+
+    def snapshot(self):
+        return (super().snapshot(), len(self.events))
+
+    def restore(self, token):
+        base, n_events = token
+        super().restore(base)
+        del self.events[n_events:]
 
     def reset(self):
         super().reset()
@@ -191,6 +206,18 @@ class MultiChannelDram:
         if elapsed_cycles <= 0:
             return [0.0] * self.channels
         return [busy / elapsed_cycles for busy in self._busy]
+
+    def snapshot(self):
+        """Opaque state token for speculative access sequences."""
+        return (self.bytes_transferred, tuple(self._next_free),
+                tuple(self._busy), self._rr)
+
+    def restore(self, token):
+        bytes_transferred, next_free, busy, rr = token
+        self.bytes_transferred = bytes_transferred
+        self._next_free = list(next_free)
+        self._busy = list(busy)
+        self._rr = rr
 
     def rebase(self):
         """Re-zero every channel clock *and* the round-robin pointer.

@@ -146,15 +146,22 @@ class MemoryHierarchy:
 
         The in-order pipeline engine issues memory operations in program
         order, so their cache effects can be replayed up front in one
-        pass instead of one :meth:`access` call per load. Returns two
-        int64 arrays aligned with the input ops:
+        pass instead of one :meth:`access` call per load. Returns three
+        int64 arrays:
 
-        - ``base_latency`` — the worst load-to-use latency over each
-          op's cache-hit lines (0 if every line missed the last level);
-        - ``dram_lines`` — how many of the op's lines missed every
+        - ``base_latency`` — per op, the worst load-to-use latency over
+          its cache-hit lines (0 if every line missed the last level);
+        - ``dram_lines`` — per op, how many of its lines missed every
           level. The caller charges those through ``dram.access`` at
           issue time (DRAM latency depends on the issue cycle), in op
-          order, exactly like the scalar walk.
+          order, exactly like the scalar walk;
+        - ``dram_addrs`` — the line address of every all-level miss, in
+          the same op/line order (flat; ``dram_lines`` gives the per-op
+          run lengths). The caller must forward these to
+          ``dram.access`` so recorded DRAM events carry the same
+          addresses the scalar walk produces — multicore arbitration
+          steers channels by address, so an address-less charge would
+          make contention depend on the engine.
 
         Cache state, per-level stats and prefetcher behaviour evolve
         exactly as the equivalent sequence of :meth:`access` calls:
@@ -166,7 +173,8 @@ class MemoryHierarchy:
         addrs = np.asarray(addrs, dtype=np.int64)
         n_ops = addrs.size
         if n_ops == 0:
-            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            empty = np.empty(0, dtype=np.int64)
+            return (empty, empty, empty)
         if sizes is None:
             sizes = np.ones(n_ops, dtype=np.int64)
         else:
@@ -230,7 +238,41 @@ class MemoryHierarchy:
 
         base_latency = np.maximum.reduceat(line_lat, offsets)
         dram_lines = np.add.reduceat(dram_flag.astype(np.int64), offsets)
-        return base_latency, dram_lines
+        return base_latency, dram_lines, line_addrs[dram_flag]
+
+    def begin_speculation(self):
+        """Start a speculative access sequence; returns a rollback token.
+
+        Every mutation a subsequent :meth:`access` /
+        :meth:`access_batch` / :meth:`resolve_batch` sequence performs —
+        cache line state and LRU order (copy-on-write set journals),
+        per-level stats, prefetcher tables, DRAM queue clocks and
+        recorded events — can be undone exactly with
+        :meth:`rollback_speculation`. On success call
+        :meth:`commit_speculation` instead, which simply drops the
+        journals: the accesses were real, so no state fixup is needed.
+        Speculation does not nest.
+        """
+        return (
+            self.demand_accesses,
+            [cache.begin_journal() for cache in self.caches],
+            [None if p is None else p.snapshot() for p in self.prefetchers],
+            self.dram.snapshot(),
+        )
+
+    def commit_speculation(self, token):
+        for cache in self.caches:
+            cache.commit_journal()
+
+    def rollback_speculation(self, token):
+        demand_accesses, cache_stats, prefetcher_state, dram_state = token
+        self.demand_accesses = demand_accesses
+        for cache, stats_snapshot in zip(self.caches, cache_stats):
+            cache.rollback_journal(stats_snapshot)
+        for prefetcher, state in zip(self.prefetchers, prefetcher_state):
+            if prefetcher is not None:
+                prefetcher.restore(state)
+        self.dram.restore(dram_state)
 
     def rebase_queues(self):
         """Re-zero time-based queue state (DRAM channel clock)."""
@@ -376,69 +418,90 @@ class SharedHierarchy:
         return result
 
     def _replay_once(self, merged, dilation):
-        """One deterministic pass over the merged, dilated streams."""
+        """One deterministic pass over the merged, dilated streams.
+
+        Array-at-a-time: events are reordered once by the (dilated
+        cycle, core, seq) sort, the shared LLC consumes the addressed
+        subsequence through :func:`~repro.memory.batch.batch_lookup`
+        (access-for-access equivalent to sequential lookups), and only
+        the DRAM-bound events — LLC misses plus address-less charges —
+        take a Python call each, in merged order. Splitting LLC and
+        DRAM into phases is exact because the two touch disjoint state
+        and each phase preserves the merged order of its events.
+        """
         dram = self.dram
         dram.reset()
-        llc = Cache(self.llc_config) if self.llc_config is not None else None
         order, times = _dilated_order(merged, dilation)
-        cores = merged.cores
-        sizes = merged.sizes
-        addrs = merged.addrs
-        writes = merged.writes
-        iso_lat = merged.latencies
+        cores = merged.core_index[order]
+        sizes = merged.sizes[order]
+        addrs = merged.addrs[order]
+        writes = merged.writes[order]
+        iso_lat = merged.latencies[order]
+        times = times[order]
         n_cores = len(merged.per_core_events)
-        extra = [0] * n_cores
-        hits = [0] * n_cores
-        misses = [0] * n_cores
-        reads = [0] * n_cores
-        stores = [0] * n_cores
-        llc_lookup = llc.lookup if llc is not None else None
-        llc_latency = llc.config.load_to_use if llc is not None else 0
-        dram_access = dram.access
-        for pos in order:
-            core = cores[pos]
-            addr = addrs[pos]
-            write = writes[pos]
-            if llc_lookup is not None and addr >= 0:
-                if llc_lookup(addr, is_write=write):
-                    hits[core] += 1
-                    shared = llc_latency
-                else:
-                    misses[core] += 1
-                    shared = llc_latency + dram_access(
-                        sizes[pos], times[pos],
-                        addr=addr, write=write,
-                    )
+        n = cores.size
+        shared = np.zeros(n, dtype=np.int64)
+
+        if self.llc_config is not None:
+            llc = Cache(self.llc_config)
+            llc_latency = llc.config.load_to_use
+            llc_pos = np.flatnonzero(addrs >= 0)
+            miss_sub = batch_lookup(
+                llc, addrs[llc_pos], writes[llc_pos], collect_misses=True
+            )
+            hit_mask = np.ones(llc_pos.size, dtype=bool)
+            hit_mask[miss_sub] = False
+            hits_v = np.bincount(cores[llc_pos[hit_mask]], minlength=n_cores)
+            misses_v = np.bincount(cores[llc_pos[miss_sub]],
+                                   minlength=n_cores)
+            shared[llc_pos] = llc_latency
+            dram_pos = np.flatnonzero(addrs < 0)
+            if dram_pos.size:
+                dram_pos = np.concatenate([dram_pos, llc_pos[miss_sub]])
+                dram_pos.sort()
             else:
-                shared = dram_access(
-                    sizes[pos], times[pos],
-                    addr=addr if addr >= 0 else None, write=write,
+                dram_pos = llc_pos[miss_sub]
+        else:
+            hits_v = misses_v = np.zeros(n_cores, dtype=np.int64)
+            dram_pos = np.arange(n, dtype=np.int64)
+
+        if dram_pos.size:
+            dram_access = dram.access
+            shared[dram_pos] += [
+                dram_access(s, t, addr=a if a >= 0 else None, write=w)
+                for s, t, a, w in zip(
+                    sizes[dram_pos].tolist(), times[dram_pos].tolist(),
+                    addrs[dram_pos].tolist(), writes[dram_pos].tolist(),
                 )
-            if write:
-                stores[core] += 1
-            else:
-                reads[core] += 1
-                gap = shared - iso_lat[pos]
-                if gap > 0:
-                    extra[core] += gap
+            ]
+
+        read_mask = ~writes
+        gap = shared - iso_lat
+        np.clip(gap, 0, None, out=gap)
+        extra_v = np.bincount(
+            cores[read_mask], weights=gap[read_mask], minlength=n_cores
+        ).astype(np.int64)
+        reads_v = np.bincount(cores[read_mask], minlength=n_cores)
+        stores_v = np.bincount(cores[writes], minlength=n_cores)
+
         per_core = [
             CoreReplay(
                 core=core,
                 events=merged.per_core_events[core],
-                extra_cycles=extra[core],
-                llc_hits=hits[core],
-                llc_misses=misses[core],
-                dram_reads=reads[core],
-                dram_writes=stores[core],
+                extra_cycles=int(extra_v[core]),
+                llc_hits=int(hits_v[core]),
+                llc_misses=int(misses_v[core]),
+                dram_reads=int(reads_v[core]),
+                dram_writes=int(stores_v[core]),
             )
             for core in range(n_cores)
         ]
-        lookups = sum(hits) + sum(misses)
+        lookups = int(hits_v.sum() + misses_v.sum())
         return SharedReplayResult(
             per_core=per_core,
             iterations=0,
             converged=False,
-            llc_hit_rate=sum(hits) / lookups if lookups else 0.0,
+            llc_hit_rate=int(hits_v.sum()) / lookups if lookups else 0.0,
         )
 
 
@@ -471,11 +534,10 @@ class _MergedStreams:
     base_times: object  # np.int64 array, isolated-run timebase
     core_index: object  # np.int64 array, owning core per event
     seqs: object        # np.int64 array, per-core sequence number
-    cores: list
-    sizes: list
-    addrs: list
-    writes: list
-    latencies: list
+    sizes: object       # np.int64 array
+    addrs: object       # np.int64 array (-1 = address-less)
+    writes: object      # bool array
+    latencies: object   # np.int64 array, isolated-run latencies
     per_core_events: list
 
 
@@ -500,16 +562,14 @@ def _concat_streams(columns):
     def cat(parts, dtype):
         return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
 
-    core_index = cat(cores, np.int64)
     return _MergedStreams(
         base_times=cat(times, np.int64),
-        core_index=core_index,
+        core_index=cat(cores, np.int64),
         seqs=cat(seqs, np.int64),
-        cores=core_index.tolist(),
-        sizes=cat(sizes, np.int64).tolist(),
-        addrs=cat(addrs, np.int64).tolist(),
-        writes=cat(writes, bool).tolist(),
-        latencies=cat(latencies, np.int64).tolist(),
+        sizes=cat(sizes, np.int64),
+        addrs=cat(addrs, np.int64),
+        writes=cat(writes, bool),
+        latencies=cat(latencies, np.int64),
         per_core_events=[len(t) for t, _, _, _, _ in columns],
     )
 
@@ -526,4 +586,4 @@ def _dilated_order(merged, dilation):
         factors = np.asarray(dilation)[merged.core_index]
         times = np.rint(merged.base_times * factors).astype(np.int64)
     order = np.lexsort((merged.seqs, merged.core_index, times))
-    return order.tolist(), times.tolist()
+    return order, times

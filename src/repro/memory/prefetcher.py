@@ -60,6 +60,25 @@ class StridePrefetcher:
         self.issued += len(targets)
         return targets
 
+    def snapshot(self):
+        """Full-table state token (tables are tiny; copying beats undo).
+
+        Insertion order is part of the state — FIFO eviction walks it —
+        so the snapshot keeps the items in iteration order and restore
+        rebuilds the dict in that same order.
+        """
+        return (self.issued, [
+            (region, entry.last_addr, entry.stride, entry.confidence)
+            for region, entry in self._table.items()
+        ])
+
+    def restore(self, token):
+        self.issued = token[0]
+        self._table = {
+            region: _StreamEntry(last_addr, stride, confidence)
+            for region, last_addr, stride, confidence in token[1]
+        }
+
     def reset(self):
         self._table.clear()
         self.issued = 0

@@ -68,6 +68,8 @@ from heapq import heapify, heappop, heappush
 import numpy as np
 
 from repro.isa.instructions import FUClass
+from repro.simulator import profiling
+from repro.simulator.period_replay import replayer_for
 from repro.simulator.stats import SimStats
 from repro.simulator.trace_compile import FU_LIST, compiled_for
 
@@ -83,7 +85,8 @@ def run_batch(simulator, program, warm_addresses=()):
     hierarchy = simulator.hierarchy
     warm = np.asarray(list(warm_addresses), dtype=np.int64)
     if warm.size:
-        hierarchy.access_batch(warm)
+        with profiling.phase("memory replay"):
+            hierarchy.access_batch(warm)
     stats_base = {
         cache.config.name: (cache.stats.hits, cache.stats.misses)
         for cache in hierarchy.caches
@@ -114,14 +117,18 @@ def _dispatch(trace, program, config, hierarchy):
     mostly issueable and the cheaper linked-list scan wins.
     """
     if config.window == 1:
-        return _schedule_inorder(trace, program, config, hierarchy)
+        profiling.note_scheduler(program.name, "inorder")
+        with profiling.phase("schedule"):
+            return _schedule_inorder(trace, program, config, hierarchy)
     which = FORCE_SCHEDULER
     if which is None:
         issue_bound = -(-trace.n // config.issue_width)
         which = "event" if trace.fu_bound > issue_bound else "scan"
-    if which == "event":
-        return _schedule_window(trace, program, config, hierarchy)
-    return _schedule_scan(trace, program, config, hierarchy)
+    profiling.note_scheduler(program.name, which)
+    with profiling.phase("schedule"):
+        if which == "event":
+            return _schedule_window(trace, program, config, hierarchy)
+        return _schedule_scan(trace, program, config, hierarchy)
 
 
 def _unsupported(config, program, index):
@@ -181,13 +188,16 @@ def _schedule_inorder(trace, program, config, hierarchy):
 
     # memory ops issue in program order: bulk-replay their cache
     # effects now, charge the (issue-cycle-dependent) DRAM part lazily
-    mem_base = mem_dram = None
-    mem_ptr = 0
+    mem_base = mem_dram = mem_dram_addr = None
+    mem_ptr = dram_ptr = 0
     if trace.mem_index:
         _idx, addrs, sizes, writes = trace.memory_arrays()
-        base, dram_lines = hierarchy.resolve_batch(addrs, sizes, writes)
+        with profiling.phase("memory replay"):
+            base, dram_lines, dram_addrs = hierarchy.resolve_batch(
+                addrs, sizes, writes)
         mem_base = base.tolist()
         mem_dram = dram_lines.tolist()
+        mem_dram_addr = dram_addrs.tolist()
 
     complete_at = [0] * n
     store_buffer = []
@@ -264,7 +274,9 @@ def _schedule_inorder(trace, program, config, hierarchy):
             n_dram = mem_dram[mem_ptr]
             mem_ptr += 1
             while n_dram:
-                lat = dram_access(llc_line_bytes, t) + llc_load_to_use
+                lat = dram_access(llc_line_bytes, t,
+                                  addr=mem_dram_addr[dram_ptr]) + llc_load_to_use
+                dram_ptr += 1
                 if lat > latency:
                     latency = lat
                 n_dram -= 1
@@ -272,7 +284,9 @@ def _schedule_inorder(trace, program, config, hierarchy):
             n_dram = mem_dram[mem_ptr]
             mem_ptr += 1
             while n_dram:
-                dram_access(llc_line_bytes, t, write=True)
+                dram_access(llc_line_bytes, t,
+                            addr=mem_dram_addr[dram_ptr], write=True)
+                dram_ptr += 1
                 n_dram -= 1
             if store_tail < t:
                 store_tail = t
@@ -342,10 +356,32 @@ def _schedule_scan(trace, program, config, hierarchy):
     last_completion = 0
     st_fu = st_rd = st_wr = issue_cycles = 0
 
+    replayer = replayer_for(trace, config, hierarchy, pools, wake, n_wait,
+                            ready_acc, complete_at, nxt, prv, head_node)
+    rp_next = replayer.next_trigger if replayer is not None else _INF
+    rec_mem = None
+    rec_iss = None
+    max_issued = -1
+
     while True:
         i = nxt[head_node]
         if i >= n:
             break
+        if rp_next <= i:
+            (rp_next, rec_mem, rec_iss, k, cycle, sb_head, store_tail,
+             last_completion, st_fu, st_rd, st_wr, issue_cycles,
+             max_issued) = replayer.on_boundary(
+                i, cycle, max_issued, store_buffer, sb_head, store_tail,
+                last_completion, st_fu, st_rd, st_wr, issue_cycles,
+                rec_mem, rec_iss)
+            if k:
+                # the fast-forward leaves sleep-run caches stale for the
+                # translated region; zero them so new scans rebuild
+                zero_hi = replayer.last_f2 + window
+                if zero_hi > n:
+                    zero_hi = n
+                run_until[i:zero_hi] = [0] * (zero_hi - i)
+            continue
         issued_now = 0
         scanned = 0
         while i < n and scanned < window:
@@ -408,11 +444,17 @@ def _schedule_scan(trace, program, config, hierarchy):
                     continue
             # --- issue i at `cycle` ---
             pool[unit] = cycle + interval
+            if i > max_issued:
+                max_issued = i
             if is_load:
                 latency = access(addr_col[i], size_col[i], is_write=False,
                                  now_cycle=cycle).latency
+                if rec_mem is not None:
+                    rec_mem.append((i, cycle, latency, False))
             elif is_store:
                 access(addr_col[i], size_col[i], is_write=True, now_cycle=cycle)
+                if rec_mem is not None:
+                    rec_mem.append((i, cycle, 0, True))
                 if store_tail < cycle:
                     store_tail = cycle
                 store_tail += sb_drain
@@ -424,6 +466,8 @@ def _schedule_scan(trace, program, config, hierarchy):
                 latency = lat
             done = cycle + latency
             complete_at[i] = done
+            if rec_iss is not None:
+                rec_iss.append((i, done))
             if done > last_completion:
                 last_completion = done
             dl = dependents[i]
@@ -626,7 +670,40 @@ def _schedule_window(trace, program, config, hierarchy):
     st_fu = st_rd = st_wr = issue_cycles = 0
     remaining = n
 
+    replayer = replayer_for(trace, config, hierarchy, pools, wake, n_wait,
+                            ready_acc, complete_at, nxt, prv, head_node)
+    rp_next = replayer.next_trigger if replayer is not None else _INF
+    rec_mem = None
+    rec_iss = None
+    max_issued = -1
+
     while remaining:
+        if rp_next <= nxt[head_node]:
+            h0 = nxt[head_node]
+            mi0 = max_issued
+            (rp_next, rec_mem, rec_iss, k, cycle, sb_head, store_tail,
+             last_completion, st_fu, st_rd, st_wr, issue_cycles,
+             max_issued) = replayer.on_boundary(
+                h0, cycle, max_issued, store_buffer, sb_head, store_tail,
+                last_completion, st_fu, st_rd, st_wr, issue_cycles,
+                rec_mem, rec_iss)
+            if k:
+                # replay issues exactly the max_issued advance: the
+                # matched signatures force identical pending sets, so
+                # every index the fast-forward covered was issued (the
+                # effective period can be any multiple of the stride,
+                # not just the structural period)
+                remaining -= max_issued - mi0
+                # the wake/FU/room heaps are derived acceleration state;
+                # rebuild them fresh from the translated canonical columns
+                window_end, we_idx, cand, parked, events = (
+                    replayer.rebuild_window_queues(cycle, shift))
+                fu_q = [None] * n_classes
+                fu_marker = [False] * n_classes
+                room_q = []
+                room_marker = False
+                del marker_refresh[:]
+            continue
         # 1. fire due events
         while events and (events[0] >> shift) <= cycle:
             ident = heappop(events) & id_mask
@@ -701,11 +778,17 @@ def _schedule_window(trace, program, config, hierarchy):
                     continue
             # --- issue i at `cycle` ---
             pool[unit] = cycle + interval
+            if i > max_issued:
+                max_issued = i
             if is_load:
                 latency = access(addr_col[i], size_col[i], is_write=False,
                                  now_cycle=cycle).latency
+                if rec_mem is not None:
+                    rec_mem.append((i, cycle, latency, False))
             elif is_store:
                 access(addr_col[i], size_col[i], is_write=True, now_cycle=cycle)
+                if rec_mem is not None:
+                    rec_mem.append((i, cycle, 0, True))
                 if store_tail < cycle:
                     store_tail = cycle
                 store_tail += sb_drain
@@ -717,6 +800,8 @@ def _schedule_window(trace, program, config, hierarchy):
                 latency = lat
             done = cycle + latency
             complete_at[i] = done
+            if rec_iss is not None:
+                rec_iss.append((i, done))
             if done > last_completion:
                 last_completion = done
             dl = dependents[i]

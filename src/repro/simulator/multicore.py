@@ -30,7 +30,7 @@ from typing import List
 from repro.memory.cache import CacheConfig
 from repro.memory.dram import MultiChannelDram, RecordingDram
 from repro.memory.hierarchy import MemoryHierarchy, SharedHierarchy
-from repro.simulator import trace_cache
+from repro.simulator import profiling, trace_cache
 from repro.simulator.pipeline import PipelineSimulator
 from repro.simulator.stats import SimStats
 
@@ -145,6 +145,11 @@ class MulticoreStats:
     channel_utilization: List[float] = field(default_factory=list)
     replay_iterations: int = 0
     replay_converged: bool = True
+    #: summed per-task trace-compile / trace-cache counters from the
+    #: isolated-run stage (worker-side when fanned out); the
+    #: zero-recompile contract means ``compiles`` stays 0 under
+    #: ``jobs > 1`` because the parent ships compiled records
+    worker_cache_stats: dict = field(default_factory=dict)
 
     @property
     def cycles(self):
@@ -164,15 +169,52 @@ class MulticoreStats:
 def _simulate_core(task):
     """Worker: isolated run of one core's program on a fresh pipeline.
 
-    Top-level so the multiprocessing pool can pickle it; returns
-    ``(stats, events)`` only, keeping the payload lean.
+    Top-level so the multiprocessing pool can pickle it. Returns
+    ``(stats, events, cache_info)`` where ``cache_info`` counts this
+    task's trace compiles and trace-cache traffic — the parent-side
+    precompile contract (zero worker compiles) is asserted on these
+    deltas by the fan-out bench.
     """
+    from repro.simulator import trace_compile
+
     config, program, warm = task
+    compiles_0 = trace_compile.compile_events
+    cache_0 = trace_cache.stats()
     simulator = PipelineSimulator(
         config, hierarchy=build_recording_hierarchy(config)
     )
     stats = simulator.run(program, warm_addresses=warm)
-    return stats, list(simulator.hierarchy.dram.events)
+    cache_1 = trace_cache.stats()
+    cache_info = {
+        key: cache_1[key] - cache_0[key] for key in cache_1
+    }
+    cache_info["compiles"] = trace_compile.compile_events - compiles_0
+    return stats, list(simulator.hierarchy.dram.events), cache_info
+
+
+def precompile_for_fanout(programs, config):
+    """Parent-side compile (or cache-load) of each unique core program.
+
+    Every compiled structure-of-arrays record attaches to its program
+    object (:func:`~repro.simulator.trace_compile.compiled_for`'s
+    per-program memo) and therefore travels inside the pickled task
+    payload, alongside the predigested content hash — pool workers
+    memo-hit instead of recompiling (or even probing the trace cache)
+    for their shard. Skipped under the scalar reference engine, which
+    never consults compiled traces.
+    """
+    from repro.simulator.engine import get_default_engine
+    from repro.simulator.trace_compile import compiled_for
+
+    if get_default_engine() != "batch":
+        return
+    seen = set()
+    for program in programs:
+        if id(program) in seen:
+            continue
+        seen.add(id(program))
+        trace_cache.predigest(program)
+        compiled_for(program, config)
 
 
 def _aggregate_stats(per_core, makespan):
@@ -235,7 +277,8 @@ def apply_replay(stats_events, config, llc_config=None, dram_channels=None,
         for core, (_, events) in enumerate(stats_events)
     ]
     durations = [stats.cycles for stats, _ in stats_events]
-    outcome = shared.replay(streams, durations)
+    with profiling.phase("arbitration"):
+        outcome = shared.replay(streams, durations)
     per_core = []
     for core, (stats, events) in enumerate(stats_events):
         core_replay = outcome.per_core[core]
@@ -302,22 +345,23 @@ def run_multicore(config, programs, warm_addresses=None, jobs=1,
         # daemonic pool workers (an orchestrator fan-out already in
         # flight) cannot spawn children; the serial path is
         # result-identical
-        if trace_cache.enabled():
-            # digest once in the parent: the cached (length, digest)
-            # attribute pickles with each program, so every pool worker
-            # skips the digest pass and probes the shared compiled-trace
-            # cache directly instead of recompiling its shard
-            for program in programs:
-                trace_cache.predigest(program)
+        precompile_for_fanout(programs, config)
         with Pool(processes=min(jobs, cores)) as pool:
-            stats_events = pool.map(_simulate_core, tasks)
+            outcomes = pool.map(_simulate_core, tasks)
     else:
-        stats_events = [_simulate_core(task) for task in tasks]
-    return apply_replay(
+        outcomes = [_simulate_core(task) for task in tasks]
+    stats_events = [(stats, events) for stats, events, _ in outcomes]
+    worker_cache = {}
+    for _, _, cache_info in outcomes:
+        for key, value in cache_info.items():
+            worker_cache[key] = worker_cache.get(key, 0) + value
+    result = apply_replay(
         stats_events, config,
         llc_config=llc_config, dram_channels=dram_channels,
         addr_stride=addr_stride,
     )
+    result.worker_cache_stats = worker_cache
+    return result
 
 
 __all__ = [
@@ -331,6 +375,7 @@ __all__ = [
     "default_llc_config",
     "is_dram_limited",
     "offset_events",
+    "precompile_for_fanout",
     "run_multicore",
     "shared_dram",
 ]

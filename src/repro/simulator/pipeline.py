@@ -118,7 +118,7 @@ class PipelineSimulator:
                 writer = last_writer.get(src)
                 if writer is not None:
                     dep_list.append(writer)
-            deps[index] = tuple(set(dep_list))
+            deps[index] = tuple(sorted(set(dep_list)))
             for dst in inst.dst:
                 last_writer[dst] = index
 

@@ -64,8 +64,31 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: recompiling
 MIN_PERSIST_INSTRUCTIONS = 64
 
-#: in-memory LRU capacity (compiled records, not bytes)
+#: in-memory LRU capacity (compiled records, not bytes); the default,
+#: overridable per process through ``$REPRO_TRACE_CACHE_MEM``
 MEMORY_CAP = 128
+
+ENV_MEMORY_CAP = "REPRO_TRACE_CACHE_MEM"
+
+
+def memory_cap():
+    """Effective in-memory LRU capacity.
+
+    ``$REPRO_TRACE_CACHE_MEM`` overrides :data:`MEMORY_CAP` when set to
+    a non-negative integer (0 disables the memory tier entirely —
+    lookups go straight to disk and nothing is retained). The
+    environment is re-read on every call so forked/spawned workers
+    inherit the choice, like :func:`enabled`.
+    """
+    raw = os.environ.get(ENV_MEMORY_CAP)
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            return MEMORY_CAP
+        if cap >= 0:
+            return cap
+    return MEMORY_CAP
 
 _PICKLE_PROTOCOL = 4
 
@@ -390,9 +413,12 @@ def traces_equal(a, b):
 
 
 def _memory_insert(key, trace):
+    cap = memory_cap()
+    if cap == 0:
+        return
     _memory[key] = trace
     _memory.move_to_end(key)
-    while len(_memory) > MEMORY_CAP:
+    while len(_memory) > cap:
         _memory.popitem(last=False)
 
 
@@ -418,12 +444,13 @@ def fetch(program, config, machine_dig=None):
     if len(program) < MIN_PERSIST_INSTRUCTIONS:
         return None
     key = trace_key(program, config, machine_dig)
-    trace = _memory.get(key)
-    if trace is not None:
-        _memory.move_to_end(key)
-        _stats.memory_hits += 1
-        _install_mix(program, trace)
-        return trace
+    if memory_cap():
+        trace = _memory.get(key)
+        if trace is not None:
+            _memory.move_to_end(key)
+            _stats.memory_hits += 1
+            _install_mix(program, trace)
+            return trace
     path = entry_path(key)
     try:
         data = path.read_bytes()

@@ -136,7 +136,7 @@ class CompiledTrace:
     __slots__ = (
         "n", "info", "addr", "size", "deps", "dependents", "mix",
         "mem_index", "mem_addr", "mem_size", "mem_write", "fu_bound",
-        "totals", "_arrays",
+        "totals", "_arrays", "_period",
     )
 
     def __init__(self, n, info, addr, size, deps, dependents, mix,
@@ -163,6 +163,9 @@ class CompiledTrace:
         #: schedulers never have to accumulate
         self.totals = totals
         self._arrays = None
+        #: lazy steady-state period analysis (repro.simulator.period_replay);
+        #: derived from the compiled columns, so never serialized
+        self._period = None
 
     def vector_mix(self):
         """Figure-17 R/W/Alu classification of the vector instructions."""
@@ -201,6 +204,12 @@ class CompiledTrace:
         return self._arrays
 
 
+#: process-wide count of actual trace compiles (memo and cache hits do
+#: not count); pool workers report deltas so the fan-out benches can
+#: assert the parent shipped every compiled record
+compile_events = 0
+
+
 def compile_trace(program, config):
     """Compile ``program`` for ``config`` into a :class:`CompiledTrace`.
 
@@ -208,9 +217,14 @@ def compile_trace(program, config):
     each instruction depends on the specific prior writer of each of
     its source registers (register renaming — architectural reuse does
     not serialize), and the dependence tuple is built with the same
-    ``tuple(set(...))`` construction so stall attribution tie-breaks
-    identically.
+    ``tuple(sorted(set(...)))`` construction so stall attribution
+    tie-breaks identically. Sorted order is also what makes dependence
+    tuples *shift-stable* — ``deps[i + P]`` of a periodic trace region
+    lines up position-for-position with ``deps[i]`` — which the
+    periodic-replay detector relies on for stall-blame correspondence.
     """
+    global compile_events
+    compile_events += 1
     table = opcode_table(config)
     instructions = list(program)
     n = len(instructions)
@@ -263,7 +277,7 @@ def compile_trace(program, config):
             else:
                 dep_list = [w for w in map(lw_get, src) if w is not None]
                 if dep_list:
-                    dd = tuple(set(dep_list))
+                    dd = tuple(sorted(set(dep_list)))
                     deps[i] = dd
                     for d in dd:
                         lst = dependents[d]
@@ -344,7 +358,10 @@ def compiled_for(program, config):
                 return trace
     trace = trace_cache.fetch(program, config, machine_dig)
     if trace is None:
-        trace = compile_trace(program, config)
+        from repro.simulator import profiling
+
+        with profiling.phase("trace compile"):
+            trace = compile_trace(program, config)
         trace_cache.put(program, config, trace, machine_dig)
     if entries is None:
         entries = []

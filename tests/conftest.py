@@ -114,10 +114,19 @@ def fresh_drivers():
     monkeypatched configs or assert on cold-start behavior.
     """
     from repro.experiments import runner
+    from repro.gemm import goto, microkernel
 
-    runner.reset_drivers()
+    def _cold():
+        runner.reset_drivers()
+        # built programs are memoized process-wide (and carry their
+        # cached digests and compiled traces); cold-start tests must
+        # not see another test's warm objects
+        microkernel._BUILD_MEMO.clear()
+        goto._PACK_PROGRAM_MEMO.clear()
+
+    _cold()
     yield
-    runner.reset_drivers()
+    _cold()
 
 
 @pytest.fixture

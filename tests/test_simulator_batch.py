@@ -324,7 +324,7 @@ class TestResolveBatch:
             expected.append(ref.access(addr, size, is_write=write).latency)
 
         sub = PipelineSimulator(config).hierarchy
-        base, dram_lines = sub.resolve_batch(
+        base, dram_lines, dram_addrs = sub.resolve_batch(
             np.array([o[0] for o in ops]),
             np.array([o[1] for o in ops]),
             np.array([o[2] for o in ops]),
@@ -333,13 +333,18 @@ class TestResolveBatch:
         # now_cycle=0 here, matching the reference access calls above)
         llc = sub.caches[-1].config
         got = []
+        addr_list = dram_addrs.tolist()
+        ptr = 0
         for latency, lines in zip(base.tolist(), dram_lines.tolist()):
             while lines:
-                lat = sub.dram.access(llc.line_bytes, 0) + llc.load_to_use
+                lat = sub.dram.access(llc.line_bytes, 0,
+                                      addr=addr_list[ptr]) + llc.load_to_use
+                ptr += 1
                 if lat > latency:
                     latency = lat
                 lines -= 1
             got.append(latency)
+        assert ptr == len(addr_list)
         assert got == expected
         for level_ref, level_sub in zip(ref.caches, sub.caches):
             assert vars(level_ref.stats) == vars(level_sub.stats)
@@ -347,8 +352,8 @@ class TestResolveBatch:
 
     def test_empty_and_invalid(self):
         hierarchy = PipelineSimulator(sargantana_config()).hierarchy
-        base, dram = hierarchy.resolve_batch(np.empty(0, dtype=np.int64))
-        assert base.size == 0 and dram.size == 0
+        base, dram, addrs = hierarchy.resolve_batch(np.empty(0, dtype=np.int64))
+        assert base.size == 0 and dram.size == 0 and addrs.size == 0
         with pytest.raises(ValueError):
             hierarchy.resolve_batch(np.array([0]), np.array([0]))
 

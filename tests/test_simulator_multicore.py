@@ -307,3 +307,120 @@ class TestEngineIndependence:
                 )
 
         assert records("batch") == records("scalar")
+
+
+class TestForcedSchedulerEquivalence:
+    """cores > 1 x every scheduler x both machines, arbitrated stats.
+
+    The shared-hierarchy arbitration consumes the isolated per-core
+    runs, so the full MulticoreStats — contention folded in — must be
+    identical whichever batch scheduler produced them, and identical to
+    the scalar reference engine. a64fx (window 32) exercises the scan
+    and event schedulers; sargantana (window 1) the in-order direct
+    issue path.
+    """
+
+    def _multicore(self, config, program, warm, engine_name, force=None):
+        import repro.simulator.batch_pipeline as batch_pipeline
+        from repro.simulator.engine import engine
+
+        old = batch_pipeline.FORCE_SCHEDULER
+        batch_pipeline.FORCE_SCHEDULER = force
+        try:
+            with engine(engine_name):
+                return run_multicore(
+                    config, [program] * 4, warm_addresses=[warm] * 4
+                )
+        finally:
+            batch_pipeline.FORCE_SCHEDULER = old
+
+    @staticmethod
+    def _key(outcome):
+        return (
+            [run.stats for run in outcome.per_core],
+            [run.contention_stall_cycles for run in outcome.per_core],
+            outcome.aggregate,
+            outcome.llc_hit_rate,
+        )
+
+    @pytest.mark.parametrize("force", ["scan", "event"])
+    def test_windowed_schedulers_match_scalar_a64fx(self, force):
+        config = a64fx_config(camp_enabled=True)
+        program, warm = kernel_program(config)
+        reference = self._multicore(config, program, warm, "scalar")
+        forced = self._multicore(config, program, warm, "batch", force)
+        assert self._key(forced) == self._key(reference)
+
+    def test_inorder_matches_scalar_sargantana(self):
+        config = sargantana_config(camp_enabled=True)
+        program, warm = kernel_program(config)
+        reference = self._multicore(config, program, warm, "scalar")
+        batch = self._multicore(config, program, warm, "batch")
+        assert self._key(batch) == self._key(reference)
+
+    @pytest.mark.parametrize("factory", [a64fx_config, sargantana_config])
+    def test_mixed_core_programs(self, factory):
+        """Heterogeneous per-core traces through the arbitration."""
+        config = factory(camp_enabled=True)
+        kern_prog, warm = kernel_program(config)
+        programs = [kern_prog, pack_program(bits=config.vector_length_bits)]
+        from repro.simulator.engine import engine
+
+        with engine("scalar"):
+            reference = run_multicore(
+                config, programs, warm_addresses=[warm, ()]
+            )
+        with engine("batch"):
+            batch = run_multicore(config, programs, warm_addresses=[warm, ()])
+        assert self._key(batch) == self._key(reference)
+
+
+class TestZeroRecompileFanout:
+    """The parent ships compiled records; pool workers never compile."""
+
+    def test_fanned_run_has_zero_worker_compiles(self):
+        config = a64fx_config(camp_enabled=True)
+        program, warm = kernel_program(config)
+        fanned = run_multicore(
+            config, [program] * 4, warm_addresses=[warm] * 4, jobs=4
+        )
+        wc = fanned.worker_cache_stats
+        assert wc["compiles"] == 0
+        assert wc["misses"] == 0
+
+    def test_precompile_attaches_shared_trace(self):
+        from repro.simulator.multicore import precompile_for_fanout
+        from repro.simulator.trace_compile import compiled_for
+
+        config = a64fx_config(camp_enabled=True)
+        program, _ = kernel_program(config)
+        precompile_for_fanout([program, program], config)
+        # the memo entry the workers will hit is already on the program
+        assert compiled_for(program, config) is compiled_for(program, config)
+        entries = getattr(program, "_compiled_traces")
+        assert len(entries) == 1
+
+    def test_precompile_skipped_under_scalar_engine(self):
+        from repro.simulator.engine import engine
+        from repro.simulator.multicore import precompile_for_fanout
+
+        config = a64fx_config(camp_enabled=True)
+        # a fresh (non-memoized) program so no earlier test has already
+        # attached a compiled trace to it
+        builder = ProgramBuilder(
+            name="scalar-fanout-probe",
+            vector_length_bits=config.vector_length_bits)
+        for i in range(8):
+            builder.vload("v0", 0x1000 + 64 * i, DType.INT8, size=64)
+        program = builder.build()
+        with engine("scalar"):
+            precompile_for_fanout([program], config)
+        assert getattr(program, "_compiled_traces", None) is None
+
+    def test_serial_path_reports_cache_stats_too(self):
+        config = a64fx_config(camp_enabled=True)
+        program, warm = kernel_program(config)
+        serial = run_multicore(
+            config, [program] * 2, warm_addresses=[warm] * 2, jobs=1
+        )
+        assert "compiles" in serial.worker_cache_stats

@@ -396,3 +396,52 @@ class TestMaintenance:
         assert removed == 0
         removed, _ = trace_cache.prune(max_age_days=0)
         assert removed == 1
+
+
+class TestMemoryCap:
+    """``$REPRO_TRACE_CACHE_MEM`` sizes (or disables) the memory tier."""
+
+    def test_default_cap(self, monkeypatch):
+        monkeypatch.delenv(trace_cache.ENV_MEMORY_CAP, raising=False)
+        assert trace_cache.memory_cap() == trace_cache.MEMORY_CAP
+
+    def test_env_override_and_garbage(self, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_MEMORY_CAP, "3")
+        assert trace_cache.memory_cap() == 3
+        monkeypatch.setenv(trace_cache.ENV_MEMORY_CAP, "not-a-number")
+        assert trace_cache.memory_cap() == trace_cache.MEMORY_CAP
+        monkeypatch.setenv(trace_cache.ENV_MEMORY_CAP, "-4")
+        assert trace_cache.memory_cap() == trace_cache.MEMORY_CAP
+
+    def test_cap_bounds_the_lru(self, cache_on, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_MEMORY_CAP, "2")
+        config = a64fx_config(camp_enabled=True)
+        for seed in (21, 22, 23):
+            compiled_for(build_program(seed=seed), config)
+        assert len(trace_cache._memory) == 2
+
+    def test_zero_disables_memory_tier(self, cache_on, monkeypatch):
+        monkeypatch.setenv(trace_cache.ENV_MEMORY_CAP, "0")
+        config = a64fx_config(camp_enabled=True)
+        compiled_for(build_program(seed=24), config)
+        assert len(trace_cache._memory) == 0
+        # a fresh equal-content program warms from disk, not memory
+        before = trace_cache.stats()
+        compiled_for(build_program(seed=24), config)
+        after = trace_cache.stats()
+        assert after["disk_hits"] == before["disk_hits"] + 1
+        assert after["memory_hits"] == before["memory_hits"]
+        assert len(trace_cache._memory) == 0
+
+    def test_zero_skips_stale_memory_entries(self, cache_on, monkeypatch):
+        # entries inserted before the cap dropped to 0 must not hit
+        monkeypatch.delenv(trace_cache.ENV_MEMORY_CAP, raising=False)
+        config = a64fx_config(camp_enabled=True)
+        compiled_for(build_program(seed=25), config)
+        assert len(trace_cache._memory) == 1
+        monkeypatch.setenv(trace_cache.ENV_MEMORY_CAP, "0")
+        before = trace_cache.stats()
+        compiled_for(build_program(seed=25), config)
+        after = trace_cache.stats()
+        assert after["memory_hits"] == before["memory_hits"]
+        assert after["disk_hits"] == before["disk_hits"] + 1
